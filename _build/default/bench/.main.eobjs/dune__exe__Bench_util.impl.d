@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Cdcl Float Hashtbl Printf Staged Stats String Test Time Toolkit Unix Workload

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Anneal Bench_util Exp_common Hashtbl Hyqsat List Printf Workload

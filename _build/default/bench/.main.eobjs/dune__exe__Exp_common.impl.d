@@ -1,0 +1,1 @@
+bench/exp_common.ml: Anneal Bench_util Cdcl Chimera Hashtbl Hyqsat List Workload

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Anneal Bench_util Chimera Embed Hyqsat Printf Qubo Sat Workload

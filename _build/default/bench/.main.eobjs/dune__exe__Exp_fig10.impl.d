@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Bench_util Exp_common Hyqsat List Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Anneal Bench_util Exp_common Float Hyqsat List Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Array Bench_util Cdcl Exp_common Float Hyqsat List Printf Stats Workload

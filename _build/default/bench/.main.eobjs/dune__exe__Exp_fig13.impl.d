@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Bench_util Chimera Embed Float Hyqsat List Printf Qubo Sat Workload

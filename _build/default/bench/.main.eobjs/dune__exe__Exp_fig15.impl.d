@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Array Bench_util Chimera Hyqsat List Printf Qubo Sat Stats

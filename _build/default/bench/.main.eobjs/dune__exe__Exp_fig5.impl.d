@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Bench_util Cdcl Printf Sat Workload

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Anneal Array Bench_util Chimera Format Hyqsat Printf Stats

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Anneal Bench_util Cdcl Exp_common Hyqsat List Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Anneal Bench_util Exp_common Hashtbl Hyqsat List Printf Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_util Cmd Cmdliner Exp_ablation Exp_fig1 Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig14 Exp_fig15 Exp_fig5 Exp_fig8 Exp_table1 Exp_table2 Exp_table3 List Printf String Term

@@ -1,0 +1,48 @@
+(* Shared helpers for the experiment harness. *)
+
+type ctx = {
+  scale : Workload.Spec.scale;
+  seed : int;
+  problems : int; (* instances per benchmark *)
+}
+
+let default_ctx = { scale = `Small; seed = 1; problems = 3 }
+
+let rng_of ctx salt = Stats.Rng.create ~seed:(ctx.seed + (salt * 7919))
+
+let header title paper_claim =
+  Printf.printf "\n==== %s ====\n" title;
+  Printf.printf "paper: %s\n\n" paper_claim
+
+let hr () = print_endline (String.make 78 '-')
+
+(* wall-clock of a thunk, in seconds *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Bechamel micro-benchmark: returns estimated ns/run *)
+let bechamel_ns ?(quota_s = 0.25) name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~quota:(Time.second quota_s) ~stabilize:false () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  match Analyze.OLS.estimates (Hashtbl.find results name) with
+  | Some (est :: _) -> est
+  | _ -> Float.nan
+
+let geomean xs = Stats.Descriptive.geomean (Array.of_list xs)
+let mean xs = Stats.Descriptive.mean (Array.of_list xs)
+let fmin xs = Stats.Descriptive.min (Array.of_list xs)
+let fmax xs = Stats.Descriptive.max (Array.of_list xs)
+
+let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false
+
+(* reduction ratio, guarding zero denominators *)
+let ratio a b = float_of_int a /. float_of_int (max 1 b)

@@ -1,0 +1,38 @@
+(* Shared benchmark-suite machinery for the Table I/II-style experiments. *)
+
+module Hybrid = Hyqsat.Hybrid_solver
+
+let instances (ctx : Bench_util.ctx) (spec : Workload.Spec.t) =
+  List.init ctx.Bench_util.problems (fun i ->
+      let rng = Bench_util.rng_of ctx (Hashtbl.hash (spec.Workload.Spec.id, i)) in
+      spec.Workload.Spec.generate rng ctx.Bench_util.scale)
+
+let solve_classic ?(config = Cdcl.Config.minisat_like) f = Hybrid.solve_classic ~config f
+
+let hybrid_config ?(noise = Anneal.Noise.noise_free) ?(strategies = Hyqsat.Backend.all_enabled)
+    ?(queue_mode = Hyqsat.Frontend.Activity_bfs) ?(adjust = true) ?(graph_size = 16) seed =
+  {
+    Hybrid.default_config with
+    Hybrid.noise;
+    strategies;
+    queue_mode;
+    adjust_coefficients = adjust;
+    graph = Chimera.Graph.create ~rows:graph_size ~cols:graph_size;
+    seed;
+  }
+
+(* cap pathological runs so one outlier cannot stall the whole experiment *)
+let iteration_cap (ctx : Bench_util.ctx) =
+  match ctx.Bench_util.scale with `Paper -> 2_000_000 | `Small -> 200_000
+
+let reduction classic hybrid =
+  Bench_util.ratio classic.Hybrid.iterations hybrid.Hybrid.iterations
+
+(* per-benchmark reductions of hybrid vs classic iteration counts *)
+let reductions_for ctx spec ~config =
+  List.map
+    (fun f ->
+      let classic = solve_classic f in
+      let hybrid = Hybrid.solve ~config ~max_iterations:(iteration_cap ctx) f in
+      (classic, hybrid, reduction classic hybrid))
+    (instances ctx spec)

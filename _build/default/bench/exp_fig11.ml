@@ -1,0 +1,39 @@
+(* Figure 11: breakdown of HyQSAT end-to-end time into frontend, QA
+   execution, backend and remaining-CDCL shares.  Paper: warm-up stage
+   (frontend + QA + backend) ~41% of total; frontend only ~2.2% thanks to
+   pipelining; QA small except on few-iteration benchmarks like BP. *)
+
+module Hybrid = Hyqsat.Hybrid_solver
+
+let run (ctx : Bench_util.ctx) =
+  Bench_util.header "Figure 11 — HyQSAT time breakdown"
+    "frontend ~2.2%, QA small (large on BP), backend modest, remaining CDCL ~59%";
+  Printf.printf "%-5s %10s %10s %10s %10s\n" "id" "frontend%" "QA%" "backend%" "CDCL%";
+  Bench_util.hr ();
+  let cap = Exp_common.iteration_cap ctx in
+  List.iter
+    (fun spec ->
+      let shares =
+        List.map
+          (fun f ->
+            let r =
+              Hybrid.solve
+                ~config:
+                  (Exp_common.hybrid_config ~noise:Anneal.Noise.default_2000q
+                     ctx.Bench_util.seed)
+                ~max_iterations:cap f
+            in
+            let total = Float.max 1e-12 (Hybrid.end_to_end_time_s r) in
+            ( r.Hybrid.frontend_time_s /. total,
+              r.Hybrid.qa_time_us *. 1e-6 /. total,
+              r.Hybrid.backend_time_s /. total,
+              r.Hybrid.cdcl_time_s /. total ))
+          (Exp_common.instances ctx spec)
+      in
+      let avg sel = 100. *. Bench_util.mean (List.map sel shares) in
+      Printf.printf "%-5s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n" spec.Workload.Spec.id
+        (avg (fun (a, _, _, _) -> a))
+        (avg (fun (_, b, _, _) -> b))
+        (avg (fun (_, _, c, _) -> c))
+        (avg (fun (_, _, _, d) -> d)))
+    Workload.Spec.table1

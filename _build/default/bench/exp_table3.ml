@@ -1,0 +1,45 @@
+(* Table III: scalability — iteration reduction on Chimera grids of
+   16/24/32/64 cells per side with a 10% bit-flip noise channel, on the AI
+   benchmarks plus a 500-variable problem.  Paper: bigger grids embed (almost)
+   everything and the reduction explodes (341x-2.3e6x). *)
+
+module Hybrid = Hyqsat.Hybrid_solver
+
+let grids = [ 16; 24; 32; 64 ]
+
+let run (ctx : Bench_util.ctx) =
+  Bench_util.header "Table III — scalability over Chimera grid sizes (10% bit-flip noise)"
+    "16x16 gives single-digit reductions; 24x24+ embeds nearly all clauses and jumps to >>100x";
+  let ai_sizes, var_n =
+    match ctx.Bench_util.scale with
+    | `Paper -> ([ ("AI1", 150); ("AI2", 175); ("AI3", 200); ("AI4", 225); ("AI5", 250) ], 500)
+    | `Small -> ([ ("AI1", 40); ("AI2", 50); ("AI3", 60) ], 120)
+  in
+  Printf.printf "%-8s" "bench";
+  List.iter (fun g -> Printf.printf " %11s" (Printf.sprintf "%dx%d" g g)) grids;
+  print_newline ();
+  Bench_util.hr ();
+  let row name gen =
+    Printf.printf "%-8s" name;
+    List.iter
+      (fun g ->
+        let reds =
+          List.init ctx.Bench_util.problems (fun i ->
+              let rng = Bench_util.rng_of ctx (Hashtbl.hash (name, g, i)) in
+              let f = gen rng in
+              let classic = Exp_common.solve_classic f in
+              let config =
+                Exp_common.hybrid_config ~noise:(Anneal.Noise.bit_flip_only 0.1)
+                  ~graph_size:g ctx.Bench_util.seed
+              in
+              let hybrid =
+                Hybrid.solve ~config ~max_iterations:(Exp_common.iteration_cap ctx) f
+              in
+              Exp_common.reduction classic hybrid)
+        in
+        Printf.printf " %11.2f" (Bench_util.geomean reds))
+      grids;
+    print_newline ()
+  in
+  List.iter (fun (name, n) -> row name (fun rng -> Workload.Uniform.uf rng n)) ai_sizes;
+  row (Printf.sprintf "Var%d" var_n) (fun rng -> Workload.Uniform.uf rng var_n)

@@ -1,0 +1,52 @@
+(* hyqsat-gen: emit benchmark instances from the paper's Table I suite as
+   DIMACS files. *)
+
+let generate bench scale seed output =
+  match
+    List.find_opt (fun s -> String.lowercase_ascii s.Workload.Spec.id = String.lowercase_ascii bench)
+      Workload.Spec.table1
+  with
+  | None ->
+      Printf.eprintf "unknown benchmark %S; available: %s\n" bench
+        (String.concat ", " (List.map (fun s -> s.Workload.Spec.id) Workload.Spec.table1));
+      1
+  | Some spec ->
+      let rng = Stats.Rng.create ~seed in
+      let f = spec.Workload.Spec.generate rng scale in
+      let comments =
+        [
+          Printf.sprintf "benchmark %s (%s) from domain %s" spec.Workload.Spec.id
+            spec.Workload.Spec.name spec.Workload.Spec.domain;
+          Printf.sprintf "scale=%s seed=%d" (match scale with `Small -> "small" | `Paper -> "paper") seed;
+        ]
+      in
+      (match output with
+      | Some path ->
+          Sat.Dimacs.write_file ~comments path f;
+          Printf.printf "wrote %s: %d vars, %d clauses\n" path (Sat.Cnf.num_vars f)
+            (Sat.Cnf.num_clauses f)
+      | None -> print_string (Sat.Dimacs.to_string ~comments f));
+      0
+
+open Cmdliner
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc:"Benchmark id (GC1..AI5; see Table I).")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (enum [ ("small", `Small); ("paper", `Paper) ]) `Small
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Instance scale: $(b,small) or $(b,paper).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
+
+let cmd =
+  let doc = "generate HyQSAT benchmark instances (Table I families)" in
+  Cmd.v (Cmd.info "hyqsat-gen" ~doc)
+    Term.(const generate $ bench_arg $ scale_arg $ seed_arg $ output_arg)
+
+let () = exit (Cmd.eval' cmd)

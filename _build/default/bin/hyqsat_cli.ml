@@ -1,0 +1,93 @@
+(* hyqsat: solve DIMACS CNF files with the hybrid QA+CDCL solver or the
+   classical baselines. *)
+
+let solve_file path solver_kind noisy grid seed verbose =
+  let f = Sat.Dimacs.parse_file path in
+  let f =
+    if Sat.Cnf.is_3sat f then f
+    else begin
+      Printf.eprintf "note: converting %d-SAT input to 3-SAT\n%!" (Sat.Cnf.max_clause_size f);
+      fst (Sat.Three_sat.convert f)
+    end
+  in
+  let report =
+    match solver_kind with
+    | `Hybrid ->
+        let base = if noisy then Hyqsat.Hybrid_solver.noisy_config else Hyqsat.Hybrid_solver.default_config in
+        let config =
+          {
+            base with
+            Hyqsat.Hybrid_solver.graph = Chimera.Graph.create ~rows:grid ~cols:grid;
+            seed;
+          }
+        in
+        Hyqsat.Hybrid_solver.solve ~config f
+    | `Minisat ->
+        Hyqsat.Hybrid_solver.solve_classic ~config:(Cdcl.Config.with_seed seed Cdcl.Config.minisat_like) f
+    | `Kissat ->
+        Hyqsat.Hybrid_solver.solve_classic ~config:(Cdcl.Config.with_seed seed Cdcl.Config.kissat_like) f
+  in
+  (match report.Hyqsat.Hybrid_solver.result with
+  | Cdcl.Solver.Sat model ->
+      print_endline "s SATISFIABLE";
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v";
+      Array.iteri
+        (fun v b -> Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
+        model;
+      Buffer.add_string buf " 0";
+      print_endline (Buffer.contents buf)
+  | Cdcl.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+  | Cdcl.Solver.Unknown -> print_endline "s UNKNOWN");
+  if verbose then begin
+    let st = report.Hyqsat.Hybrid_solver.solver_stats in
+    Printf.printf "c iterations        %d\n" report.Hyqsat.Hybrid_solver.iterations;
+    Printf.printf "c decisions         %d\n" st.Cdcl.Solver.decisions;
+    Printf.printf "c conflicts         %d\n" st.Cdcl.Solver.conflicts;
+    Printf.printf "c propagations      %d\n" st.Cdcl.Solver.propagations;
+    Printf.printf "c restarts          %d\n" st.Cdcl.Solver.restarts;
+    Printf.printf "c learnt clauses    %d\n" st.Cdcl.Solver.learnt_clauses;
+    Printf.printf "c qa calls          %d\n" report.Hyqsat.Hybrid_solver.qa_calls;
+    Printf.printf "c qa time           %.1f us\n" report.Hyqsat.Hybrid_solver.qa_time_us;
+    Printf.printf "c strategy uses     s1=%d s2=%d s3=%d s4=%d\n"
+      report.Hyqsat.Hybrid_solver.strategy_uses.(0)
+      report.Hyqsat.Hybrid_solver.strategy_uses.(1)
+      report.Hyqsat.Hybrid_solver.strategy_uses.(2)
+      report.Hyqsat.Hybrid_solver.strategy_uses.(3);
+    Printf.printf "c end-to-end time   %.3f ms\n"
+      (Hyqsat.Hybrid_solver.end_to_end_time_s report *. 1000.)
+  end;
+  match report.Hyqsat.Hybrid_solver.result with
+  | Cdcl.Solver.Sat _ -> 10
+  | Cdcl.Solver.Unsat -> 20
+  | Cdcl.Solver.Unknown -> 0
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF input file.")
+
+let solver_arg =
+  let kinds = [ ("hybrid", `Hybrid); ("minisat", `Minisat); ("kissat", `Kissat) ] in
+  Arg.(
+    value
+    & opt (enum kinds) `Hybrid
+    & info [ "s"; "solver" ] ~docv:"KIND"
+        ~doc:"Solver: $(b,hybrid) (QA+CDCL), $(b,minisat) or $(b,kissat) baselines.")
+
+let noisy_arg =
+  Arg.(value & flag & info [ "noisy" ] ~doc:"Use the D-Wave 2000Q noise model instead of the noise-free simulator.")
+
+let grid_arg =
+  Arg.(value & opt int 16 & info [ "grid" ] ~docv:"N" ~doc:"Chimera grid size (N×N cells; 16 = D-Wave 2000Q).")
+
+let seed_arg = Arg.(value & opt int 20230225 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print solver statistics.")
+
+let cmd =
+  let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
+  Cmd.v
+    (Cmd.info "hyqsat" ~doc)
+    Term.(const solve_file $ path_arg $ solver_arg $ noisy_arg $ grid_arg $ seed_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

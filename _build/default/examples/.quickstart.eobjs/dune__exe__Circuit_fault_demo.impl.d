@@ -1,0 +1,1 @@
+examples/circuit_fault_demo.ml: Array Cdcl Format Hyqsat Sat Stats Workload

@@ -1,0 +1,1 @@
+examples/factoring_demo.ml: Array Cdcl Format Hyqsat Sat Workload

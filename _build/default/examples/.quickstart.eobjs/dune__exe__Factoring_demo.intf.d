@@ -1,0 +1,1 @@
+examples/factoring_demo.mli:

@@ -1,0 +1,1 @@
+examples/graph_coloring_demo.ml: Array Cdcl Format Hyqsat Sat Stats String Workload

@@ -1,0 +1,1 @@
+examples/maxsat_demo.ml: Anneal Chimera Format Hyqsat Sat Stats Workload

@@ -1,0 +1,1 @@
+examples/maxsat_demo.mli:

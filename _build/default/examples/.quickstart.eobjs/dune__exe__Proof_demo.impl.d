@@ -1,0 +1,1 @@
+examples/proof_demo.ml: Cdcl Format List Sat Stats String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anneal Array Cdcl Chimera Embed Format Hyqsat Qubo Sat Stats

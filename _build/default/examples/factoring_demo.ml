@@ -1,0 +1,37 @@
+(* Integer factorisation as SAT (the paper's IF benchmark family): encode an
+   array multiplier, force its output to a semiprime, and read the factors
+   off the satisfying assignment.
+
+   Run with: dune exec examples/factoring_demo.exe *)
+
+let () =
+  let target = 143 in
+  let bits = 4 in
+  let f = Workload.Factoring.of_target ~target ~bits in
+  Format.printf "factoring %d with two %d-bit operands: CNF with %d vars, %d clauses@." target
+    bits (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f);
+
+  let report = Hyqsat.Hybrid_solver.solve f in
+  (match report.Hyqsat.Hybrid_solver.result with
+  | Cdcl.Solver.Sat model ->
+      (* the multiplier's inputs are the first 2·bits wires: xs then ys *)
+      let operand off =
+        let v = ref 0 in
+        for i = 0 to bits - 1 do
+          if model.(off + i) then v := !v + (1 lsl i)
+        done;
+        !v
+      in
+      let x = operand 0 and y = operand bits in
+      Format.printf "%d = %d x %d@." target x y;
+      assert (x * y = target)
+  | Cdcl.Solver.Unsat -> Format.printf "%d is prime (within %d-bit operands)@." target bits
+  | Cdcl.Solver.Unknown -> Format.printf "unknown@.");
+  Format.printf "solved in %d CDCL iterations with %d QA calls@."
+    report.Hyqsat.Hybrid_solver.iterations report.Hyqsat.Hybrid_solver.qa_calls;
+
+  (* a prime target is UNSAT: no non-trivial factorisation exists *)
+  let prime = Workload.Factoring.of_target ~target:127 ~bits:4 in
+  match (Hyqsat.Hybrid_solver.solve prime).Hyqsat.Hybrid_solver.result with
+  | Cdcl.Solver.Unsat -> Format.printf "and 127 is confirmed prime@."
+  | _ -> Format.printf "unexpected result for 127@."

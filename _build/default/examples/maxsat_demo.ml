@@ -1,0 +1,28 @@
+(* MAX-SAT through the annealing stack: compare the annealer's approximate
+   optimum against local search and the exact cardinality-based solver on an
+   over-constrained formula.
+
+   Run with: dune exec examples/maxsat_demo.exe *)
+
+let () =
+  let rng = Stats.Rng.create ~seed:7 in
+  (* ratio ~8 random 3-SAT: far past the phase transition, so a few clauses
+     must stay violated *)
+  let f = Workload.Uniform.generate ~planted:false rng ~num_vars:14 ~num_clauses:110 in
+  Format.printf "over-constrained 3-SAT: %d vars, %d clauses (ratio %.1f)@."
+    (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f) (Sat.Cnf.clause_to_var_ratio f);
+
+  (match Hyqsat.Maxsat.exact f with
+  | Some r -> Format.printf "exact optimum:        %d violated clauses@." r.Hyqsat.Maxsat.violated
+  | None -> Format.printf "exact solver hit its budget@.");
+
+  let graph = Chimera.Graph.standard_2000q () in
+  (match Hyqsat.Maxsat.approximate ~samples:10 rng graph f with
+  | Some r ->
+      Format.printf "quantum annealer:     %d violated (best of 10 cycles, ~%.1f ms of QA time)@."
+        r.Hyqsat.Maxsat.violated
+        (10. *. Anneal.Timing.single_sample_us Anneal.Timing.d_wave_2000q /. 1000.)
+  | None -> Format.printf "annealer: nothing embedded@.");
+
+  let ls = Hyqsat.Maxsat.local_search rng f in
+  Format.printf "classical local search: %d violated@." ls.Hyqsat.Maxsat.violated

@@ -1,0 +1,1 @@
+lib/anneal/machine.ml: Array Chimera Embed Hashtbl List Noise Option Printf Qubo Sampler Sparse_ising Stats Timing

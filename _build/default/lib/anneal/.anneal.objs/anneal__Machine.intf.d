@@ -1,0 +1,1 @@
+lib/anneal/machine.mli: Embed Noise Qubo Sampler Stats Timing

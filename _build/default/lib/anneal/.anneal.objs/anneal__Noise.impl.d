@@ -1,0 +1,1 @@
+lib/anneal/noise.ml: Array Sparse_ising Stats

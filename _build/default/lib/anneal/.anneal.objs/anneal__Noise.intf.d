@@ -1,0 +1,1 @@
+lib/anneal/noise.mli: Sparse_ising Stats

@@ -1,0 +1,1 @@
+lib/anneal/sampler.ml: Array Sparse_ising Stats

@@ -1,0 +1,1 @@
+lib/anneal/sampler.mli: Sparse_ising Stats

@@ -1,0 +1,1 @@
+lib/anneal/sparse_ising.mli:

@@ -1,0 +1,1 @@
+lib/anneal/timing.ml:

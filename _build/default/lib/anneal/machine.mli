@@ -1,0 +1,45 @@
+(** The quantum-annealer facade: program an embedded problem, run one
+    annealing cycle, read out a logical assignment and its energy.
+
+    This is the component a real deployment would replace with the D-Wave
+    API; everything above it (HyQSAT frontend/backend) is agnostic to
+    whether the sample came from hardware or from the simulator. *)
+
+type job = {
+  embedding : Embed.Embedding.t;
+  objective : Qubo.Pbq.t;
+      (** logical objective over problem-graph nodes, {e unnormalised}; the
+          machine normalises to hardware range internally (Equation 6) *)
+  edges : (int * int) list;  (** problem edges the embedding realises *)
+}
+
+type outcome = {
+  assignment : (int * bool) list;  (** node → unembedded value *)
+  energy : float;
+      (** the unnormalised logical objective evaluated at [assignment] — the
+          "energy" the HyQSAT backend interprets *)
+  physical_energy : float;  (** programmed (noisy, normalised) Ising energy *)
+  chain_breaks : int;  (** chains whose qubits disagreed at readout *)
+  time_us : float;  (** modelled wall-clock of this call *)
+}
+
+exception Unembedded_term of string
+(** An objective term touches a node without a chain or an edge without a
+    realisable coupler. *)
+
+val run :
+  ?noise:Noise.t ->
+  ?schedule:Sampler.schedule ->
+  ?chain_strength:float ->
+  ?postprocess:bool ->
+  ?timing:Timing.t ->
+  Stats.Rng.t ->
+  job ->
+  outcome
+(** One annealing cycle.  Defaults: noise-free, {!Sampler.default_schedule}
+    (or {!Sampler.quick_schedule} when the noise model says so), chain
+    strength 2.0 (relative to the normalised coefficient range), D-Wave
+    2000Q timing.  [postprocess] (default [true]) runs the machine-side
+    greedy-descent sample repair on the logical assignment, as the D-Wave
+    post-processing pipeline does; it cannot turn an unsatisfiable clause
+    set's energy to zero, only remove thermal/chain-break residue. *)

@@ -1,0 +1,28 @@
+(** NISQ noise model for the simulated annealer (paper §I: environment,
+    crosstalk and readout noise on D-Wave 2000Q).
+
+    Coefficient noise perturbs the programmed fields/couplings (integrated
+    control-error model); readout noise flips measured spins independently.
+    Thermal noise is modelled by running a shallower annealing schedule. *)
+
+type t = {
+  coeff_sigma : float;  (** Gaussian σ added to each h and J, relative scale *)
+  readout_flip : float;  (** independent bit-flip probability at readout *)
+  shallow_anneal : bool;  (** use {!Sampler.quick_schedule} (thermal noise) *)
+}
+
+val noise_free : t
+val default_2000q : t
+(** Calibrated so that HyQSAT's Table II iteration-variance stays near 1:
+    σ = 0.03, 1 % readout flips, shallow anneal. *)
+
+val bit_flip_only : float -> t
+(** The Table III scalability model: a pure [p] readout bit-flip channel on
+    top of noise-free annealing. *)
+
+val apply_coeff : t -> Stats.Rng.t -> Sparse_ising.t -> Sparse_ising.t
+(** Fresh problem with perturbed coefficients (noise-free input is shared,
+    not copied). *)
+
+val apply_readout : t -> Stats.Rng.t -> int array -> int array
+(** Possibly-flipped copy of the measured spins. *)

@@ -1,0 +1,46 @@
+type schedule = { sweeps : int; beta_min : float; beta_max : float }
+
+let default_schedule = { sweeps = 256; beta_min = 0.1; beta_max = 16.0 }
+let quick_schedule = { sweeps = 96; beta_min = 0.1; beta_max = 8.0 }
+
+let sample ?(schedule = default_schedule) ?init rng (ising : Sparse_ising.t) =
+  let n = ising.Sparse_ising.n in
+  let spins =
+    match init with
+    | Some s ->
+        if Array.length s <> n then invalid_arg "Sampler.sample: init length";
+        Array.copy s
+    | None -> Array.init n (fun _ -> if Stats.Rng.bool rng then 1 else -1)
+  in
+  if n > 0 then begin
+    let ratio =
+      if schedule.sweeps <= 1 then 1.0
+      else (schedule.beta_max /. schedule.beta_min) ** (1.0 /. float_of_int (schedule.sweeps - 1))
+    in
+    let beta = ref schedule.beta_min in
+    for _ = 1 to schedule.sweeps do
+      for i = 0 to n - 1 do
+        let field = Sparse_ising.local_field ising spins i in
+        let delta = -2.0 *. float_of_int spins.(i) *. field in
+        (* delta = E(flipped) - E(current) *)
+        if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then
+          spins.(i) <- -spins.(i)
+      done;
+      beta := !beta *. ratio
+    done
+  end;
+  spins
+
+let sample_best_of ?schedule rng ising k =
+  if k < 1 then invalid_arg "Sampler.sample_best_of";
+  let best = ref (sample ?schedule rng ising) in
+  let best_e = ref (Sparse_ising.energy ising !best) in
+  for _ = 2 to k do
+    let s = sample ?schedule rng ising in
+    let e = Sparse_ising.energy ising s in
+    if e < !best_e then begin
+      best := s;
+      best_e := e
+    end
+  done;
+  !best

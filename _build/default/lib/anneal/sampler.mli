@@ -1,0 +1,22 @@
+(** Simulated-annealing Ising sampler (the dwave-neal [19] substitution for
+    real QA hardware — see DESIGN.md §2).
+
+    Runs Metropolis sweeps over a geometric inverse-temperature schedule.
+    One [sample] models one annealing cycle of the physical machine. *)
+
+type schedule = { sweeps : int; beta_min : float; beta_max : float }
+
+val default_schedule : schedule
+(** 256 sweeps, β from 0.1 to 16 — enough to reach ground states of
+    queue-sized problems with high probability. *)
+
+val quick_schedule : schedule
+(** 96 sweeps: a deliberately shallow anneal that leaves residual thermal
+    excitation, used to emulate a noisy single-shot device. *)
+
+val sample : ?schedule:schedule -> ?init:int array -> Stats.Rng.t -> Sparse_ising.t -> int array
+(** One annealed spin configuration (±1 entries).  [init] seeds the sweep
+    (e.g. chain-coherent spins); default is uniform random. *)
+
+val sample_best_of : ?schedule:schedule -> Stats.Rng.t -> Sparse_ising.t -> int -> int array
+(** Best of [k] independent samples by energy (multi-sample device mode). *)

@@ -1,0 +1,61 @@
+type t = {
+  n : int;
+  h : float array;
+  off : int array;
+  nbr : int array;
+  cpl : float array;
+  offset : float;
+}
+
+let build ~n ~h ~couplings ~offset =
+  if Array.length h <> n then invalid_arg "Sparse_ising.build: h length";
+  (* accumulate duplicates *)
+  let tbl = Hashtbl.create (List.length couplings) in
+  List.iter
+    (fun ((i, j), c) ->
+      if i = j || i < 0 || j < 0 || i >= n || j >= n then
+        invalid_arg "Sparse_ising.build: bad coupling";
+      let key = if i < j then (i, j) else (j, i) in
+      Hashtbl.replace tbl key (c +. Option.value ~default:0. (Hashtbl.find_opt tbl key)))
+    couplings;
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (i, j) _ ->
+      deg.(i) <- deg.(i) + 1;
+      deg.(j) <- deg.(j) + 1)
+    tbl;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let total = off.(n) in
+  let nbr = Array.make (max total 1) 0 and cpl = Array.make (max total 1) 0. in
+  let cursor = Array.copy off in
+  Hashtbl.iter
+    (fun (i, j) c ->
+      nbr.(cursor.(i)) <- j;
+      cpl.(cursor.(i)) <- c;
+      cursor.(i) <- cursor.(i) + 1;
+      nbr.(cursor.(j)) <- i;
+      cpl.(cursor.(j)) <- c;
+      cursor.(j) <- cursor.(j) + 1)
+    tbl;
+  { n; h = Array.copy h; off; nbr; cpl; offset }
+
+let local_field t spins i =
+  let f = ref t.h.(i) in
+  for k = t.off.(i) to t.off.(i + 1) - 1 do
+    f := !f +. (t.cpl.(k) *. float_of_int spins.(t.nbr.(k)))
+  done;
+  !f
+
+let energy t spins =
+  let e = ref t.offset in
+  for i = 0 to t.n - 1 do
+    e := !e +. (t.h.(i) *. float_of_int spins.(i));
+    for k = t.off.(i) to t.off.(i + 1) - 1 do
+      let j = t.nbr.(k) in
+      if j > i then e := !e +. (t.cpl.(k) *. float_of_int (spins.(i) * spins.(j)))
+    done
+  done;
+  !e

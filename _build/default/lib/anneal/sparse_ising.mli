@@ -1,0 +1,22 @@
+(** Sparse Ising problem over an arbitrary spin set, in CSR-like form for the
+    sampler's hot loop. *)
+
+type t = {
+  n : int;
+  h : float array;
+  (* CSR adjacency: for spin i, neighbours nbr.(off.(i) .. off.(i+1)-1) with
+     couplings cpl at the same positions *)
+  off : int array;
+  nbr : int array;
+  cpl : float array;
+  offset : float;
+}
+
+val build : n:int -> h:float array -> couplings:((int * int) * float) list -> offset:float -> t
+(** [couplings] keys need not be deduplicated; repeated pairs accumulate. *)
+
+val energy : t -> int array -> float
+(** Energy of a ±1 spin configuration. *)
+
+val local_field : t -> int array -> int -> float
+(** [h_i + Σ_j J_ij s_j], the field seen by spin [i]. *)

@@ -1,0 +1,16 @@
+type t = {
+  anneal_us : float;
+  readout_us : float;
+  delay_us : float;
+  programming_us : float;
+}
+
+let d_wave_2000q = { anneal_us = 20.; readout_us = 110.; delay_us = 20.; programming_us = 8. }
+
+let single_sample_us t = t.programming_us +. t.anneal_us +. t.readout_us
+
+let multi_sample_us t ~samples =
+  if samples < 1 then invalid_arg "Timing.multi_sample_us";
+  t.programming_us
+  +. ((t.anneal_us +. t.readout_us) *. float_of_int samples)
+  +. (t.delay_us *. float_of_int (samples - 1))

@@ -1,0 +1,24 @@
+(** Analytic QA timing model (paper §VI-A setup and Fig. 1).
+
+    Wall-clock per annealing cycle on D-Wave 2000Q: 20 µs anneal + 110 µs
+    readout, with a 20 µs re-thermalisation delay between consecutive samples
+    and a one-off programming cost when a new problem is loaded. *)
+
+type t = {
+  anneal_us : float;
+  readout_us : float;
+  delay_us : float;
+  programming_us : float;
+}
+
+val d_wave_2000q : t
+(** anneal 20 µs, readout 110 µs, delay 20 µs, programming 8 µs. *)
+
+val single_sample_us : t -> float
+(** Programming + one anneal + one readout (the HyQSAT mode: one sample per
+    call, ≈ 130 µs). *)
+
+val multi_sample_us : t -> samples:int -> float
+(** Full multi-sample access time, the Fig. 1 formula:
+    [(anneal + readout) × samples + delay × (samples - 1)] plus
+    programming. *)

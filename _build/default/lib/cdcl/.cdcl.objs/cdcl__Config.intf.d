@@ -1,0 +1,1 @@
+lib/cdcl/config.mli:

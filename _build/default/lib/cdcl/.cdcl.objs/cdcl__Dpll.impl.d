@@ -1,0 +1,1 @@
+lib/cdcl/dpll.ml: Array List Sat Solver

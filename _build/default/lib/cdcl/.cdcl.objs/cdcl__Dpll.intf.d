@@ -1,0 +1,1 @@
+lib/cdcl/dpll.mli: Sat Solver

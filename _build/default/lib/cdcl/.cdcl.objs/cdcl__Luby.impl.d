@@ -1,0 +1,1 @@
+lib/cdcl/luby.ml:

@@ -1,0 +1,1 @@
+lib/cdcl/solver.ml: Array Config Float Hashtbl List Luby Queue Sat Stats Var_heap Vec

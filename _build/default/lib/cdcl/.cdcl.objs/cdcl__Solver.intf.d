@@ -1,0 +1,1 @@
+lib/cdcl/solver.mli: Config Sat

@@ -1,0 +1,1 @@
+lib/cdcl/var_heap.ml: Array Fun

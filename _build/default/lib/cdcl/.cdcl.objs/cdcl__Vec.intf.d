@@ -1,0 +1,1 @@
+lib/cdcl/vec.mli:

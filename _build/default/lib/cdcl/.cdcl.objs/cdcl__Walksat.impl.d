@@ -1,0 +1,1 @@
+lib/cdcl/walksat.ml: Array List Sat Stats

@@ -1,0 +1,1 @@
+lib/cdcl/walksat.mli: Sat Stats

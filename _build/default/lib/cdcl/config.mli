@@ -1,0 +1,37 @@
+(** Solver configuration.
+
+    Two presets model the paper's two classical baselines:
+    {!minisat_like} (VSIDS + Luby restarts, MiniSAT 2.2 defaults) and
+    {!kissat_like} (CHB-style bandit heuristic + EMA-driven restarts, the
+    ingredients the paper attributes to KisSAT [14], [40]). *)
+
+type heuristic =
+  | Vsids  (** exponential VSIDS with activity decay *)
+  | Chb  (** conflict-history-based multi-armed-bandit scores *)
+
+type restart_policy =
+  | Luby_restarts of int  (** base conflict interval *)
+  | Ema_restarts of { fast : float; slow : float; margin : float }
+      (** restart when fast LBD average exceeds [margin] × slow average *)
+  | No_restarts
+
+type t = {
+  heuristic : heuristic;
+  restart : restart_policy;
+  var_decay : float;  (** VSIDS activity decay (e.g. 0.95) *)
+  clause_decay : float;  (** learnt-clause activity decay *)
+  phase_saving : bool;
+  random_polarity_freq : float;  (** probability of a random polarity pick *)
+  reduce_db : bool;  (** periodically delete weak learnt clauses *)
+  learntsize_factor : float;  (** initial learnt budget = factor × #clauses *)
+  log_proof : bool;  (** record a DRAT proof ({!Solver.proof}) *)
+  seed : int;
+}
+
+val minisat_like : t
+val kissat_like : t
+val default : t
+(** [minisat_like]. *)
+
+val with_seed : int -> t -> t
+val with_proof_logging : t -> t

@@ -1,0 +1,79 @@
+type stats = { decisions : int; propagations : int; backtracks : int }
+
+exception Budget
+
+let solve ?(max_decisions = max_int) f =
+  let n = Sat.Cnf.num_vars f in
+  let assign = Sat.Assignment.create n in
+  let decisions = ref 0 and propagations = ref 0 and backtracks = ref 0 in
+  (* returns the literals it assigned, or None on conflict *)
+  let propagate () =
+    let assigned = ref [] in
+    let changed = ref true in
+    let conflict = ref false in
+    while !changed && not !conflict do
+      changed := false;
+      Sat.Cnf.iter_clauses
+        (fun _ c ->
+          if not !conflict then
+            match Sat.Assignment.clause_status assign c with
+            | `Falsified -> conflict := true
+            | `Unit l ->
+                Sat.Assignment.set assign (Sat.Lit.var l) (Sat.Lit.is_pos l);
+                incr propagations;
+                assigned := Sat.Lit.var l :: !assigned;
+                changed := true
+            | `Satisfied | `Unresolved -> ())
+        f
+    done;
+    if !conflict then begin
+      List.iter (Sat.Assignment.unset assign) !assigned;
+      None
+    end
+    else Some !assigned
+  in
+  (* branching: unassigned variable with the most occurrences *)
+  let pick () =
+    let best = ref (-1) and best_count = ref (-1) in
+    for v = 0 to n - 1 do
+      if Sat.Assignment.value assign v = Sat.Assignment.Unassigned then begin
+        let count = List.length (Sat.Cnf.clauses_of_var f v) in
+        if count > !best_count then begin
+          best := v;
+          best_count := count
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec search () =
+    match propagate () with
+    | None -> false
+    | Some propagated -> (
+        let undo_and_fail () =
+          List.iter (Sat.Assignment.unset assign) propagated;
+          incr backtracks;
+          false
+        in
+        match pick () with
+        | None ->
+            if Sat.Assignment.satisfies assign f then true else undo_and_fail ()
+        | Some v ->
+            incr decisions;
+            if !decisions > max_decisions then raise Budget;
+            let try_value b =
+              Sat.Assignment.set assign v b;
+              let ok = search () in
+              if not ok then Sat.Assignment.unset assign v;
+              ok
+            in
+            if try_value true || try_value false then true else undo_and_fail ())
+  in
+  let result =
+    try
+      if Sat.Cnf.num_clauses f = 0 then Solver.Sat (Array.make n false)
+      else if search () then Solver.Sat (Sat.Assignment.to_bools assign ~default:false)
+      else Solver.Unsat
+    with Budget -> Solver.Unknown
+  in
+  (result, { decisions = !decisions; propagations = !propagations; backtracks = !backtracks })

@@ -1,0 +1,17 @@
+(* classic MiniSAT formulation, 0-based internally *)
+let luby i =
+  if i < 1 then invalid_arg "Luby.luby";
+  let x = ref (i - 1) in
+  let size = ref 1 and seq = ref 0 in
+  while !size < !x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let restart_limit ~base k = base * luby k

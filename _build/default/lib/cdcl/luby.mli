@@ -1,0 +1,8 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+
+val luby : int -> int
+(** [luby i] is the [i]-th element of the sequence, [i >= 1]. *)
+
+val restart_limit : base:int -> int -> int
+(** [restart_limit ~base k] is the conflict budget of the [k]-th restart
+    (1-based): [base * luby k]. *)

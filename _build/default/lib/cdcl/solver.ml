@@ -1,0 +1,643 @@
+type result = Sat of bool array | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_clauses : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+  iterations : int;
+  max_decision_level : int;
+}
+
+(* clause arena entry; [origin] indexes the original formula, -1 for learnt *)
+type cls = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  origin : int;
+  mutable deleted : bool;
+}
+
+let dummy_cls = { lits = [||]; activity = 0.; learnt = false; origin = -1; deleted = true }
+
+type t = {
+  config : Config.t;
+  rng : Stats.Rng.t;
+  n : int;
+  num_original : int;
+  (* assignment state: +1 true, -1 false, 0 undef *)
+  assigns : int array;
+  level : int array;
+  reason : cls array; (* dummy_cls = no reason *)
+  polarity : bool array;
+  trail : int Vec.t; (* literals *)
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  watches : cls Vec.t array; (* indexed by literal *)
+  mutable learnts : cls Vec.t;
+  (* decision heuristics *)
+  var_act : float array; (* VSIDS activity or CHB Q score *)
+  mutable var_inc : float;
+  heap : Var_heap.t;
+  (* CHB bookkeeping *)
+  mutable chb_alpha : float;
+  chb_last_conflict : int array;
+  (* clause learning *)
+  mutable cla_inc : float;
+  seen : bool array;
+  (* paper instrumentation *)
+  clause_score : float array;
+  visits_prop : int array;
+  visits_confl : int array;
+  original_cls : cls array; (* original clause index -> arena clause *)
+  (* priority decisions injected by the hybrid backend *)
+  forced_queue : int Queue.t;
+  (* incremental-solving assumptions, assumed in order before any decision *)
+  mutable assumptions : int array;
+  (* restart control *)
+  mutable restart_pending : bool;
+  mutable conflicts_since_restart : int;
+  mutable restart_k : int;
+  mutable ema_fast : float;
+  mutable ema_slow : float;
+  mutable max_learnts : float;
+  (* counters *)
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable s_conflicts : int;
+  mutable s_restarts : int;
+  mutable s_learnt_clauses : int;
+  mutable s_learnt_literals : int;
+  mutable s_deleted : int;
+  mutable s_iterations : int;
+  mutable s_max_level : int;
+  (* DRAT proof, reversed (config.log_proof) *)
+  mutable proof_rev : Sat.Drat.step list;
+  (* terminal state *)
+  mutable status : result;
+}
+
+let lit_sign l = if Sat.Lit.is_pos l then 1 else -1
+let value_lit t l = t.assigns.(Sat.Lit.var l) * lit_sign l
+let value_var t v = t.assigns.(v)
+let decision_level t = Vec.size t.trail_lim
+
+let log_proof t step =
+  if t.config.Config.log_proof then t.proof_rev <- step :: t.proof_rev
+
+let num_vars t = t.n
+let num_original_clauses t = t.num_original
+
+let create ?(config = Config.default) (f : Sat.Cnf.t) =
+  let n = Sat.Cnf.num_vars f in
+  let m = Sat.Cnf.num_clauses f in
+  let var_act = Array.make (max n 1) 0. in
+  let t =
+    {
+      config;
+      rng = Stats.Rng.create ~seed:config.Config.seed;
+      n;
+      num_original = m;
+      assigns = Array.make (max n 1) 0;
+      level = Array.make (max n 1) 0;
+      reason = Array.make (max n 1) dummy_cls;
+      polarity = Array.make (max n 1) false;
+      trail = Vec.create ~capacity:(max n 16) ~dummy:0 ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      watches = Array.init (max (2 * n) 1) (fun _ -> Vec.create ~dummy:dummy_cls ());
+      learnts = Vec.create ~dummy:dummy_cls ();
+      var_act;
+      var_inc = 1.0;
+      heap = Var_heap.create n var_act;
+      chb_alpha = 0.4;
+      chb_last_conflict = Array.make (max n 1) 0;
+      cla_inc = 1.0;
+      seen = Array.make (max n 1) false;
+      clause_score = Array.make (max m 1) 1.0;
+      visits_prop = Array.make (max m 1) 0;
+      visits_confl = Array.make (max m 1) 0;
+      original_cls = Array.make (max m 1) dummy_cls;
+      forced_queue = Queue.create ();
+      assumptions = [||];
+      restart_pending = false;
+      conflicts_since_restart = 0;
+      restart_k = 1;
+      ema_fast = 0.;
+      ema_slow = 0.;
+      max_learnts = float_of_int m *. config.Config.learntsize_factor;
+      s_decisions = 0;
+      s_propagations = 0;
+      s_conflicts = 0;
+      s_restarts = 0;
+      s_learnt_clauses = 0;
+      s_learnt_literals = 0;
+      s_deleted = 0;
+      s_iterations = 0;
+      s_max_level = 0;
+      proof_rev = [];
+      status = Unknown;
+    }
+  in
+  (* install original clauses *)
+  let pending_units = ref [] in
+  Sat.Cnf.iter_clauses
+    (fun i c ->
+      if Sat.Clause.is_tautology c then ()
+      else
+        let lits = Sat.Clause.to_array c in
+        match Array.length lits with
+        | 0 ->
+            log_proof t (Sat.Drat.Add []);
+            t.status <- Unsat
+        | 1 -> pending_units := (i, lits.(0)) :: !pending_units
+        | _ ->
+            let cls = { lits; activity = 0.; learnt = false; origin = i; deleted = false } in
+            t.original_cls.(i) <- cls;
+            Vec.push t.watches.(lits.(0)) cls;
+            Vec.push t.watches.(lits.(1)) cls)
+    f;
+  (* enqueue unit clauses at level 0 *)
+  List.iter
+    (fun (_, l) ->
+      if t.status = Unknown then
+        match value_lit t l with
+        | 1 -> ()
+        | -1 ->
+            log_proof t (Sat.Drat.Add []);
+            t.status <- Unsat
+        | _ ->
+            t.assigns.(Sat.Lit.var l) <- lit_sign l;
+            t.level.(Sat.Lit.var l) <- 0;
+            Vec.push t.trail l)
+    (List.rev !pending_units);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* activity management                                                  *)
+
+let var_rescale t =
+  for v = 0 to t.n - 1 do
+    t.var_act.(v) <- t.var_act.(v) *. 1e-100
+  done;
+  t.var_inc <- t.var_inc *. 1e-100;
+  Var_heap.rebuild t.heap
+
+let bump_var_internal t v amount =
+  t.var_act.(v) <- t.var_act.(v) +. amount;
+  if t.var_act.(v) > 1e100 then var_rescale t;
+  Var_heap.notify_increase t.heap v
+
+let bump_var t v amount = bump_var_internal t v (amount *. t.var_inc)
+
+let decay_var_activity t =
+  match t.config.Config.heuristic with
+  | Config.Vsids -> t.var_inc <- t.var_inc /. t.config.Config.var_decay
+  | Config.Chb -> ()
+
+let chb_update t v participated =
+  (* conflict-history-based bandit reward (Liang et al., simplified) *)
+  let multiplier = if participated then 1.0 else 0.9 in
+  let age = float_of_int (t.s_conflicts - t.chb_last_conflict.(v) + 1) in
+  let reward = multiplier /. age in
+  t.var_act.(v) <- ((1. -. t.chb_alpha) *. t.var_act.(v)) +. (t.chb_alpha *. reward);
+  Var_heap.notify_increase t.heap v
+
+let bump_cla t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_cla_activity t = t.cla_inc <- t.cla_inc /. t.config.Config.clause_decay
+
+(* paper §IV-A: activity score of clauses involved in conflict resolution *)
+let bump_clause_score t c =
+  if c.origin >= 0 then begin
+    t.clause_score.(c.origin) <- t.clause_score.(c.origin) +. 1.0;
+    t.visits_confl.(c.origin) <- t.visits_confl.(c.origin) + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* assignment & propagation                                             *)
+
+let enqueue t l reason =
+  let v = Sat.Lit.var l in
+  t.assigns.(v) <- lit_sign l;
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Vec.push t.trail l;
+  if reason != dummy_cls then begin
+    t.s_propagations <- t.s_propagations + 1;
+    if reason.origin >= 0 then
+      t.visits_prop.(reason.origin) <- t.visits_prop.(reason.origin) + 1
+  end
+
+let propagate t =
+  let conflict = ref dummy_cls in
+  while !conflict == dummy_cls && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    let not_p = Sat.Lit.negate p in
+    let ws = t.watches.(not_p) in
+    (* manual in-place compaction over the watch list *)
+    let i = ref 0 and j = ref 0 in
+    let n_ws = Vec.size ws in
+    while !i < n_ws do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.deleted then () (* drop lazily *)
+      else begin
+        if c.origin >= 0 then t.visits_prop.(c.origin) <- t.visits_prop.(c.origin) + 1;
+        (* ensure the false literal is at position 1 *)
+        if c.lits.(0) = not_p then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- not_p
+        end;
+        let first = c.lits.(0) in
+        if value_lit t first = 1 then begin
+          (* clause already satisfied; keep the watch *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let k = ref 2 and found = ref false in
+          let len = Array.length c.lits in
+          while (not !found) && !k < len do
+            if value_lit t c.lits.(!k) <> -1 then found := true else incr k
+          done;
+          if !found then begin
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- not_p;
+            Vec.push t.watches.(c.lits.(1)) c
+            (* watch moved: do not keep in ws *)
+          end
+          else begin
+            (* unit or conflicting *)
+            Vec.set ws !j c;
+            incr j;
+            if value_lit t first = -1 then begin
+              conflict := c;
+              t.qhead <- Vec.size t.trail;
+              (* copy the remaining watches back *)
+              while !i < n_ws do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done
+            end
+            else enqueue t first c
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  if !conflict == dummy_cls then None else Some !conflict
+
+(* ------------------------------------------------------------------ *)
+(* backtracking                                                         *)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Sat.Lit.var l in
+      if t.config.Config.heuristic = Config.Chb then
+        chb_update t v (t.chb_last_conflict.(v) = t.s_conflicts);
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- dummy_cls;
+      if t.config.Config.phase_saving then t.polarity.(v) <- Sat.Lit.is_pos l;
+      Var_heap.insert t.heap v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* ------------------------------------------------------------------ *)
+(* conflict analysis (first UIP)                                        *)
+
+let lit_redundant t l =
+  (* non-recursive approximation of MiniSAT's minimisation: the literal is
+     redundant if its reason exists and all antecedent literals are already
+     seen or assigned at level 0 *)
+  let v = Sat.Lit.var l in
+  let r = t.reason.(v) in
+  r != dummy_cls
+  && Array.for_all
+       (fun q ->
+         let w = Sat.Lit.var q in
+         w = v || t.seen.(w) || t.level.(w) = 0)
+       r.lits
+
+let analyze t conflict =
+  let learnt = ref [] in
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size t.trail - 1) in
+  let c = ref conflict in
+  let dl = decision_level t in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then bump_cla t !c;
+    bump_clause_score t !c;
+    Array.iter
+      (fun q ->
+        let v = Sat.Lit.var q in
+        if (!p = -1 || v <> Sat.Lit.var !p) && (not t.seen.(v)) && t.level.(v) > 0 then begin
+          t.seen.(v) <- true;
+          (match t.config.Config.heuristic with
+          | Config.Vsids -> bump_var_internal t v t.var_inc
+          | Config.Chb -> t.chb_last_conflict.(v) <- t.s_conflicts);
+          if t.level.(v) >= dl then incr path_c else learnt := q :: !learnt
+        end)
+      !c.lits;
+    (* walk the trail back to the next marked literal *)
+    while not t.seen.(Sat.Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    t.seen.(Sat.Lit.var !p) <- false;
+    decr path_c;
+    if !path_c <= 0 then continue := false else c := t.reason.(Sat.Lit.var !p)
+  done;
+  let uip = Sat.Lit.negate !p in
+  (* clause minimisation *)
+  let tail = List.filter (fun l -> not (lit_redundant t l)) !learnt in
+  (* clear the seen markers *)
+  List.iter (fun l -> t.seen.(Sat.Lit.var l) <- false) !learnt;
+  (* compute backjump level & put a highest-level literal second *)
+  let tail = List.sort (fun a b -> compare t.level.(Sat.Lit.var b) t.level.(Sat.Lit.var a)) tail in
+  let back_level = match tail with [] -> 0 | l :: _ -> t.level.(Sat.Lit.var l) in
+  (Array.of_list (uip :: tail), back_level)
+
+(* lbd of a learnt clause: number of distinct decision levels *)
+let lbd t lits =
+  let tbl = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace tbl t.level.(Sat.Lit.var l) ()) lits;
+  Hashtbl.length tbl
+
+let record_learnt t lits =
+  log_proof t (Sat.Drat.Add (Array.to_list lits));
+  t.s_learnt_clauses <- t.s_learnt_clauses + 1;
+  t.s_learnt_literals <- t.s_learnt_literals + Array.length lits;
+  if Array.length lits = 1 then enqueue t lits.(0) dummy_cls
+  else begin
+    let c = { lits; activity = 0.; learnt = true; origin = -1; deleted = false } in
+    bump_cla t c;
+    Vec.push t.learnts c;
+    Vec.push t.watches.(lits.(0)) c;
+    Vec.push t.watches.(lits.(1)) c;
+    enqueue t lits.(0) c
+  end
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Sat.Lit.var c.lits.(0) in
+  t.reason.(v) == c && value_lit t c.lits.(0) = 1
+
+let reduce_db t =
+  (* keep binary, locked and the more active half *)
+  let arr = Array.init (Vec.size t.learnts) (fun i -> Vec.get t.learnts i) in
+  Array.sort (fun a b -> Float.compare a.activity b.activity) arr;
+  let limit = t.cla_inc /. float_of_int (max 1 (Array.length arr)) in
+  let n_half = Array.length arr / 2 in
+  Array.iteri
+    (fun i c ->
+      if
+        Array.length c.lits > 2
+        && (not (locked t c))
+        && (i < n_half || c.activity < limit)
+      then begin
+        c.deleted <- true;
+        log_proof t (Sat.Drat.Delete (Array.to_list c.lits));
+        t.s_deleted <- t.s_deleted + 1
+      end)
+    arr;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+
+(* ------------------------------------------------------------------ *)
+(* restarts                                                             *)
+
+let note_conflict_for_restarts t clause_lbd =
+  t.conflicts_since_restart <- t.conflicts_since_restart + 1;
+  match t.config.Config.restart with
+  | Config.No_restarts -> ()
+  | Config.Luby_restarts base ->
+      if t.conflicts_since_restart >= Luby.restart_limit ~base t.restart_k then
+        t.restart_pending <- true
+  | Config.Ema_restarts { fast; slow; margin } ->
+      let l = float_of_int clause_lbd in
+      t.ema_fast <- t.ema_fast +. (fast *. (l -. t.ema_fast));
+      t.ema_slow <- t.ema_slow +. (slow *. (l -. t.ema_slow));
+      if
+        t.conflicts_since_restart > 50
+        && t.ema_fast > margin *. t.ema_slow
+      then t.restart_pending <- true
+
+let apply_restart t =
+  t.restart_pending <- false;
+  t.conflicts_since_restart <- 0;
+  t.restart_k <- t.restart_k + 1;
+  t.ema_fast <- 0.;
+  t.ema_slow <- 0.;
+  t.s_restarts <- t.s_restarts + 1;
+  cancel_until t 0
+
+(* ------------------------------------------------------------------ *)
+(* decisions                                                            *)
+
+let pick_branch_var t =
+  (* priority queue injected by the hybrid backend first *)
+  let rec from_forced () =
+    if Queue.is_empty t.forced_queue then None
+    else
+      let v = Queue.pop t.forced_queue in
+      if value_var t v = 0 then Some v else from_forced ()
+  in
+  match from_forced () with
+  | Some v -> Some v
+  | None ->
+      let rec from_heap () =
+        if Var_heap.is_empty t.heap then None
+        else
+          let v = Var_heap.pop_max t.heap in
+          if value_var t v = 0 then Some v else from_heap ()
+      in
+      from_heap ()
+
+let decide t v =
+  t.s_decisions <- t.s_decisions + 1;
+  let sign =
+    if
+      t.config.Config.random_polarity_freq > 0.
+      && Stats.Rng.float t.rng 1.0 < t.config.Config.random_polarity_freq
+    then Stats.Rng.bool t.rng
+    else t.polarity.(v)
+  in
+  Vec.push t.trail_lim (Vec.size t.trail);
+  enqueue t (Sat.Lit.make v sign) dummy_cls;
+  if decision_level t > t.s_max_level then t.s_max_level <- decision_level t
+
+let extract_model t = Array.init t.n (fun v -> t.assigns.(v) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* main loop                                                            *)
+
+exception Assumptions_falsified
+
+let step t =
+  match t.status with
+  | Sat m -> `Sat m
+  | Unsat -> `Unsat
+  | Unknown -> (
+      t.s_iterations <- t.s_iterations + 1;
+      match propagate t with
+      | Some conflict ->
+          t.s_conflicts <- t.s_conflicts + 1;
+          if t.config.Config.heuristic = Config.Chb then
+            t.chb_alpha <- Float.max 0.06 (t.chb_alpha -. 1e-6);
+          if decision_level t = 0 then begin
+            log_proof t (Sat.Drat.Add []);
+            t.status <- Unsat;
+            `Unsat
+          end
+          else begin
+            let lits, back_level = analyze t conflict in
+            note_conflict_for_restarts t (lbd t lits);
+            cancel_until t back_level;
+            record_learnt t lits;
+            decay_var_activity t;
+            decay_cla_activity t;
+            if
+              t.config.Config.reduce_db
+              && float_of_int (Vec.size t.learnts) > t.max_learnts
+            then begin
+              reduce_db t;
+              t.max_learnts <- t.max_learnts *. 1.3
+            end;
+            `Continue
+          end
+      | None ->
+          if Vec.size t.trail = t.n then begin
+            if Array.exists (fun l -> value_lit t l = -1) t.assumptions then
+              raise Assumptions_falsified;
+            let m = extract_model t in
+            t.status <- Sat m;
+            `Sat m
+          end
+          else begin
+            if t.restart_pending then apply_restart t;
+            (* assumptions are standing forced decisions: re-assume the first
+               one that is currently unassigned; a falsified assumption makes
+               the instance unsat *under assumptions* *)
+            let rec next_assumption i =
+              if i >= Array.length t.assumptions then `None
+              else
+                let l = t.assumptions.(i) in
+                match value_lit t l with
+                | 1 -> next_assumption (i + 1)
+                | -1 -> `Falsified
+                | _ -> `Assume l
+            in
+            (match next_assumption 0 with
+            | `Falsified -> raise Assumptions_falsified
+            | `Assume l ->
+                t.s_decisions <- t.s_decisions + 1;
+                Vec.push t.trail_lim (Vec.size t.trail);
+                enqueue t l dummy_cls;
+                if decision_level t > t.s_max_level then t.s_max_level <- decision_level t
+            | `None -> (
+                match pick_branch_var t with
+                | Some v -> decide t v
+                | None ->
+                    (* all remaining vars assigned at level 0 but trail < n can
+                       not happen: heap holds every unassigned var *)
+                    assert false));
+            `Continue
+          end)
+
+let solve ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
+  let saturating_add a b = if a > max_int - b then max_int else a + b in
+  let conflict_budget = saturating_add t.s_conflicts max_conflicts in
+  let iteration_budget = saturating_add t.s_iterations max_iterations in
+  let rec loop () =
+    if t.s_conflicts >= conflict_budget || t.s_iterations >= iteration_budget then Unknown
+    else
+      match step t with
+      | `Continue -> loop ()
+      | `Sat m -> Sat m
+      | `Unsat -> Unsat
+  in
+  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown -> loop ()
+
+let solve_with_assumptions ?max_conflicts ?max_iterations t lits =
+  if t.status = Unsat then `Unsat
+  else begin
+    (* a previous Sat answer is no longer meaningful under new assumptions *)
+    t.status <- Unknown;
+    cancel_until t 0;
+    t.assumptions <- Array.of_list lits;
+    let finish r =
+      t.assumptions <- [||];
+      r
+    in
+    match solve ?max_conflicts ?max_iterations t with
+    | Sat m ->
+        (* the model honours the assumptions by construction *)
+        finish (`Sat m)
+    | Unsat -> finish `Unsat
+    | Unknown -> finish `Unknown
+    | exception Assumptions_falsified ->
+        cancel_until t 0;
+        t.status <- Unknown;
+        finish `Unsat_assumptions
+  end
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                            *)
+
+let stats t =
+  {
+    decisions = t.s_decisions;
+    propagations = t.s_propagations;
+    conflicts = t.s_conflicts;
+    restarts = t.s_restarts;
+    learnt_clauses = t.s_learnt_clauses;
+    learnt_literals = t.s_learnt_literals;
+    deleted_clauses = t.s_deleted;
+    iterations = t.s_iterations;
+    max_decision_level = t.s_max_level;
+  }
+
+let clause_activity t i = t.clause_score.(i)
+let clause_visits t i = (t.visits_prop.(i), t.visits_confl.(i))
+
+let clause_is_active t i =
+  let c = t.original_cls.(i) in
+  c != dummy_cls && not c.deleted
+
+let set_polarity t v b = t.polarity.(v) <- b
+let prioritize_vars t vars = List.iter (fun v -> Queue.push v t.forced_queue) vars
+
+let value t v =
+  match t.assigns.(v) with
+  | 1 -> Sat.Assignment.True
+  | -1 -> Sat.Assignment.False
+  | _ -> Sat.Assignment.Unassigned
+
+let trail_literals t = Vec.to_list t.trail
+let proof t = if t.config.Config.log_proof then Some (List.rev t.proof_rev) else None
+let model t = match t.status with Sat m -> Some m | _ -> None
+let is_decided t = match t.status with Unknown -> false | _ -> true
+
+let force_restart t = t.restart_pending <- true

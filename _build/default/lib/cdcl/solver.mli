@@ -1,0 +1,112 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    A from-scratch MiniSAT-style engine: two-watched-literal propagation,
+    first-UIP conflict analysis with clause minimisation, activity-ordered
+    decision heap (VSIDS or CHB), phase saving, Luby or EMA restarts, and
+    learnt-clause database reduction.
+
+    Beyond a classical solver, it exposes the instrumentation HyQSAT needs:
+    {ul
+    {- per-original-clause activity scores, bumped by a constant whenever the
+       clause participates in conflict resolution (paper §IV-A);}
+    {- per-original-clause visit counters split into propagation-step visits
+       and conflict-resolving visits (paper Fig. 5);}
+    {- a single-iteration {!step} API so a hybrid driver can interleave
+       quantum-annealer calls with the search;}
+    {- feedback hooks: {!set_polarity} (strategy 2 assignment hints),
+       {!prioritize_vars} and {!bump_var} (strategy 4 conflict steering).}} *)
+
+type t
+
+type result = Sat of bool array | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  propagations : int;  (** literals enqueued by unit propagation *)
+  conflicts : int;
+  restarts : int;
+  learnt_clauses : int;  (** total clauses learnt *)
+  learnt_literals : int;
+  deleted_clauses : int;
+  iterations : int;
+      (** paper-sense iterations: one decision / propagation / conflict-
+          resolving cycle ≙ one decision or one conflict *)
+  max_decision_level : int;
+}
+
+val create : ?config:Config.t -> Sat.Cnf.t -> t
+(** Build a solver over a formula.  Tautological input clauses are ignored
+    (they can never propagate); empty clauses make the instance trivially
+    unsatisfiable. *)
+
+val solve : ?max_conflicts:int -> ?max_iterations:int -> t -> result
+(** Run to completion or until a budget is exhausted ([Unknown]).  [solve]
+    may be called again after an [Unknown] to continue the search. *)
+
+val step : t -> [ `Continue | `Sat of bool array | `Unsat ]
+(** Advance the search by one iteration: propagate, then either resolve a
+    conflict (learn + backjump) or take one decision.  Restart and database
+    reduction policies run inside.  After [`Sat]/[`Unsat] further calls
+    return the same answer. *)
+
+val stats : t -> stats
+val num_vars : t -> int
+val num_original_clauses : t -> int
+
+(** {2 Paper instrumentation} *)
+
+val clause_activity : t -> int -> float
+(** Activity score of the [i]-th original clause (≥ 1.0). *)
+
+val clause_visits : t -> int -> int * int
+(** [(propagation_visits, conflict_visits)] of the [i]-th original clause. *)
+
+val clause_is_active : t -> int -> bool
+(** [false] once the original clause is satisfied at decision level 0. *)
+
+(** {2 Hybrid feedback hooks} *)
+
+val set_polarity : t -> Sat.Lit.var -> bool -> unit
+(** Override the saved phase: the next decision on this variable assigns the
+    given value (strategy 2: keep the annealer's assignment). *)
+
+val prioritize_vars : t -> Sat.Lit.var list -> unit
+(** Queue variables to be decided before any heap-ordered variable
+    (strategy 4: steer straight into the conflicting subproblem). *)
+
+val bump_var : t -> Sat.Lit.var -> float -> unit
+(** Add external activity to a variable. *)
+
+(** {2 Introspection} *)
+
+val value : t -> Sat.Lit.var -> Sat.Assignment.value
+val decision_level : t -> int
+val trail_literals : t -> Sat.Lit.t list
+(** Currently assigned literals in assignment order. *)
+
+val model : t -> bool array option
+(** The model, once [solve] returned [Sat]. *)
+
+val is_decided : t -> bool
+(** [true] once the search has concluded (SAT or UNSAT). *)
+
+val solve_with_assumptions :
+  ?max_conflicts:int ->
+  ?max_iterations:int ->
+  t ->
+  Sat.Lit.t list ->
+  [ `Sat of bool array | `Unsat | `Unsat_assumptions | `Unknown ]
+(** Incremental solving under assumptions (MiniSAT-style): the literals are
+    assumed, in order, before any heuristic decision.  [`Unsat_assumptions]
+    means the formula is satisfiable (as far as known) but not under these
+    assumptions; the solver remains usable afterwards, keeping everything it
+    learnt.  No minimal conflict core is extracted. *)
+
+val proof : t -> Sat.Drat.t option
+(** The DRAT derivation recorded so far, oldest step first; [None] unless
+    the configuration enabled [log_proof].  After an [Unsat] answer the
+    proof ends with the empty clause and passes {!Sat.Drat.check}. *)
+
+val force_restart : t -> unit
+(** Request a restart before the next decision (used by the hybrid backend
+    to apply fresh phase hints from the top of the search tree). *)

@@ -1,0 +1,72 @@
+type t = {
+  activity : float array;
+  heap : int array; (* heap positions -> var *)
+  pos : int array; (* var -> heap position, -1 if absent *)
+  mutable size : int;
+}
+
+let lt t v w = t.activity.(v) > t.activity.(w) (* max-heap *)
+
+let swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.pos.(vj) <- i;
+  t.pos.(vi) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && lt t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && lt t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let create n activity =
+  let t = { activity; heap = Array.init n Fun.id; pos = Array.init n Fun.id; size = n } in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let in_heap t v = t.pos.(v) >= 0
+let is_empty t = t.size = 0
+let size t = t.size
+
+let insert t v =
+  if not (in_heap t v) then begin
+    t.pos.(v) <- t.size;
+    t.heap.(t.size) <- v;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let pop_max t =
+  if t.size = 0 then raise Not_found;
+  let v = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.pos.(t.heap.(0)) <- 0;
+    sift_down t 0
+  end;
+  t.pos.(v) <- -1;
+  v
+
+let notify_increase t v = if in_heap t v then sift_up t t.pos.(v)
+
+let rebuild t =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done

@@ -1,0 +1,30 @@
+(** Max-heap of variables keyed by a mutable activity array.
+
+    The heap stores variable indices; ordering reads from the activity array
+    supplied at creation, so bumping activity only requires a {!decrease}/
+    {!increase} notification. *)
+
+type t
+
+val create : int -> float array -> t
+(** [create n activity] is a heap over variables [0..n-1] (initially all
+    present) ordered by [activity]. *)
+
+val in_heap : t -> int -> bool
+val is_empty : t -> bool
+val size : t -> int
+
+val insert : t -> int -> unit
+(** No-op when already present. *)
+
+val pop_max : t -> int
+(** Removes and returns the variable with maximal activity.
+    @raise Not_found if empty. *)
+
+val notify_increase : t -> int -> unit
+(** Re-establish heap order after the variable's activity increased. *)
+
+val rebuild : t -> unit
+(** Re-heapify everything (after a global rescale, order is preserved, so
+    this is rarely needed; provided for decay implementations that do not
+    preserve order). *)

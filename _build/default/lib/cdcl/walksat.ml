@@ -1,0 +1,71 @@
+type stats = { flips : int; restarts_used : int }
+
+let solve ?(max_flips = 10_000) ?(restarts = 10) ?(noise = 0.5) rng f =
+  let n = Sat.Cnf.num_vars f in
+  let m = Sat.Cnf.num_clauses f in
+  let total_flips = ref 0 in
+  let restarts_used = ref 0 in
+  let result = ref None in
+  let model = Array.make (max n 1) false in
+  let lit_true l = if Sat.Lit.is_pos l then model.(Sat.Lit.var l) else not model.(Sat.Lit.var l) in
+  let clause_sat k = Array.exists lit_true (Sat.Cnf.clause f k : Sat.Clause.t :> Sat.Lit.t array) in
+  let unsat_clauses () =
+    let acc = ref [] in
+    for k = m - 1 downto 0 do
+      if not (clause_sat k) then acc := k :: !acc
+    done;
+    !acc
+  in
+  (* break count: satisfied clauses that flipping v would falsify *)
+  let break_count v =
+    model.(v) <- not model.(v);
+    let broken =
+      List.fold_left
+        (fun acc k -> if clause_sat k then acc else acc + 1)
+        0
+        (Sat.Cnf.clauses_of_var f v)
+    in
+    model.(v) <- not model.(v);
+    broken
+  in
+  let attempt () =
+    for v = 0 to n - 1 do
+      model.(v) <- Stats.Rng.bool rng
+    done;
+    let flips = ref 0 in
+    let solved = ref (unsat_clauses () = []) in
+    while (not !solved) && !flips < max_flips do
+      (match unsat_clauses () with
+      | [] -> solved := true
+      | unsat ->
+          let k = List.nth unsat (Stats.Rng.int rng (List.length unsat)) in
+          let vars = Sat.Clause.vars (Sat.Cnf.clause f k) in
+          let v =
+            if Stats.Rng.float rng 1.0 < noise then
+              List.nth vars (Stats.Rng.int rng (List.length vars))
+            else
+              (* greedy: minimal break count *)
+              fst
+                (List.fold_left
+                   (fun (best, best_b) v ->
+                     let b = break_count v in
+                     if b < best_b then (v, b) else (best, best_b))
+                   (List.hd vars, break_count (List.hd vars))
+                   (List.tl vars))
+          in
+          model.(v) <- not model.(v));
+      incr flips;
+      incr total_flips
+    done;
+    !solved
+  in
+  (try
+     for _ = 1 to restarts do
+       incr restarts_used;
+       if attempt () then begin
+         result := Some (Array.copy model);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (!result, { flips = !total_flips; restarts_used = !restarts_used })

@@ -1,0 +1,19 @@
+(** WalkSAT stochastic local search.
+
+    The classical incomplete baseline (and the flavour of warm-up helper the
+    related-work solvers [12] bolt onto CDCL): pick an unsatisfied clause,
+    flip either the break-count-minimising variable or a random one.  Cannot
+    prove unsatisfiability. *)
+
+type stats = { flips : int; restarts_used : int }
+
+val solve :
+  ?max_flips:int ->
+  ?restarts:int ->
+  ?noise:float ->
+  Stats.Rng.t ->
+  Sat.Cnf.t ->
+  bool array option * stats
+(** [solve rng f] is [Some model] if local search finds one within
+    [restarts] × [max_flips] flips ([noise] = random-walk probability,
+    default 0.5); [None] is inconclusive. *)

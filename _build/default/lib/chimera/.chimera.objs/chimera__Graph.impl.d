@@ -1,0 +1,1 @@
+lib/chimera/graph.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/chimera/graph.mli:

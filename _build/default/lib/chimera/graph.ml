@@ -1,0 +1,106 @@
+type t = { rows : int; cols : int }
+
+type orientation = Vertical | Horizontal
+
+type qubit_coords = { row : int; col : int; orientation : orientation; index : int }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Chimera.Graph.create";
+  { rows; cols }
+
+let standard_2000q () = create ~rows:16 ~cols:16
+let rows t = t.rows
+let cols t = t.cols
+let num_qubits t = t.rows * t.cols * 8
+
+let num_couplers t =
+  (* 16 in-cell + 4 down per non-last row + 4 right per non-last col *)
+  (t.rows * t.cols * 16) + ((t.rows - 1) * t.cols * 4) + (t.rows * (t.cols - 1) * 4)
+
+let id_of_coords t { row; col; orientation; index } =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols || index < 0 || index > 3 then
+    invalid_arg "Chimera.Graph.id_of_coords";
+  (((row * t.cols) + col) * 8) + (match orientation with Vertical -> 0 | Horizontal -> 4) + index
+
+let coords_of_id t id =
+  if id < 0 || id >= num_qubits t then invalid_arg "Chimera.Graph.coords_of_id";
+  let cell = id / 8 and rest = id mod 8 in
+  {
+    row = cell / t.cols;
+    col = cell mod t.cols;
+    orientation = (if rest < 4 then Vertical else Horizontal);
+    index = rest mod 4;
+  }
+
+let adjacent t a b =
+  if a = b then false
+  else
+    let ca = coords_of_id t a and cb = coords_of_id t b in
+    match (ca.orientation, cb.orientation) with
+    | Vertical, Horizontal | Horizontal, Vertical ->
+        (* in-cell K4,4 coupler *)
+        ca.row = cb.row && ca.col = cb.col
+    | Vertical, Vertical ->
+        ca.col = cb.col && ca.index = cb.index && abs (ca.row - cb.row) = 1
+    | Horizontal, Horizontal ->
+        ca.row = cb.row && ca.index = cb.index && abs (ca.col - cb.col) = 1
+
+let neighbors t id =
+  let c = coords_of_id t id in
+  let acc = ref [] in
+  let push coords = acc := id_of_coords t coords :: !acc in
+  (match c.orientation with
+  | Vertical ->
+      for k = 0 to 3 do
+        push { c with orientation = Horizontal; index = k }
+      done;
+      if c.row > 0 then push { c with row = c.row - 1 };
+      if c.row < t.rows - 1 then push { c with row = c.row + 1 }
+  | Horizontal ->
+      for k = 0 to 3 do
+        push { c with orientation = Vertical; index = k }
+      done;
+      if c.col > 0 then push { c with col = c.col - 1 };
+      if c.col < t.cols - 1 then push { c with col = c.col + 1 });
+  List.rev !acc
+
+let num_vertical_lines t = t.cols * 4
+let num_horizontal_lines t = t.rows * 4
+let vline_col _ vl = vl / 4
+let hline_row _ hl = hl / 4
+
+let vertical_line_qubits t vl =
+  if vl < 0 || vl >= num_vertical_lines t then invalid_arg "vertical_line_qubits";
+  let col = vl / 4 and index = vl mod 4 in
+  List.init t.rows (fun row -> id_of_coords t { row; col; orientation = Vertical; index })
+
+let horizontal_line_qubits t hl =
+  if hl < 0 || hl >= num_horizontal_lines t then invalid_arg "horizontal_line_qubits";
+  let row = hl / 4 and index = hl mod 4 in
+  List.init t.cols (fun col -> id_of_coords t { row; col; orientation = Horizontal; index })
+
+let vline_of_qubit t id =
+  let c = coords_of_id t id in
+  match c.orientation with Vertical -> Some ((c.col * 4) + c.index) | Horizontal -> None
+
+let hline_of_qubit t id =
+  let c = coords_of_id t id in
+  match c.orientation with Horizontal -> Some ((c.row * 4) + c.index) | Vertical -> None
+
+let crossing t ~vline ~hline =
+  let col = vline / 4 and vk = vline mod 4 in
+  let row = hline / 4 and hk = hline mod 4 in
+  ( id_of_coords t { row; col; orientation = Vertical; index = vk },
+    id_of_coords t { row; col; orientation = Horizontal; index = hk } )
+
+let iter_couplers t f =
+  for id = 0 to num_qubits t - 1 do
+    List.iter (fun nb -> if nb > id then f id nb) (neighbors t id)
+  done
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph chimera {\n";
+  iter_couplers t (fun a b -> Buffer.add_string buf (Printf.sprintf "  q%d -- q%d;\n" a b));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Anneal Array Calibration Cdcl Frontend List Sat Stats Sys

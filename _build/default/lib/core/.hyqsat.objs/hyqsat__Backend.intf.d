@@ -1,0 +1,1 @@
+lib/core/backend.mli: Anneal Calibration Cdcl Frontend Sat

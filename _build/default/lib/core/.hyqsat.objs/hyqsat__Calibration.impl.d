@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Anneal Array Cdcl Clause_queue Embed List Qubo Sat Stats

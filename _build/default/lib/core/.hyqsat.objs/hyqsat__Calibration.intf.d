@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Anneal Chimera Stats

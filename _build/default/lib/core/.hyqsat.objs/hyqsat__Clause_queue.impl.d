@@ -1,0 +1,1 @@
+lib/core/clause_queue.ml: Array List Queue Sat Stats

@@ -1,0 +1,1 @@
+lib/core/clause_queue.mli: Sat Stats

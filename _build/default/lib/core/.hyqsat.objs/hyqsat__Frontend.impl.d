@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Anneal Chimera Clause_queue Embed Int List Qubo Sat Sys

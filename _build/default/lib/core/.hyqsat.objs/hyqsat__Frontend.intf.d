@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Anneal Chimera Sat Stats

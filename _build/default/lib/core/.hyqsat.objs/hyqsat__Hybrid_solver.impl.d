@@ -1,0 +1,1 @@
+lib/core/hybrid_solver.ml: Anneal Array Backend Calibration Cdcl Chimera Float Frontend Hashtbl List Option Sat Stats Sys

@@ -1,0 +1,1 @@
+lib/core/hybrid_solver.mli: Anneal Backend Calibration Cdcl Chimera Frontend Sat

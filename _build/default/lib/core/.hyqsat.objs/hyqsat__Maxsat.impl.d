@@ -1,0 +1,1 @@
+lib/core/maxsat.ml: Anneal Array Cdcl Frontend List Sat Stats

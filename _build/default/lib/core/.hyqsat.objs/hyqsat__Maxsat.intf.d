@@ -1,0 +1,1 @@
+lib/core/maxsat.mli: Anneal Chimera Sat Stats

@@ -1,0 +1,110 @@
+type t = {
+  model : Stats.Naive_bayes.t;
+  partition : Stats.Naive_bayes.partition;
+  sat_energies : float array;
+  unsat_energies : float array;
+}
+
+let paper_default =
+  let model =
+    {
+      Stats.Naive_bayes.sat = { Stats.Gaussian.mu = 1.8; sigma = 1.9 };
+      unsat = { Stats.Gaussian.mu = 9.5; sigma = 2.6 };
+      prior_sat = 0.5;
+    }
+  in
+  {
+    model;
+    partition = { Stats.Naive_bayes.sat_cut = 4.5; unsat_cut = 8.0 };
+    sat_energies = [||];
+    unsat_energies = [||];
+  }
+
+let simulator_default =
+  let model =
+    {
+      Stats.Naive_bayes.sat = { Stats.Gaussian.mu = 1.13; sigma = 1.13 };
+      unsat = { Stats.Gaussian.mu = 4.02; sigma = 2.26 };
+      prior_sat = 0.5;
+    }
+  in
+  {
+    model;
+    (* asymmetric cuts: strategy 2 hints are already energy-gated, while a
+       false strategy-4 steer on a satisfiable instance actively hurts — so
+       the unsatisfiable cut is taken at very high confidence (an SA sample
+       of a satisfiable queue rarely exceeds 6.5 even under noise) *)
+    partition = { Stats.Naive_bayes.sat_cut = 1.2; unsat_cut = 6.5 };
+    sat_energies = [||];
+    unsat_energies = [||];
+  }
+
+(* a random 3-SAT problem; [dense] raises the clause/variable ratio far past
+   the phase transition so the embedded subset is unsatisfiable with several
+   violated clauses at its optimum (the paper's unsatisfiable class) *)
+let random_problem rng ~dense =
+  let n = if dense then 8 + Stats.Rng.int rng 6 else 15 + Stats.Rng.int rng 26 in
+  let ratio = if dense then 7.0 +. Stats.Rng.float rng 3.0 else 3. +. Stats.Rng.float rng 1.2 in
+  let m = int_of_float (ratio *. float_of_int n) in
+  let clause () =
+    let vars = Stats.Rng.sample_without_replacement rng 3 n in
+    Sat.Clause.make (List.map (fun v -> Sat.Lit.make v (Stats.Rng.bool rng)) vars)
+  in
+  Sat.Cnf.make ~num_vars:n (List.init m (fun _ -> clause ()))
+
+(* anneal the embedded prefix of a problem once; the label is the prefix
+   subformula's true satisfiability — exactly the population the backend
+   classifies at run time *)
+let labeled_energy ?(adjust = true) rng graph noise f =
+  let queue = Clause_queue.generate rng f ~activity:(fun _ -> 1.0) ~limit:250 in
+  let clauses = List.map (Sat.Cnf.clause f) queue in
+  let enc = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) clauses in
+  let res = Embed.Hyqsat_scheme.embed graph enc in
+  let embedded = res.Embed.Hyqsat_scheme.embedded_clauses in
+  if embedded = 0 then None
+  else begin
+    let prefix = List.filteri (fun i _ -> i < embedded) clauses in
+    let enc' = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) prefix in
+    if adjust then Qubo.Adjust.adjust enc';
+    let job =
+      {
+        Anneal.Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+        objective = Qubo.Encode.objective enc';
+        edges = res.Embed.Hyqsat_scheme.edges;
+      }
+    in
+    let energy = (Anneal.Machine.run ~noise rng job).Anneal.Machine.energy in
+    let sub = Sat.Cnf.make ~num_vars:(Sat.Cnf.num_vars f) prefix in
+    match Cdcl.Solver.solve (Cdcl.Solver.create sub) with
+    | Cdcl.Solver.Sat _ -> Some (energy, true)
+    | Cdcl.Solver.Unsat -> Some (energy, false)
+    | Cdcl.Solver.Unknown -> None
+  end
+
+let calibrate ?(problems = 60) ?(noise = Anneal.Noise.default_2000q) ?(confidence = 0.9)
+    ?(adjust = true) rng graph =
+  let sat = ref [] and unsat = ref [] in
+  let guard = ref 0 in
+  (* each class is drawn from its own population (the paper tests 1000
+     satisfiable and 1000 unsatisfiable problems separately); samples whose
+     prefix label does not match the intended class are discarded so a
+     barely-satisfiable dense instance cannot pollute the satisfiable class *)
+  while (List.length !sat < problems || List.length !unsat < problems)
+        && !guard < problems * 40 do
+    incr guard;
+    let want_unsat = List.length !unsat < problems in
+    let f = random_problem rng ~dense:want_unsat in
+    match (labeled_energy ~adjust rng graph noise f, want_unsat) with
+    | Some (e, false), true -> unsat := e :: !unsat
+    | Some (e, true), false -> if List.length !sat < problems then sat := e :: !sat
+    | _ -> ()
+  done;
+  let sat_energies = Array.of_list !sat in
+  let unsat_energies = Array.of_list !unsat in
+  let model = Stats.Naive_bayes.fit ~sat:sat_energies ~unsat:unsat_energies in
+  {
+    model;
+    partition = Stats.Naive_bayes.partition ~confidence model;
+    sat_energies;
+    unsat_energies;
+  }

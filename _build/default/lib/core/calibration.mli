@@ -1,0 +1,41 @@
+(** Energy-distribution calibration (paper §V-A, Fig. 8).
+
+    Random satisfiable and unsatisfiable 3-SAT problems are annealed; a
+    Gaussian Naive Bayes model is fitted to the two energy samples and the
+    energy axis partitioned into the four confidence intervals the backend
+    interprets. *)
+
+type t = {
+  model : Stats.Naive_bayes.t;
+  partition : Stats.Naive_bayes.partition;
+  sat_energies : float array;  (** calibration sample, satisfiable class *)
+  unsat_energies : float array;  (** calibration sample, unsatisfiable class *)
+}
+
+val paper_default : t
+(** The distribution the paper reports for D-Wave 2000Q: cut points at 4.5
+    (90 % satisfiable below) and 8 (90 % unsatisfiable above), with Gaussians
+    matching Fig. 8's shape.  Zero-cost — use when a full calibration run is
+    not wanted. *)
+
+val simulator_default : t
+(** Fitted to this repository's simulated annealer (fig8 bench, default
+    noise): the same three-interval structure on a compressed energy scale
+    (the SA device with post-processing leaves less residue than 2016-era
+    hardware).  This is the hybrid solver's default. *)
+
+val calibrate :
+  ?problems:int ->
+  ?noise:Anneal.Noise.t ->
+  ?confidence:float ->
+  ?adjust:bool ->
+  Stats.Rng.t ->
+  Chimera.Graph.t ->
+  t
+(** [calibrate rng graph] collects [problems] (default 60) energy samples
+    per class by embedding random problems' clause queues, annealing each
+    once under [noise], and labelling with the {e embedded subset's} true
+    satisfiability (decided classically).  Calibrating on embedded subsets
+    rather than whole problems matches the population the backend classifies
+    at run time; Fig. 8's 50–160-clause, 15–40-variable shape is preserved
+    through the queue generator. *)

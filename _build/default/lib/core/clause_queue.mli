@@ -1,0 +1,30 @@
+(** Clause-queue generation (paper §IV-A, Fig. 6).
+
+    The queue head is drawn at random from the clauses with top-30 activity
+    scores (conflict frequency, maintained by the CDCL solver); the rest of
+    the queue is a breadth-first traversal over shared variables, which
+    maximises variable locality for the embedder.  The traversal stops at
+    the hardware-capacity threshold. *)
+
+val generate :
+  ?top_k:int ->
+  ?var_budget:int ->
+  Stats.Rng.t ->
+  Sat.Cnf.t ->
+  activity:(int -> float) ->
+  limit:int ->
+  int list
+(** [generate rng f ~activity ~limit] is an ordered list of clause indices,
+    at most [limit] long.  [top_k] defaults to the paper's 30.
+
+    [var_budget] bounds the distinct variables in the queue (the hardware's
+    vertical-line count): a clause that would push the variable set past the
+    budget is skipped — but reconsidered on later encounters, since its
+    missing variables may have joined the set through other clauses.  This
+    is what lets a 64-line graph host ~10× more clauses than variables, as
+    in the paper's ≈170-clause capacity.  Returns [[]] for an empty
+    formula. *)
+
+val generate_random : Stats.Rng.t -> Sat.Cnf.t -> limit:int -> int list
+(** The Fig. 14 ablation baseline: a uniformly random clause subset (no
+    activity, no locality). *)

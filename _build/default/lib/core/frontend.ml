@@ -1,0 +1,54 @@
+type queue_mode = Activity_bfs | Random
+
+type prepared = {
+  job : Anneal.Machine.job;
+  clause_indices : int list;
+  vars_involved : int list;
+  all_clauses_embedded : bool;
+  cpu_time_s : float;
+}
+
+let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity =
+  let t0 = Sys.time () in
+  let limit = Embed.Hyqsat_scheme.capacity_estimate graph in
+  let var_budget = Chimera.Graph.num_vertical_lines graph in
+  let queue =
+    match queue_mode with
+    | Activity_bfs -> Clause_queue.generate rng f ~activity ~limit ~var_budget
+    | Random -> Clause_queue.generate_random rng f ~limit
+  in
+  if queue = [] then None
+  else begin
+    let clauses = List.map (Sat.Cnf.clause f) queue in
+    let enc = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) clauses in
+    let res = Embed.Hyqsat_scheme.embed graph enc in
+    let embedded = res.Embed.Hyqsat_scheme.embedded_clauses in
+    if embedded = 0 then None
+    else begin
+      (* re-encode just the embedded prefix (auxiliary numbering of a prefix
+         is a prefix of the full numbering, so the embedding stays aligned) *)
+      let prefix_clauses = List.filteri (fun i _ -> i < embedded) clauses in
+      let enc' = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) prefix_clauses in
+      if adjust then Qubo.Adjust.adjust enc';
+      let job =
+        {
+          Anneal.Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+          objective = Qubo.Encode.objective enc';
+          edges = res.Embed.Hyqsat_scheme.edges;
+        }
+      in
+      let clause_indices = List.filteri (fun i _ -> i < embedded) queue in
+      let vars_involved =
+        List.sort_uniq Int.compare
+          (List.concat_map (fun k -> Sat.Clause.vars (Sat.Cnf.clause f k)) clause_indices)
+      in
+      Some
+        {
+          job;
+          clause_indices;
+          vars_involved;
+          all_clauses_embedded = embedded = Sat.Cnf.num_clauses f;
+          cpu_time_s = Sys.time () -. t0;
+        }
+    end
+  end

@@ -1,0 +1,28 @@
+(** HyQSAT frontend: from CDCL state to a programmed QA job (paper §IV).
+
+    Pipeline per warm-up iteration: clause-queue generation (activity + BFS)
+    → QUBO encoding of the queue (Equations 3–5) → coefficient adjustment
+    (§IV-C) → linear-time hardware embedding (§IV-B). *)
+
+type queue_mode = Activity_bfs | Random
+(** [Random] is the Fig. 14 ablation. *)
+
+type prepared = {
+  job : Anneal.Machine.job;
+  clause_indices : int list;  (** original clause indices actually embedded *)
+  vars_involved : int list;  (** original variables in the embedded prefix *)
+  all_clauses_embedded : bool;
+      (** the job covers the entire formula — strategy 1 becomes possible *)
+  cpu_time_s : float;  (** measured frontend CPU time *)
+}
+
+val prepare :
+  ?queue_mode:queue_mode ->
+  ?adjust:bool ->
+  Stats.Rng.t ->
+  Chimera.Graph.t ->
+  Sat.Cnf.t ->
+  activity:(int -> float) ->
+  prepared option
+(** [None] when nothing could be embedded (e.g. empty formula).  [adjust]
+    (default [true]) applies the noise-optimising coefficient adjustment. *)

@@ -1,0 +1,176 @@
+type config = {
+  cdcl : Cdcl.Config.t;
+  graph : Chimera.Graph.t;
+  noise : Anneal.Noise.t;
+  timing : Anneal.Timing.t;
+  calibration : Calibration.t;
+  queue_mode : Frontend.queue_mode;
+  adjust_coefficients : bool;
+  strategies : Backend.enabled;
+  qa_period : int;
+  warmup_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    cdcl = Cdcl.Config.minisat_like;
+    graph = Chimera.Graph.standard_2000q ();
+    noise = Anneal.Noise.noise_free;
+    timing = Anneal.Timing.d_wave_2000q;
+    calibration = Calibration.simulator_default;
+    queue_mode = Frontend.Activity_bfs;
+    adjust_coefficients = true;
+    strategies = Backend.all_enabled;
+    qa_period = 1;
+    warmup_fraction = 1.0;
+    seed = 20230225;
+  }
+
+let noisy_config = { default_config with noise = Anneal.Noise.default_2000q }
+
+type report = {
+  result : Cdcl.Solver.result;
+  iterations : int;
+  warmup_iterations : int;
+  qa_calls : int;
+  qa_time_us : float;
+  frontend_time_s : float;
+  backend_time_s : float;
+  cdcl_time_s : float;
+  strategy_uses : int array;
+  solver_stats : Cdcl.Solver.stats;
+}
+
+let end_to_end_time_s r =
+  r.frontend_time_s +. (r.qa_time_us *. 1e-6) +. r.backend_time_s +. r.cdcl_time_s
+
+let end_to_end_pipelined_s r =
+  Float.max r.frontend_time_s (r.qa_time_us *. 1e-6) +. r.backend_time_s +. r.cdcl_time_s
+
+(* the paper estimates K from the numbers of variables and clauses; random
+   3-SAT hardness grows with the clause/variable ratio, so we use
+   K ≈ m · r with a floor — accurate to the order of magnitude on the
+   Table I suite, which is all √K needs *)
+let estimate_iterations f =
+  let m = float_of_int (Sat.Cnf.num_clauses f) in
+  let n = float_of_int (max 1 (Sat.Cnf.num_vars f)) in
+  let ratio = m /. n in
+  int_of_float (Float.max 16. (m *. ratio))
+
+let strategy_index = function
+  | Backend.S1_solved -> 0
+  | Backend.S2_keep_assignment -> 1
+  | Backend.S3_none -> 2
+  | Backend.S4_reach_conflict -> 3
+
+let solve ?(config = default_config) ?(max_iterations = max_int) f =
+  let rng = Stats.Rng.create ~seed:config.seed in
+  let solver = Cdcl.Solver.create ~config:config.cdcl f in
+  let warmup =
+    int_of_float
+      (config.warmup_fraction *. sqrt (float_of_int (estimate_iterations f)))
+  in
+  let qa_calls = ref 0 in
+  let qa_time_us = ref 0. in
+  let frontend_time = ref 0. in
+  let backend_time = ref 0. in
+  let cdcl_time = ref 0. in
+  let strategy_uses = Array.make 4 0 in
+  let solved_by_qa = ref None in
+  (* per-variable vote tally over every annealer sample: hints only flow for
+     variables with a stable majority, turning many weak subset samples into
+     a backbone-like signal *)
+  let votes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let iter = ref 0 in
+  let result = ref Cdcl.Solver.Unknown in
+  let running = ref true in
+  while !running && !iter < max_iterations do
+    (* warm-up: consult the annealer before stepping *)
+    if !iter < warmup && !iter mod config.qa_period = 0 && !solved_by_qa = None then begin
+      match
+        Frontend.prepare ~queue_mode:config.queue_mode ~adjust:config.adjust_coefficients
+          rng config.graph f
+          ~activity:(Cdcl.Solver.clause_activity solver)
+      with
+      | None -> ()
+      | Some prepared ->
+          frontend_time := !frontend_time +. prepared.Frontend.cpu_time_s;
+          let outcome =
+            Anneal.Machine.run ~noise:config.noise ~timing:config.timing rng
+              prepared.Frontend.job
+          in
+          incr qa_calls;
+          qa_time_us := !qa_time_us +. outcome.Anneal.Machine.time_us;
+          (* rate-limit phase hints: consecutive samples solve different
+             random subsets, and re-phasing every iteration oscillates *)
+          List.iter
+            (fun (v, b) ->
+              let cur = Option.value ~default:0 (Hashtbl.find_opt votes v) in
+              Hashtbl.replace votes v (cur + if b then 1 else -1))
+            outcome.Anneal.Machine.assignment;
+          let hint_filter v b =
+            match Hashtbl.find_opt votes v with
+            | Some margin -> if b then margin >= 4 else margin <= -4
+            | None -> false
+          in
+          let applied =
+            Backend.apply ~enabled:config.strategies ~hint_filter config.calibration solver
+              f prepared outcome
+          in
+          backend_time := !backend_time +. applied.Backend.cpu_time_s;
+          strategy_uses.(strategy_index applied.Backend.strategy) <-
+            strategy_uses.(strategy_index applied.Backend.strategy) + 1;
+          (match applied.Backend.solved with
+          | Some model -> solved_by_qa := Some model
+          | None -> ())
+    end;
+    (match !solved_by_qa with
+    | Some model ->
+        result := Cdcl.Solver.Sat model;
+        running := false
+    | None -> (
+        let t0 = Sys.time () in
+        let step = Cdcl.Solver.step solver in
+        cdcl_time := !cdcl_time +. (Sys.time () -. t0);
+        incr iter;
+        match step with
+        | `Continue -> ()
+        | `Sat m ->
+            result := Cdcl.Solver.Sat m;
+            running := false
+        | `Unsat ->
+            result := Cdcl.Solver.Unsat;
+            running := false))
+  done;
+  {
+    result = !result;
+    iterations = !iter;
+    warmup_iterations = min warmup !iter;
+    qa_calls = !qa_calls;
+    qa_time_us = !qa_time_us;
+    frontend_time_s = !frontend_time;
+    backend_time_s = !backend_time;
+    cdcl_time_s = !cdcl_time;
+    strategy_uses;
+    solver_stats = Cdcl.Solver.stats solver;
+  }
+
+let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int) f =
+  let solver = Cdcl.Solver.create ~config f in
+  let t0 = Sys.time () in
+  let result = Cdcl.Solver.solve ~max_iterations solver in
+  let elapsed = Sys.time () -. t0 in
+  let stats = Cdcl.Solver.stats solver in
+  {
+    result;
+    iterations = stats.Cdcl.Solver.iterations;
+    warmup_iterations = 0;
+    qa_calls = 0;
+    qa_time_us = 0.;
+    frontend_time_s = 0.;
+    backend_time_s = 0.;
+    cdcl_time_s = elapsed;
+    strategy_uses = Array.make 4 0;
+    solver_stats = stats;
+  }

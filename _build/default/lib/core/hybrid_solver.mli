@@ -1,0 +1,60 @@
+(** The HyQSAT hybrid solver (paper §III, Fig. 4).
+
+    A CDCL search whose first √K iterations (the warm-up stage, K being the
+    estimated classical iteration count) are guided by the quantum annealer:
+    each warm-up iteration sends the currently hardest clause queue through
+    the frontend, samples the annealer once, and applies the backend's
+    feedback strategy; afterwards the search continues as classic CDCL. *)
+
+type config = {
+  cdcl : Cdcl.Config.t;
+  graph : Chimera.Graph.t;
+  noise : Anneal.Noise.t;
+  timing : Anneal.Timing.t;
+  calibration : Calibration.t;
+  queue_mode : Frontend.queue_mode;
+  adjust_coefficients : bool;
+  strategies : Backend.enabled;
+  qa_period : int;  (** run the annealer every [qa_period] warm-up iterations *)
+  warmup_fraction : float;
+      (** warm-up length = [warmup_fraction × √K_est]; 1.0 = the paper *)
+  seed : int;
+}
+
+val default_config : config
+(** Noise-free annealer on the 16×16 graph, paper defaults everywhere. *)
+
+val noisy_config : config
+(** Same but with the {!Anneal.Noise.default_2000q} noise model — the
+    "real-world QA" mode of Table II. *)
+
+type report = {
+  result : Cdcl.Solver.result;
+  iterations : int;  (** CDCL iterations actually executed *)
+  warmup_iterations : int;  (** warm-up budget used *)
+  qa_calls : int;
+  qa_time_us : float;  (** modelled annealer wall-clock *)
+  frontend_time_s : float;  (** measured CPU *)
+  backend_time_s : float;  (** measured CPU *)
+  cdcl_time_s : float;  (** measured CPU of the classical search *)
+  strategy_uses : int array;  (** length 4: uses of strategies 1–4 *)
+  solver_stats : Cdcl.Solver.stats;
+}
+
+val end_to_end_time_s : report -> float
+(** frontend + QA (modelled) + backend + CDCL, fully serialised. *)
+
+val end_to_end_pipelined_s : report -> float
+(** Like {!end_to_end_time_s} but with the frontend overlapped with the
+    annealer execution, as the paper deploys it (§VI-C: "the hardware
+    embedding is pipelined with the clause queue generation"; §VII-A hides
+    the switching latency the same way): max(frontend, QA) + backend +
+    CDCL. *)
+
+val estimate_iterations : Sat.Cnf.t -> int
+(** The paper's K estimate from variable and clause counts. *)
+
+val solve : ?config:config -> ?max_iterations:int -> Sat.Cnf.t -> report
+
+val solve_classic : ?config:Cdcl.Config.t -> ?max_iterations:int -> Sat.Cnf.t -> report
+(** The classical baseline through the same reporting type (zero QA). *)

@@ -1,0 +1,82 @@
+type result = { assignment : bool array; violated : int }
+
+let count_violated f x = Sat.Assignment.num_unsatisfied (Sat.Assignment.of_bools x) f
+
+let approximate ?(samples = 8) ?(noise = Anneal.Noise.noise_free) rng graph f =
+  match Frontend.prepare ~adjust:false rng graph f ~activity:(fun _ -> 1.0) with
+  | None -> None
+  | Some prepared ->
+      let n = Sat.Cnf.num_vars f in
+      let best = ref None in
+      for _ = 1 to samples do
+        let outcome = Anneal.Machine.run ~noise rng prepared.Frontend.job in
+        let x = Array.make n false in
+        List.iter
+          (fun (node, v) -> if node < n then x.(node) <- v)
+          outcome.Anneal.Machine.assignment;
+        let violated = count_violated f x in
+        match !best with
+        | Some b when b.violated <= violated -> ()
+        | _ -> best := Some { assignment = x; violated }
+      done;
+      !best
+
+let exact ?(max_conflicts_per_step = max_int) f =
+  let n = Sat.Cnf.num_vars f in
+  let m = Sat.Cnf.num_clauses f in
+  (* relaxed formula: clause_k ∨ r_k with selector r_k = n + k *)
+  let relaxed =
+    List.mapi
+      (fun k c -> Sat.Clause.make (Sat.Lit.pos (n + k) :: Sat.Clause.lits c))
+      (Sat.Cnf.clauses f)
+  in
+  let selectors = List.init m (fun k -> Sat.Lit.pos (n + k)) in
+  let rec search bound =
+    if bound > m then None
+    else begin
+      let card = Sat.Cardinality.at_most_k ~num_vars:(n + m) selectors ~k:bound in
+      let formula =
+        Sat.Cnf.make ~num_vars:card.Sat.Cardinality.num_vars
+          (relaxed @ card.Sat.Cardinality.clauses)
+      in
+      match
+        Cdcl.Solver.solve ~max_conflicts:max_conflicts_per_step (Cdcl.Solver.create formula)
+      with
+      | Cdcl.Solver.Sat model ->
+          let assignment = Array.sub model 0 n in
+          Some { assignment; violated = count_violated f assignment }
+      | Cdcl.Solver.Unsat -> search (bound + 1)
+      | Cdcl.Solver.Unknown -> None
+    end
+  in
+  search 0
+
+let local_search ?(max_flips = 20_000) rng f =
+  let n = Sat.Cnf.num_vars f in
+  let x = Array.init (max n 1) (fun _ -> Stats.Rng.bool rng) in
+  let best = ref (Array.copy x) in
+  let best_violated = ref (count_violated f x) in
+  let flips = ref 0 in
+  while !flips < max_flips && !best_violated > 0 do
+    (* walk on a random falsified clause; track the best-ever configuration *)
+    let a = Sat.Assignment.of_bools x in
+    let falsified =
+      Sat.Cnf.fold_clauses
+        (fun acc _ c -> if Sat.Assignment.satisfies_clause a c then acc else c :: acc)
+        [] f
+    in
+    (match falsified with
+    | [] -> flips := max_flips
+    | cs ->
+        let c = List.nth cs (Stats.Rng.int rng (List.length cs)) in
+        let vars = Sat.Clause.vars c in
+        let v = List.nth vars (Stats.Rng.int rng (List.length vars)) in
+        x.(v) <- not x.(v);
+        let violated = count_violated f x in
+        if violated < !best_violated then begin
+          best_violated := violated;
+          best := Array.copy x
+        end);
+    incr flips
+  done;
+  { assignment = !best; violated = !best_violated }

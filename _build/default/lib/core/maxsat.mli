@@ -1,0 +1,37 @@
+(** MAX-SAT through the annealing stack (the extension direction of the
+    paper's foundation reference [8], "Solving SAT and MaxSAT with a quantum
+    annealer").
+
+    The α = 1 objective of {!Qubo.Encode} is, by construction, a relaxation
+    whose minimum counts (a weighting of) the violated clauses, so the same
+    frontend — queue, embedding, annealer — approximates MAX-SAT directly:
+    sample, unembed, and count violations.  A classical local-search baseline
+    is included for comparison. *)
+
+type result = {
+  assignment : bool array;  (** over the original variables *)
+  violated : int;  (** clauses falsified by [assignment] *)
+}
+
+val approximate :
+  ?samples:int ->
+  ?noise:Anneal.Noise.t ->
+  Stats.Rng.t ->
+  Chimera.Graph.t ->
+  Sat.Cnf.t ->
+  result option
+(** Best of [samples] (default 8) annealing cycles.  [None] when the clause
+    queue does not embed at all; when only a prefix embeds, the assignment
+    still covers every variable (unembedded ones default to the annealer's
+    best guess of false) and [violated] is counted over the whole formula. *)
+
+val local_search : ?max_flips:int -> Stats.Rng.t -> Sat.Cnf.t -> result
+(** WalkSAT-style minimisation of the violated-clause count (keeps the best
+    configuration seen, so it is a proper MAX-SAT heuristic). *)
+
+val exact : ?max_conflicts_per_step:int -> Sat.Cnf.t -> result option
+(** Exact MAX-SAT by the classical linear-search algorithm: each clause gets
+    a relaxation selector, and the selector count is bounded with
+    {!Sat.Cardinality.at_most_k}, raised until the CDCL solver answers SAT.
+    The first satisfiable bound is the optimum.  [None] if a step exceeds
+    the conflict budget (default unlimited). *)

@@ -1,0 +1,1 @@
+lib/embed/embedding.ml: Chimera Hashtbl Int List Printf

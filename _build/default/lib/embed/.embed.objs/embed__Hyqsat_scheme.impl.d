@@ -1,0 +1,1 @@
+lib/embed/hyqsat_scheme.ml: Array Chimera Embedding Fun Hashtbl Int List Option Qubo Sat

@@ -1,0 +1,1 @@
+lib/embed/hyqsat_scheme.mli: Chimera Embedding Qubo

@@ -1,0 +1,1 @@
+lib/embed/minorminer_like.ml: Array Chimera Embedding Hashtbl Int List Option Route Stats Sys

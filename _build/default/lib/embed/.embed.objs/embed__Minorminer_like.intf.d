@@ -1,0 +1,1 @@
+lib/embed/minorminer_like.mli: Chimera Embedding

@@ -1,0 +1,1 @@
+lib/embed/place_route.ml: Array Chimera Embedding Hashtbl List Option Queue Route Sys

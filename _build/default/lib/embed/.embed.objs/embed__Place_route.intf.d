@@ -1,0 +1,1 @@
+lib/embed/place_route.mli: Chimera Embedding

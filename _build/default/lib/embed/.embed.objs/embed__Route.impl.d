@@ -1,0 +1,1 @@
+lib/embed/route.ml: Array Chimera List Option Queue

@@ -1,0 +1,1 @@
+lib/embed/route.mli: Chimera

@@ -1,0 +1,35 @@
+(** HyQSAT's linear-time topology-aware embedding (paper §IV-B, Fig. 7).
+
+    Clauses are consumed in queue order.  Step 1 allocates each new SAT
+    variable to the next free {e vertical line}.  Step 2 satisfies the
+    connection-requirement list (CRL) by placing one horizontal-line segment
+    per requirement: a variable-keyed requirement [x:{y,…}] gets a segment
+    spanning from x's own column across its targets' columns; an
+    auxiliary-keyed requirement gets a segment across its three targets
+    (auxiliaries live on horizontal lines only).  Horizontal lines fill
+    bottom-up, greedily and out of order, so a line's leftover qubits can
+    host later short segments.
+
+    The construction is transactional per clause: if a clause's variables or
+    segments do not fit, the clause (and everything after it) is left out
+    and the embedding of the preceding prefix stands — this is what bounds
+    the QA capacity at roughly 170 clauses on the 16×16 graph.
+
+    Complexity is linear in hardware size: each vertical line is assigned
+    once and each horizontal qubit is claimed at most once. *)
+
+type t = {
+  embedding : Embedding.t;
+  embedded_clauses : int;  (** length of the embedded clause-queue prefix *)
+  edges : (int * int) list;
+      (** problem-graph edges realised for the prefix (node ids as in the
+          {!Qubo.Encode.t} numbering) *)
+}
+
+val embed : Chimera.Graph.t -> Qubo.Encode.t -> t
+(** Embed the longest prefix of the encoded clause queue that fits. *)
+
+val capacity_estimate : Chimera.Graph.t -> int
+(** Rough upper bound on embeddable 3-clauses (vertical lines bound distinct
+    variables; horizontal qubits bound segments).  Used by the clause-queue
+    generator as its size threshold. *)

@@ -1,0 +1,19 @@
+(** Shortest-path routing over the Chimera qubit graph, shared by the
+    Minorminer-like and place-and-route baseline embedders. *)
+
+val dijkstra :
+  Chimera.Graph.t -> cost:(int -> float) -> sources:int list -> float array * int array
+(** [dijkstra g ~cost ~sources] returns [(dist, parent)] over all qubits,
+    where entering qubit [q] costs [cost q] (must be ≥ 0; sources enter free).
+    [parent.(q) = -1] for sources and unreachable qubits. *)
+
+val walk_back : parent:int array -> int -> int list
+(** Path from a target back to its source (inclusive), using the parent
+    array. *)
+
+val bfs_path :
+  Chimera.Graph.t -> passable:(int -> bool) -> sources:int list -> targets:(int -> bool) ->
+  int list option
+(** Unweighted BFS from [sources] through [passable] qubits to the first
+    qubit satisfying [targets]; the returned path starts at a source and ends
+    at the target.  Targets need not be passable. *)

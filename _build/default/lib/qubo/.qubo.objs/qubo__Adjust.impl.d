@@ -1,0 +1,1 @@
+lib/qubo/adjust.ml: Array Encode Float List Normalize Pbq

@@ -1,0 +1,1 @@
+lib/qubo/adjust.mli: Encode Pbq

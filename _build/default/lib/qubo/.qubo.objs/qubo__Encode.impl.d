@@ -1,0 +1,1 @@
+lib/qubo/encode.ml: Array Int List Pbq Sat

@@ -1,0 +1,1 @@
+lib/qubo/encode.mli: Pbq Sat

@@ -1,0 +1,1 @@
+lib/qubo/gap.ml: Array Encode Normalize Pbq

@@ -1,0 +1,1 @@
+lib/qubo/gap.mli: Encode

@@ -1,0 +1,1 @@
+lib/qubo/ising.ml: Array Hashtbl List Pbq

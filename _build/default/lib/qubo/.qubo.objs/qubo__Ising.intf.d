@@ -1,0 +1,1 @@
+lib/qubo/ising.mli: Hashtbl Pbq

@@ -1,0 +1,1 @@
+lib/qubo/normalize.ml: Float Pbq

@@ -1,0 +1,1 @@
+lib/qubo/normalize.mli: Pbq

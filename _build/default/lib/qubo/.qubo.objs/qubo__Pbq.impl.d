@@ -1,0 +1,1 @@
+lib/qubo/pbq.ml: Array Float Format Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/qubo/pbq.mli: Format

@@ -1,0 +1,63 @@
+(** QUBO encoding of a 3-SAT clause set (paper §II-C, Equations 3–5).
+
+    Each 3-literal clause [l1 ∨ l2 ∨ l3] is decomposed with one fresh
+    auxiliary variable [a] into two sub-clauses
+    [c₁ = a ↔ (l1 ∨ l2)] and [c₂ = l3 ∨ a], each with a quadratic penalty
+    function whose minimum is 0 exactly when the sub-clause holds
+    (Equation 4).  Clauses of 1 or 2 literals get a direct product penalty
+    and need no auxiliary.  The total objective is the α-weighted sum of
+    sub-clause penalties (Equation 5); all α default to 1 and can be
+    re-weighted by {!Adjust}. *)
+
+type sub = {
+  clause_index : int;  (** index into the encoded clause array *)
+  sub_index : int;  (** 1 or 2 within the clause *)
+  sub_vars : int list;  (** problem/aux variables of this sub-clause *)
+  penalty : Pbq.t;  (** H_{c_{k,j}} with α = 1 *)
+  mutable alpha : float;
+}
+
+type t = {
+  clauses : Sat.Clause.t array;
+  num_original_vars : int;  (** variable universe of the input clauses *)
+  num_total_vars : int;  (** original + auxiliary *)
+  aux_of_clause : int array;  (** clause → its auxiliary variable, or -1 *)
+  subs : sub array;
+}
+
+val encode : num_vars:int -> Sat.Clause.t list -> t
+(** Encode a clause list over a [num_vars]-variable universe.  Auxiliary
+    variables are numbered from [num_vars] upwards, one per 3-literal
+    clause, in clause order.
+    @raise Invalid_argument on clauses with more than 3 literals. *)
+
+val encode_ksat : num_vars:int -> Sat.Clause.t list -> t
+(** The paper's §VII-B direct K-SAT encoding: a clause [l1 ∨ … ∨ lk] with
+    [k > 3] is decomposed through a chain of auxiliaries
+    [a1 ↔ (l1 ∨ l2)], [a2 ↔ (a1 ∨ l3)], …, ending with the 2-literal
+    sub-clause [(a_{k-2} ∨ lk)] — [k-2] auxiliaries per clause (the paper's
+    example: a 26-literal clause needs 24).  [aux_of_clause] holds the
+    {e last} auxiliary of each chain.  The result is hardware-inefficient
+    (aux-to-aux couplings) and is not accepted by the line embedder; it
+    exists for the K-SAT feasibility study. *)
+
+val objective : t -> Pbq.t
+(** The α-weighted total objective H_C(X, A). *)
+
+val aux_vars : t -> int list
+(** All auxiliary variables, ascending. *)
+
+val clauses_satisfied : t -> bool array -> bool
+(** Whether a total assignment of the {e original} variables satisfies every
+    encoded clause (auxiliaries are ignored). *)
+
+val best_aux : t -> bool array -> bool array
+(** [best_aux t x] extends an original-variable assignment with
+    energy-minimising values for every auxiliary: for a clause
+    [l1 ∨ l2 ∨ l3], the optimal choice under equation 4 is
+    [a = l1 ∨ l2].  The result has length [num_total_vars]. *)
+
+val min_energy_for : t -> bool array -> float
+(** Objective value with optimal auxiliaries: 0 iff all clauses satisfied
+    (for the unadjusted α = 1 encoding this equals the number of falsified
+    clauses or more). *)

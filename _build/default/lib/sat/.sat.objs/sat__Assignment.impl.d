@@ -1,0 +1,1 @@
+lib/sat/assignment.ml: Array Clause Cnf Format List Lit

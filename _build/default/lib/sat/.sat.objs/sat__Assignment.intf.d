@@ -1,0 +1,1 @@
+lib/sat/assignment.mli: Clause Cnf Format Lit

@@ -1,0 +1,1 @@
+lib/sat/brute.ml: Array Assignment Cnf Printf

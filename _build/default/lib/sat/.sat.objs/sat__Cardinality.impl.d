@@ -1,0 +1,1 @@
+lib/sat/cardinality.ml: Array Clause List Lit

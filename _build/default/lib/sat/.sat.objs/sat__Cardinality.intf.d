@@ -1,0 +1,1 @@
+lib/sat/cardinality.mli: Clause Lit

@@ -1,0 +1,1 @@
+lib/sat/clause.ml: Array Format Int List Lit

@@ -1,0 +1,1 @@
+lib/sat/clause.mli: Format Lit

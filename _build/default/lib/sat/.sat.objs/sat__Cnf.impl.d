@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Clause Format List Lit Printf

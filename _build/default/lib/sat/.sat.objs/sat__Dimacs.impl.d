@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Buffer Clause Cnf Fun List Lit Printf String

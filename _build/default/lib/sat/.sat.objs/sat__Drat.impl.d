@@ -1,0 +1,1 @@
+lib/sat/drat.ml: Assignment Buffer Clause Cnf List Lit Printf String

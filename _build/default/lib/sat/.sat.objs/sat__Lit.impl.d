@@ -1,0 +1,1 @@
+lib/sat/lit.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Assignment Clause Cnf List Lit Printf

@@ -1,0 +1,1 @@
+lib/sat/simplify.mli: Cnf Lit

@@ -1,0 +1,1 @@
+lib/sat/three_sat.mli: Cnf

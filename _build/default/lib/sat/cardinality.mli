@@ -1,0 +1,22 @@
+(** Cardinality constraints as CNF (sequential-counter encoding, Sinz 2005).
+
+    [at_most_k] introduces the register variables [s_{i,j}] ("at least j of
+    the first i+1 literals are true") and emits the standard O(n·k) clause
+    set.  Used by the exact MAX-SAT solver's linear search and available to
+    any encoding that needs counting. *)
+
+type t = {
+  clauses : Clause.t list;
+  num_vars : int;  (** total variable count after adding the registers *)
+}
+
+val at_most_k : num_vars:int -> Lit.t list -> k:int -> t
+(** [at_most_k ~num_vars lits ~k] constrains at most [k] of [lits] to be
+    true.  Fresh variables are numbered from [num_vars].  [k = 0] forces
+    all literals false (no registers needed); [k >= length lits] yields no
+    clauses. *)
+
+val at_least_k : num_vars:int -> Lit.t list -> k:int -> t
+(** At least [k] true, via [at_most (n-k)] over the negations. *)
+
+val exactly_k : num_vars:int -> Lit.t list -> k:int -> t

@@ -1,0 +1,66 @@
+type t = { num_vars : int; clauses : Clause.t array }
+
+let check_bounds num_vars clauses =
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          if Lit.var l >= num_vars || Lit.var l < 0 then
+            invalid_arg
+              (Printf.sprintf "Cnf.make: literal %s out of range (num_vars=%d)"
+                 (Lit.to_string l) num_vars))
+        (c : Clause.t :> Lit.t array))
+    clauses
+
+let of_arrays ~num_vars clauses =
+  check_bounds num_vars clauses;
+  { num_vars; clauses }
+
+let make ~num_vars clauses = of_arrays ~num_vars (Array.of_list clauses)
+let num_vars f = f.num_vars
+let num_clauses f = Array.length f.clauses
+let clauses f = Array.to_list f.clauses
+let clause f i = f.clauses.(i)
+let iter_clauses g f = Array.iteri g f.clauses
+
+let fold_clauses g acc f =
+  let acc = ref acc in
+  Array.iteri (fun i c -> acc := g !acc i c) f.clauses;
+  !acc
+
+let max_clause_size f = Array.fold_left (fun m c -> max m (Clause.size c)) 0 f.clauses
+let is_3sat f = max_clause_size f <= 3
+
+let clause_to_var_ratio f =
+  if f.num_vars = 0 then 0. else float_of_int (num_clauses f) /. float_of_int f.num_vars
+
+(* memoised occurrence lists, keyed on physical formula identity *)
+let occ_cache : (t * int list array) option ref = ref None
+
+let clauses_of_var f v =
+  let table =
+    match !occ_cache with
+    | Some (f', tbl) when f' == f -> tbl
+    | _ ->
+        let tbl = Array.make f.num_vars [] in
+        Array.iteri
+          (fun i c -> List.iter (fun v -> tbl.(v) <- i :: tbl.(v)) (Clause.vars c))
+          f.clauses;
+        Array.iteri (fun v l -> tbl.(v) <- List.rev l) tbl;
+        occ_cache := Some (f, tbl);
+        tbl
+  in
+  if v < 0 || v >= f.num_vars then invalid_arg "Cnf.clauses_of_var";
+  table.(v)
+
+let append f cs = of_arrays ~num_vars:f.num_vars (Array.append f.clauses (Array.of_list cs))
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>cnf %d vars, %d clauses@," f.num_vars (num_clauses f);
+  Array.iter (fun c -> Format.fprintf fmt "%a@," Clause.pp c) f.clauses;
+  Format.fprintf fmt "@]"
+
+let equal f1 f2 =
+  f1.num_vars = f2.num_vars
+  && Array.length f1.clauses = Array.length f2.clauses
+  && Array.for_all2 Clause.equal f1.clauses f2.clauses

@@ -1,0 +1,41 @@
+(** Conjunctive-normal-form formulas.
+
+    A CNF formula is a number of variables and an array of clauses.  Formulas
+    are immutable; solvers copy clauses into their own arenas. *)
+
+type t = private { num_vars : int; clauses : Clause.t array }
+
+val make : num_vars:int -> Clause.t list -> t
+(** [make ~num_vars clauses] builds a formula.
+    @raise Invalid_argument if a clause mentions a variable [>= num_vars]. *)
+
+val of_arrays : num_vars:int -> Clause.t array -> t
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val clauses : t -> Clause.t list
+val clause : t -> int -> Clause.t
+(** [clause f i] is the [i]-th clause. *)
+
+val iter_clauses : (int -> Clause.t -> unit) -> t -> unit
+val fold_clauses : ('a -> int -> Clause.t -> 'a) -> 'a -> t -> 'a
+
+val max_clause_size : t -> int
+(** Size of the largest clause; [0] for an empty formula. *)
+
+val is_3sat : t -> bool
+(** [true] iff every clause has at most three literals. *)
+
+val clause_to_var_ratio : t -> float
+(** [m/n]; the hardness-controlling ratio of random 3-SAT. *)
+
+val clauses_of_var : t -> Lit.var -> int list
+(** [clauses_of_var f v] are the indices of clauses mentioning [v],
+    computed eagerly once per formula (memoised). *)
+
+val append : t -> Clause.t list -> t
+(** [append f cs] adds clauses (same variable universe). *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,75 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize s =
+  (* splits on any whitespace, dropping comment lines *)
+  let out = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if String.length line = 0 then ()
+         else if line.[0] = 'c' then ()
+         else
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.iter (fun tok -> if tok <> "" then out := tok :: !out));
+  List.rev !out
+
+let parse_string s =
+  match tokenize s with
+  | "p" :: "cnf" :: nv :: nc :: rest ->
+      let num_vars =
+        try int_of_string nv with Failure _ -> fail "bad variable count %S" nv
+      in
+      let num_clauses =
+        try int_of_string nc with Failure _ -> fail "bad clause count %S" nc
+      in
+      if num_vars < 0 || num_clauses < 0 then fail "negative counts in header";
+      let clauses = ref [] in
+      let current = ref [] in
+      List.iter
+        (fun tok ->
+          let i = try int_of_string tok with Failure _ -> fail "bad literal %S" tok in
+          if i = 0 then begin
+            clauses := Clause.of_dimacs (List.rev !current) :: !clauses;
+            current := []
+          end
+          else begin
+            if abs i > num_vars then fail "literal %d exceeds declared %d vars" i num_vars;
+            current := i :: !current
+          end)
+        rest;
+      if !current <> [] then fail "trailing clause not terminated by 0";
+      let clauses = List.rev !clauses in
+      if List.length clauses <> num_clauses then
+        fail "header declares %d clauses, found %d" num_clauses (List.length clauses);
+      Cnf.make ~num_vars clauses
+  | "p" :: fmt :: _ -> fail "unsupported format %S (expected cnf)" fmt
+  | _ -> fail "missing DIMACS header"
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let to_string ?(comments = []) f =
+  let buf = Buffer.create 1024 in
+  List.iter (fun c -> Buffer.add_string buf ("c " ^ c ^ "\n")) comments;
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.num_vars f) (Cnf.num_clauses f));
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
+        (Clause.lits c);
+      Buffer.add_string buf "0\n")
+    (Cnf.clauses f);
+  Buffer.contents buf
+
+let write_file ?comments path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?comments f))

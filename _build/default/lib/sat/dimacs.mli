@@ -1,0 +1,18 @@
+(** DIMACS CNF reader/writer.
+
+    Supports the standard [p cnf <vars> <clauses>] header, [c] comment lines,
+    and clauses terminated by [0] possibly spanning several lines. *)
+
+exception Parse_error of string
+(** Raised on malformed input, with a human-readable reason. *)
+
+val parse_string : string -> Cnf.t
+(** Parse a DIMACS document from a string.  @raise Parse_error. *)
+
+val parse_file : string -> Cnf.t
+(** Parse a DIMACS file.  @raise Parse_error and [Sys_error]. *)
+
+val to_string : ?comments:string list -> Cnf.t -> string
+(** Render to DIMACS, prefixing each [comments] entry as a [c] line. *)
+
+val write_file : ?comments:string list -> string -> Cnf.t -> unit

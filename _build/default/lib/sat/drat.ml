@@ -1,0 +1,121 @@
+type step = Add of Lit.t list | Delete of Lit.t list
+
+type t = step list
+
+let to_string proof =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun step ->
+      let lits, prefix =
+        match step with Add l -> (l, "") | Delete l -> (l, "d ")
+      in
+      Buffer.add_string buf prefix;
+      List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " ")) lits;
+      Buffer.add_string buf "0\n")
+    proof;
+  Buffer.contents buf
+
+let parse_string s =
+  let steps = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let is_delete = String.length line > 2 && String.sub line 0 2 = "d " in
+           let body = if is_delete then String.sub line 2 (String.length line - 2) else line in
+           let ints =
+             String.split_on_char ' ' body
+             |> List.filter (fun t -> t <> "")
+             |> List.map (fun t ->
+                    try int_of_string t with Failure _ -> failwith ("Drat.parse: " ^ t))
+           in
+           match List.rev ints with
+           | 0 :: rest ->
+               let lits = List.rev_map Lit.of_dimacs rest in
+               steps := (if is_delete then Delete lits else Add lits) :: !steps
+           | _ -> failwith "Drat.parse: clause not 0-terminated"
+         end);
+  List.rev !steps
+
+(* ------------------------------------------------------------------ *)
+(* RUP checking with a simple counting propagator                      *)
+
+module Db = struct
+  (* clause database for the checker: multiset of literal lists *)
+  type db = { mutable clauses : Lit.t list list }
+
+  let of_cnf f = { clauses = List.map Clause.lits (Cnf.clauses f) }
+  let add db lits = db.clauses <- lits :: db.clauses
+
+  let delete db lits =
+    let target = List.sort Lit.compare lits in
+    let rec remove = function
+      | [] -> [] (* deleting an absent clause is a no-op, as in drat-trim *)
+      | c :: rest ->
+          if List.sort Lit.compare c = target then rest else c :: remove rest
+    in
+    db.clauses <- remove db.clauses
+
+  (* unit propagation from assumptions; true iff a conflict arises *)
+  let propagates_to_conflict db ~assumed num_vars =
+    let value = Assignment.create num_vars in
+    let conflict = ref false in
+    (try
+       List.iter
+         (fun l ->
+           match Assignment.lit_value value l with
+           | Assignment.False -> raise Exit
+           | _ -> Assignment.set value (Lit.var l) (Lit.is_pos l))
+         assumed
+     with Exit -> conflict := true);
+    let changed = ref true in
+    while (not !conflict) && !changed do
+      changed := false;
+      List.iter
+        (fun c ->
+          if not !conflict then begin
+            let unassigned = ref [] and satisfied = ref false in
+            List.iter
+              (fun l ->
+                match Assignment.lit_value value l with
+                | Assignment.True -> satisfied := true
+                | Assignment.False -> ()
+                | Assignment.Unassigned -> unassigned := l :: !unassigned)
+              c;
+            if not !satisfied then
+              match !unassigned with
+              | [] -> conflict := true
+              | [ l ] ->
+                  Assignment.set value (Lit.var l) (Lit.is_pos l);
+                  changed := true
+              | _ -> ()
+          end)
+        db.clauses
+    done;
+    !conflict
+end
+
+let check_general ~require_empty f proof =
+  let num_vars = Cnf.num_vars f in
+  let db = Db.of_cnf f in
+  let derived_empty = ref false in
+  let rec go i = function
+    | [] ->
+        if (not require_empty) || !derived_empty then Ok ()
+        else Error "proof does not derive the empty clause"
+    | Add lits :: rest ->
+        let assumed = List.map Lit.negate lits in
+        if Db.propagates_to_conflict db ~assumed num_vars then begin
+          if lits = [] then derived_empty := true;
+          Db.add db lits;
+          go (i + 1) rest
+        end
+        else Error (Printf.sprintf "step %d: clause is not RUP" i)
+    | Delete lits :: rest ->
+        Db.delete db lits;
+        go (i + 1) rest
+  in
+  go 0 proof
+
+let check f proof = check_general ~require_empty:true f proof
+let check_steps f proof = check_general ~require_empty:false f proof

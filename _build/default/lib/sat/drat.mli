@@ -1,0 +1,30 @@
+(** DRAT proof logging and checking.
+
+    When {!Config.t}[.log_proof] is set, the solver records every learnt
+    clause as an addition and every database-reduction victim as a deletion.
+    An unsatisfiability result ends with the empty clause.  {!check}
+    verifies the proof by reverse unit propagation (RUP): each added clause
+    must propagate to a conflict when its negation is assumed against the
+    accumulated database.  RUP is sound, so a checked proof certifies the
+    UNSAT answer independently of the solver's implementation. *)
+
+type step = Add of Lit.t list | Delete of Lit.t list
+
+type t = step list
+(** In derivation order. *)
+
+val to_string : t -> string
+(** Standard textual DRAT ("d" prefix for deletions, DIMACS literals). *)
+
+val parse_string : string -> t
+(** Inverse of {!to_string}.  @raise Failure on malformed input. *)
+
+val check : Cnf.t -> t -> (unit, string) result
+(** [check f proof] verifies every addition is RUP with respect to [f] plus
+    the previously added (and not yet deleted) clauses, and that the proof
+    derives the empty clause.  [Error] carries the first offending step. *)
+
+val check_steps : Cnf.t -> t -> (unit, string) result
+(** Like {!check} but does not require the empty clause — verifies the
+    derivation only (useful for satisfiable runs where learnt clauses are
+    still logged). *)

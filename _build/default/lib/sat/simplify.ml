@@ -1,0 +1,148 @@
+type fixed = (Lit.var * bool) list
+
+type reconstruction = { fixed : fixed; num_vars : int }
+
+type outcome =
+  | Simplified of Cnf.t * reconstruction
+  | Unsat_by_simplification
+
+exception Conflict
+
+(* working state: a partial assignment and the remaining clauses as sorted
+   literal arrays *)
+type state = {
+  value : Assignment.t;
+  mutable clauses : Clause.t list;
+  mutable fixed_rev : fixed;
+}
+
+let lit_value st l = Assignment.lit_value st.value l
+
+let assign st v b =
+  match Assignment.value st.value v with
+  | Assignment.Unassigned ->
+      Assignment.set st.value v b;
+      st.fixed_rev <- (v, b) :: st.fixed_rev
+  | Assignment.True -> if not b then raise Conflict
+  | Assignment.False -> if b then raise Conflict
+
+(* one normalisation pass: drop satisfied clauses, strip false literals,
+   propagate the units that appear; returns whether anything changed *)
+let normalise st =
+  let changed = ref false in
+  let keep =
+    List.filter_map
+      (fun c ->
+        if Array.exists (fun l -> lit_value st l = Assignment.True) (c : Clause.t :> Lit.t array)
+        then begin
+          changed := true;
+          None
+        end
+        else begin
+          let remaining =
+            List.filter (fun l -> lit_value st l <> Assignment.False) (Clause.lits c)
+          in
+          if List.length remaining < Clause.size c then changed := true;
+          match remaining with
+          | [] -> raise Conflict
+          | [ l ] ->
+              assign st (Lit.var l) (Lit.is_pos l);
+              changed := true;
+              None
+          | _ -> Some (Clause.make remaining)
+        end)
+      st.clauses
+  in
+  st.clauses <- keep;
+  !changed
+
+(* pure literals: a variable occurring with a single polarity can be fixed to
+   that polarity, satisfying all its clauses *)
+let pure_literals st ~num_vars =
+  let pos = Array.make num_vars false and neg = Array.make num_vars false in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l -> if Lit.is_pos l then pos.(Lit.var l) <- true else neg.(Lit.var l) <- true)
+        (Clause.lits c))
+    st.clauses;
+  let changed = ref false in
+  for v = 0 to num_vars - 1 do
+    if Assignment.value st.value v = Assignment.Unassigned then
+      if pos.(v) && not neg.(v) then begin
+        assign st v true;
+        changed := true
+      end
+      else if neg.(v) && not pos.(v) then begin
+        assign st v false;
+        changed := true
+      end
+  done;
+  !changed
+
+(* naive subsumption: a clause contained in another replaces it.  Clauses
+   hold sorted literal arrays, so containment is a linear merge. *)
+let subsumes (c : Clause.t) (d : Clause.t) =
+  let a = (c : Clause.t :> Lit.t array) and b = (d : Clause.t :> Lit.t array) in
+  let na = Array.length a and nb = Array.length b in
+  na <= nb
+  &&
+  let rec go i j =
+    if i >= na then true
+    else if j >= nb then false
+    else
+      let cmp = Lit.compare a.(i) b.(j) in
+      if cmp = 0 then go (i + 1) (j + 1) else if cmp > 0 then go i (j + 1) else false
+  in
+  go 0 0
+
+let remove_subsumed clauses =
+  let arr = Array.of_list clauses in
+  Array.sort (fun c d -> compare (Clause.size c) (Clause.size d)) arr;
+  let n = Array.length arr in
+  let dead = Array.make n false in
+  for i = 0 to n - 1 do
+    if not dead.(i) then
+      for j = i + 1 to n - 1 do
+        if (not dead.(j)) && subsumes arr.(i) arr.(j) then dead.(j) <- true
+      done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if not dead.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+let simplify ?(subsumption = true) f =
+  let num_vars = Cnf.num_vars f in
+  let st =
+    {
+      value = Assignment.create num_vars;
+      clauses = List.filter (fun c -> not (Clause.is_tautology c)) (Cnf.clauses f);
+      fixed_rev = [];
+    }
+  in
+  try
+    (* dedup relies on Clause.compare's normal form *)
+    st.clauses <- List.sort_uniq Clause.compare st.clauses;
+    let continue = ref true in
+    while !continue do
+      let a = normalise st in
+      let b = pure_literals st ~num_vars in
+      continue := a || b
+    done;
+    if subsumption then st.clauses <- remove_subsumed st.clauses;
+    Simplified
+      (Cnf.make ~num_vars st.clauses, { fixed = List.rev st.fixed_rev; num_vars })
+  with Conflict -> Unsat_by_simplification
+
+let reconstruct r model =
+  if Array.length model <> r.num_vars then invalid_arg "Simplify.reconstruct: model length";
+  let out = Array.copy model in
+  List.iter (fun (v, b) -> out.(v) <- b) r.fixed;
+  out
+
+let statistics before after =
+  Printf.sprintf "%d vars, %d clauses -> %d clauses (%d removed)" (Cnf.num_vars before)
+    (Cnf.num_clauses before) (Cnf.num_clauses after)
+    (Cnf.num_clauses before - Cnf.num_clauses after)

@@ -1,0 +1,32 @@
+(** CNF preprocessing: the standard simplifications every production solver
+    runs before search.
+
+    Applied to fixpoint, in order: tautology and duplicate removal, unit
+    propagation, pure-literal elimination, and (optionally) clause
+    subsumption.  The result is equisatisfiable with the input; a
+    {!reconstruction} maps any model of the simplified formula back to a
+    model of the original. *)
+
+type fixed = (Lit.var * bool) list
+(** Variables whose value was decided during preprocessing. *)
+
+type reconstruction = {
+  fixed : fixed;  (** forced by units / chosen for pure literals *)
+  num_vars : int;  (** of the original formula *)
+}
+
+type outcome =
+  | Simplified of Cnf.t * reconstruction
+  | Unsat_by_simplification
+      (** a conflict between unit clauses was found during preprocessing *)
+
+val simplify : ?subsumption:bool -> Cnf.t -> outcome
+(** [subsumption] (default [true]) also removes clauses subsumed by another
+    clause.  The simplified formula keeps the original variable numbering
+    (eliminated variables simply no longer occur). *)
+
+val reconstruct : reconstruction -> bool array -> bool array
+(** Extend a model of the simplified formula to the original variables. *)
+
+val statistics : Cnf.t -> Cnf.t -> string
+(** Human-readable before/after summary. *)

@@ -1,0 +1,1 @@
+lib/stats/descriptive.ml: Array Float Format Stdlib String

@@ -1,0 +1,1 @@
+lib/stats/gaussian.ml: Descriptive Float Format

@@ -1,0 +1,1 @@
+lib/stats/naive_bayes.ml: Array Float Format Gaussian

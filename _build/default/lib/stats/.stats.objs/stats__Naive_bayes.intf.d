@@ -1,0 +1,1 @@
+lib/stats/naive_bayes.mli: Format Gaussian

@@ -1,0 +1,1 @@
+lib/workload/block_planning.ml: Array Fun List Sat Stats

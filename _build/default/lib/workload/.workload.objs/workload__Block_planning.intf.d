@@ -1,0 +1,1 @@
+lib/workload/block_planning.mli: Sat Stats

@@ -1,0 +1,1 @@
+lib/workload/circuit.ml: Array List Sat

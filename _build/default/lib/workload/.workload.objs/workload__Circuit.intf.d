@@ -1,0 +1,1 @@
+lib/workload/circuit.mli: Sat

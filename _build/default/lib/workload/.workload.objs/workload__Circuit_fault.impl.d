@@ -1,0 +1,1 @@
+lib/workload/circuit_fault.ml: Array Circuit List Sat Stats

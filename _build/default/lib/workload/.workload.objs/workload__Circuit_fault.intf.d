@@ -1,0 +1,1 @@
+lib/workload/circuit_fault.mli: Sat Stats

@@ -1,0 +1,1 @@
+lib/workload/crypto.ml: Circuit List Sat

@@ -1,0 +1,1 @@
+lib/workload/crypto.mli: Sat Stats

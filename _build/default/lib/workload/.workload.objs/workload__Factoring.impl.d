@@ -1,0 +1,1 @@
+lib/workload/factoring.ml: Circuit List Sat Stats

@@ -1,0 +1,1 @@
+lib/workload/factoring.mli: Sat Stats

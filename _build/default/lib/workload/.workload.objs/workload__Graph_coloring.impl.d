@@ -1,0 +1,1 @@
+lib/workload/graph_coloring.ml: Array Fun Hashtbl List Sat Stats

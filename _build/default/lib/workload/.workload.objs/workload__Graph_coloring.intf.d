@@ -1,0 +1,1 @@
+lib/workload/graph_coloring.mli: Sat Stats

@@ -1,0 +1,1 @@
+lib/workload/inductive_inference.ml: Array List Sat Stats

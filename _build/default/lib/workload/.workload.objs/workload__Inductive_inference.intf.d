@@ -1,0 +1,1 @@
+lib/workload/inductive_inference.mli: Sat Stats

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Block_planning Circuit_fault Crypto Factoring Graph_coloring Inductive_inference List Sat Stats Uniform

@@ -1,0 +1,1 @@
+lib/workload/uniform.ml: Array List Sat Stats

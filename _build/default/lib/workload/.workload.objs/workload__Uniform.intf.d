@@ -1,0 +1,1 @@
+lib/workload/uniform.mli: Sat Stats

@@ -1,0 +1,97 @@
+(* positions: block b is "on" slot p where p in [0..blocks] — slot `blocks`
+   is the table.  State var on(b, p, t); action var move(b, p, t) meaning
+   block b moves onto p between t and t+1. *)
+
+let generate rng ~blocks ~steps =
+  if blocks < 2 || steps < 1 then invalid_arg "Block_planning.generate";
+  let places = blocks + 1 in
+  (* indices *)
+  let on b p t = (((t * blocks) + b) * places) + p in
+  let n_on = (steps + 1) * blocks * places in
+  let mv b p t = n_on + (((t * blocks) + b) * places) + p in
+  let num_vars = n_on + (steps * blocks * places) in
+  let clauses = ref [] in
+  let emit lits = clauses := Sat.Clause.make lits :: !clauses in
+  let p_ x = Sat.Lit.pos x and n_ x = Sat.Lit.neg_of x in
+  (* a random initial tower and a random goal permutation of block stacking:
+     states are "which block/table each block sits on"; we generate the goal
+     by executing `steps` random single-block moves from the initial state so
+     the instance is guaranteed solvable *)
+  let table = blocks in
+  let support = Array.init blocks (fun _ -> table) in
+  (* clear b = no block sits on b *)
+  let clear b = not (Array.exists (fun s -> s = b) support) in
+  let initial = Array.copy support in
+  for _ = 1 to steps do
+    (* move a random clear block onto the table or another clear block *)
+    let movable = List.filter clear (List.init blocks Fun.id) in
+    match movable with
+    | [] -> ()
+    | _ ->
+        let b = List.nth movable (Stats.Rng.int rng (List.length movable)) in
+        let dests =
+          table :: List.filter (fun d -> d <> b && clear d) (List.init blocks Fun.id)
+        in
+        support.(b) <- List.nth dests (Stats.Rng.int rng (List.length dests))
+  done;
+  let goal = support in
+  (* initial & goal state units *)
+  for b = 0 to blocks - 1 do
+    emit [ p_ (on b initial.(b) 0) ];
+    for p = 0 to places - 1 do
+      if p <> initial.(b) then emit [ n_ (on b p 0) ]
+    done;
+    emit [ p_ (on b goal.(b) steps) ]
+  done;
+  for t = 0 to steps - 1 do
+    for b = 0 to blocks - 1 do
+      for p = 0 to places - 1 do
+        (* effect: move(b,p,t) → on(b,p,t+1) *)
+        emit [ n_ (mv b p t); p_ (on b p (t + 1)) ];
+        (* precondition: target p clear (no other block on p), b clear *)
+        if p <> table then
+          for b' = 0 to blocks - 1 do
+            if b' <> b then emit [ n_ (mv b p t); n_ (on b' p t) ]
+          done;
+        for b' = 0 to blocks - 1 do
+          if b' <> b then emit [ n_ (mv b p t); n_ (on b' b t) ]
+        done;
+        (* frame: on(b,p,t) persists unless b moves away *)
+        emit
+          (n_ (on b p t) :: p_ (on b p (t + 1))
+          :: List.filteri (fun q _ -> q <> p) (List.init places (fun q -> p_ (mv b q t))));
+        (* change needs a move: ¬on(b,p,t) ∧ on(b,p,t+1) → move(b,p,t) *)
+        emit [ p_ (on b p t); n_ (on b p (t + 1)); p_ (mv b p t) ]
+      done;
+      (* at most one destination per block per step *)
+      for p1 = 0 to places - 1 do
+        for p2 = p1 + 1 to places - 1 do
+          emit [ n_ (mv b p1 t); n_ (mv b p2 t) ]
+        done
+      done
+    done;
+    (* at most one block moves per step (serial plan) *)
+    for b1 = 0 to blocks - 1 do
+      for b2 = b1 + 1 to blocks - 1 do
+        for p1 = 0 to places - 1 do
+          for p2 = 0 to places - 1 do
+            emit [ n_ (mv b1 p1 t); n_ (mv b2 p2 t) ]
+          done
+        done
+      done
+    done
+  done;
+  (* each block on at most one place at any time *)
+  for t = 0 to steps do
+    for b = 0 to blocks - 1 do
+      for p1 = 0 to places - 1 do
+        for p2 = p1 + 1 to places - 1 do
+          emit [ n_ (on b p1 t); n_ (on b p2 t) ]
+        done
+      done;
+      emit (List.init places (fun p -> p_ (on b p t)))
+    done
+  done;
+  let cnf = Sat.Cnf.make ~num_vars !clauses in
+  let three, _ = Sat.Three_sat.convert cnf in
+  three

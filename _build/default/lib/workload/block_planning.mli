@@ -1,0 +1,12 @@
+(** Blocks-world planning as SAT (the SATLIB "blocksworld" family, paper's
+    BP benchmark).
+
+    A serial SATPLAN-style encoding: one boolean per (on-relation, step) and
+    per (action, step), with frame axioms and mutual-exclusion clauses.  The
+    hidden plan moves one block per step, so unit propagation from the fixed
+    initial and goal states resolves most of the search — CDCL finishes in a
+    handful of iterations, matching Table I's BP row (7 iterations). *)
+
+val generate : Stats.Rng.t -> blocks:int -> steps:int -> Sat.Cnf.t
+(** A solvable instance: restack [blocks] blocks from one random tower order
+    to another reachable within [steps] single-block moves. *)

@@ -1,0 +1,87 @@
+(* a random 2-input gate layer structure shared by both circuit copies *)
+type plan = { n_inputs : int; ops : (int * int * int) list (* op, operand, operand *) }
+
+let random_plan rng ~inputs ~gates =
+  (* operands biased to recent wires: a deep output cone, like synthesised
+     logic — a uniformly random DAG has near-trivial cones, which makes the
+     equivalence proof collapse *)
+  {
+    n_inputs = inputs;
+    ops =
+      List.init gates (fun i ->
+          let avail = inputs + i in
+          let recent () =
+            if avail <= 4 then Stats.Rng.int rng avail
+            else max 0 (avail - 1 - Stats.Rng.int rng (min avail 8))
+          in
+          (Stats.Rng.int rng 4, recent (), recent ()));
+  }
+
+type style =
+  | Direct  (** gates as written *)
+  | Nand_decomposed  (** every gate rebuilt from NANDs (De Morgan form) *)
+
+let gate c style op wa wb =
+  match (style, op) with
+  | Direct, 0 -> Circuit.and_ c wa wb
+  | Direct, 1 -> Circuit.or_ c wa wb
+  | Direct, 2 -> Circuit.xor_ c wa wb
+  | Direct, _ -> Circuit.nand_ c wa wb
+  | Nand_decomposed, 0 ->
+      let n = Circuit.nand_ c wa wb in
+      Circuit.nand_ c n n
+  | Nand_decomposed, 1 ->
+      let na = Circuit.nand_ c wa wa and nb = Circuit.nand_ c wb wb in
+      Circuit.nand_ c na nb
+  | Nand_decomposed, 2 ->
+      let n = Circuit.nand_ c wa wb in
+      let l = Circuit.nand_ c wa n and r = Circuit.nand_ c wb n in
+      Circuit.nand_ c l r
+  | Nand_decomposed, _ -> Circuit.nand_ c wa wb
+
+(* instantiate the plan; [fault] may wrap the faulty gate's output; returns
+   the last [outputs] wires, the observed cone of the miter *)
+let build c plan ~style ~input_wires ~fault_at ~fault_wire ~outputs =
+  let total = plan.n_inputs + List.length plan.ops in
+  let wires = Array.make total 0 in
+  List.iteri (fun i w -> wires.(i) <- w) input_wires;
+  List.iteri
+    (fun i (op, a, b) ->
+      let w = gate c style op wires.(a) wires.(b) in
+      let w = if plan.n_inputs + i = fault_at then fault_wire c w wires.(a) else w in
+      wires.(plan.n_inputs + i) <- w)
+    plan.ops;
+  List.init (min outputs (List.length plan.ops)) (fun k -> wires.(total - 1 - k))
+
+let generate ?(force_redundant = true) rng ~inputs ~gates =
+  if inputs < 2 || gates < 2 then invalid_arg "Circuit_fault.generate";
+  let plan = random_plan rng ~inputs ~gates in
+  let c = Circuit.create () in
+  let input_wires = List.init inputs (fun _ -> Circuit.fresh_input c) in
+  let fault_at = inputs + Stats.Rng.int rng gates in
+  let outputs = 4 in
+  let good =
+    build c plan ~style:Direct ~input_wires ~fault_at ~outputs
+      ~fault_wire:(fun _ w _ -> w)
+  in
+  (* the second copy is NAND-resynthesised, so proving the miter UNSAT
+     requires establishing the equivalence of every gate pair — the hardness
+     profile of real stuck-at instances *)
+  let faulty =
+    if force_redundant then
+      (* absorption gadget: w ∨ (w ∧ y) ≡ w, and with y stuck at 1 it is
+         w ∨ w ≡ w — a testably redundant fault, not a local contradiction *)
+      build c plan ~style:Nand_decomposed ~input_wires ~fault_at ~outputs
+        ~fault_wire:(fun c w _ ->
+          let y_stuck_1 = Circuit.const_true c in
+          Circuit.or_ c w (Circuit.and_ c w y_stuck_1))
+    else
+      (* stuck-at-0 on a live wire: usually testable, hence satisfiable *)
+      build c plan ~style:Nand_decomposed ~input_wires ~fault_at ~outputs
+        ~fault_wire:(fun c _ _ -> Circuit.const_false c)
+  in
+  let diffs = List.map2 (fun a b -> Circuit.xor_ c a b) good faulty in
+  Circuit.assert_any c diffs;
+  let cnf = Circuit.to_cnf c in
+  let three, _ = Sat.Three_sat.convert cnf in
+  three

@@ -1,0 +1,16 @@
+(** Circuit fault analysis (the SATLIB "ssa"/"bf" families, paper's CFA).
+
+    A random combinational circuit is duplicated with a single stuck-at
+    fault injected on an internal wire; a miter XORs the two outputs and the
+    CNF asserts the miter fires.  The instance is satisfiable iff some input
+    vector distinguishes the faulty circuit (the fault is {e testable});
+    stuck-at faults on redundant logic give unsatisfiable instances, which
+    is why the paper's CFA benchmark is UNSAT-heavy. *)
+
+val generate :
+  ?force_redundant:bool -> Stats.Rng.t -> inputs:int -> gates:int -> Sat.Cnf.t
+(** [force_redundant] (default [true]) masks the faulty wire behind an
+    [x ∧ ¬x] guard so the fault provably cannot propagate, yielding an
+    unsatisfiable instance like the paper's CFA benchmark; with
+    [force_redundant:false] the fault is injected on a live wire and the
+    instance is usually satisfiable. *)

@@ -1,0 +1,41 @@
+(* a full adder built purely from NAND gates (9-gate decomposition) *)
+let nand_full_adder c a b cin ~buggy =
+  let x1 = Circuit.nand_ c a b in
+  let x2 = Circuit.nand_ c a x1 in
+  let x3 = Circuit.nand_ c b x1 in
+  let half = Circuit.nand_ c x2 x3 in
+  (* half = a xor b *)
+  let y1 = Circuit.nand_ c half cin in
+  let y2 = Circuit.nand_ c half y1 in
+  let y3 = Circuit.nand_ c cin y1 in
+  let sum = Circuit.nand_ c y2 y3 in
+  let carry = if buggy then Circuit.nand_ c x1 y3 else Circuit.nand_ c x1 y1 in
+  (sum, carry)
+
+let generate ?(buggy = false) rng ~bits =
+  if bits < 1 then invalid_arg "Crypto.generate";
+  ignore rng;
+  let c = Circuit.create () in
+  let xs = List.init bits (fun _ -> Circuit.fresh_input c) in
+  let ys = List.init bits (fun _ -> Circuit.fresh_input c) in
+  (* reference: textbook ripple-carry *)
+  let ref_sum = Circuit.ripple_adder c xs ys in
+  (* candidate: NAND-decomposed ripple-carry *)
+  let carry = ref (Circuit.const_false c) in
+  (* bind the sums first: @'s operand evaluation order must not read !carry
+     before the fold over bits has run *)
+  let cand_bits =
+    List.map2
+      (fun a b ->
+        let s, co = nand_full_adder c a b !carry ~buggy in
+        carry := co;
+        s)
+      xs ys
+  in
+  let cand_sum = cand_bits @ [ !carry ] in
+  (* miter: some output bit differs *)
+  let diffs = List.map2 (fun a b -> Circuit.xor_ c a b) ref_sum cand_sum in
+  Circuit.assert_any c diffs;
+  let cnf = Circuit.to_cnf c in
+  let three, _ = Sat.Three_sat.convert cnf in
+  three

@@ -1,0 +1,11 @@
+(** Cryptographic comparator-adder equivalence (the SAT2002 "cmpadd" family,
+    paper's CRY benchmark).
+
+    Two structurally different [bits]-wide adders — a textbook ripple-carry
+    and a NAND-decomposed variant — are compared by a miter.  The assertion
+    that they differ is unsatisfiable, and (as in Table I's 180-iteration
+    CRY row) the instance is heavy on propagation but easy on search. *)
+
+val generate : ?buggy:bool -> Stats.Rng.t -> bits:int -> Sat.Cnf.t
+(** With [buggy:true] one full adder's carry is mis-wired, making the miter
+    satisfiable (a counterexample exists). *)

@@ -1,0 +1,42 @@
+let is_prime k =
+  if k < 2 then false
+  else
+    let rec go d = d * d > k || (k mod d <> 0 && go (d + 1)) in
+    go 2
+
+let random_prime rng ~bits =
+  let lo = 1 lsl (bits - 1) and hi = 1 lsl bits in
+  let rec draw guard =
+    if guard = 0 then 3
+    else
+      let k = lo + Stats.Rng.int rng (hi - lo) in
+      if is_prime k then k else draw (guard - 1)
+  in
+  draw 10_000
+
+let of_target ~target ~bits =
+  if bits < 2 || bits > 30 then invalid_arg "Factoring: bits out of range";
+  let c = Circuit.create () in
+  let xs = List.init bits (fun _ -> Circuit.fresh_input c) in
+  let ys = List.init bits (fun _ -> Circuit.fresh_input c) in
+  let product = Circuit.multiplier c xs ys in
+  (* force the product bits to the target *)
+  List.iteri
+    (fun i w ->
+      if (target lsr i) land 1 = 1 then Circuit.assert_true c w else Circuit.assert_false c w)
+    product;
+  (* exclude the factor 1: each operand must have a set bit above bit 0 *)
+  let nontrivial ws =
+    match ws with
+    | _ :: high -> Circuit.assert_any c high
+    | [] -> ()
+  in
+  nontrivial xs;
+  nontrivial ys;
+  let cnf = Circuit.to_cnf c in
+  let three, _ = Sat.Three_sat.convert cnf in
+  three
+
+let generate rng ~bits =
+  let p = random_prime rng ~bits and q = random_prime rng ~bits in
+  of_target ~target:(p * q) ~bits:(bits + 1)

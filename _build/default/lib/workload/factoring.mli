@@ -1,0 +1,16 @@
+(** Integer factorisation as SAT (the "EzFact"/"Lisa" families, paper's IF
+    benchmarks).
+
+    An n-bit × n-bit array multiplier is Tseitin-encoded and its output
+    forced to equal a semiprime [p·q]; unit clauses exclude the trivial
+    factor 1 by forcing both operands' second-lowest bits free and requiring
+    each operand > 1.  Satisfying assignments are exactly the non-trivial
+    factorisations. *)
+
+val generate : Stats.Rng.t -> bits:int -> Sat.Cnf.t
+(** Random odd primes of [bits] bits are multiplied to form the target.
+    [bits] must be in [2..30]. *)
+
+val of_target : target:int -> bits:int -> Sat.Cnf.t
+(** Factor a specific [target] with [bits]-bit operands; satisfiable iff
+    [target] has a non-trivial factorisation with both factors < 2^bits. *)

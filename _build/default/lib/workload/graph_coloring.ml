@@ -1,0 +1,46 @@
+let generate rng ~nodes ~edges =
+  if nodes < 3 then invalid_arg "Graph_coloring.generate: need 3 nodes";
+  let hidden = Array.init nodes (fun i -> i mod 3) in
+  Stats.Rng.shuffle rng (Array.init nodes Fun.id);
+  (* sample distinct cross-colour edges *)
+  let chosen = Hashtbl.create edges in
+  let n_chosen = ref 0 in
+  let guard = ref 0 in
+  while !n_chosen < edges && !guard < edges * 1000 do
+    incr guard;
+    let u = Stats.Rng.int rng nodes and v = Stats.Rng.int rng nodes in
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && hidden.(u) <> hidden.(v) && not (Hashtbl.mem chosen (u, v)) then begin
+      Hashtbl.replace chosen (u, v) ();
+      incr n_chosen
+    end
+  done;
+  if !n_chosen < edges then invalid_arg "Graph_coloring.generate: graph too dense";
+  let var node colour = (node * 3) + colour in
+  let clauses = ref [] in
+  (* at least one colour *)
+  for node = 0 to nodes - 1 do
+    clauses :=
+      Sat.Clause.make (List.init 3 (fun c -> Sat.Lit.pos (var node c))) :: !clauses
+  done;
+  (* at most one colour *)
+  for node = 0 to nodes - 1 do
+    for c1 = 0 to 2 do
+      for c2 = c1 + 1 to 2 do
+        clauses :=
+          Sat.Clause.make [ Sat.Lit.neg_of (var node c1); Sat.Lit.neg_of (var node c2) ]
+          :: !clauses
+      done
+    done
+  done;
+  (* adjacent nodes differ *)
+  Hashtbl.iter
+    (fun (u, v) () ->
+      for c = 0 to 2 do
+        clauses :=
+          Sat.Clause.make [ Sat.Lit.neg_of (var u c); Sat.Lit.neg_of (var v c) ] :: !clauses
+      done)
+    chosen;
+  Sat.Cnf.make ~num_vars:(nodes * 3) !clauses
+
+let flat rng n = generate rng ~nodes:n ~edges:(int_of_float (2.394 *. float_of_int n))

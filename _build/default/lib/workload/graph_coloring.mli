@@ -1,0 +1,13 @@
+(** Flat-graph 3-colouring (the SATLIB "Flat" family, paper's GC benchmarks).
+
+    A random 3-colourable graph is built by hiding a balanced colouring and
+    sampling edges only between differently-coloured nodes (Culberson's flat
+    generator's key property).  The standard encoding gives, for [n] nodes
+    and [e] edges: [3n] variables and [n + 3n + 3e] clauses — Flat150-360
+    therefore has 450 variables and 1680 clauses, matching Table I. *)
+
+val generate : Stats.Rng.t -> nodes:int -> edges:int -> Sat.Cnf.t
+
+val flat : Stats.Rng.t -> int -> Sat.Cnf.t
+(** [flat rng n] uses the SATLIB edge count [⌊2.394·n⌋] (e.g. 150 → 359 ≈
+    Flat150-360). *)

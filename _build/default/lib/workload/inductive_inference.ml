@@ -1,0 +1,55 @@
+let generate rng ~attributes ~terms ~examples =
+  if attributes < 2 || terms < 1 || examples < 1 then
+    invalid_arg "Inductive_inference.generate";
+  (* hidden 2-term DNF used to label the sample *)
+  let hidden_term () =
+    List.init 2 (fun _ -> (Stats.Rng.int rng attributes, Stats.Rng.bool rng))
+  in
+  let hidden = [ hidden_term (); hidden_term () ] in
+  let label x =
+    List.exists (List.for_all (fun (a, pol) -> x.(a) = pol)) hidden
+  in
+  (* selector variable: term j includes literal (attribute a, polarity pol) *)
+  let sel j a pol = (((j * attributes) + a) * 2) + if pol then 1 else 0 in
+  let n_sel = terms * attributes * 2 in
+  let clauses = ref [] in
+  let emit lits = clauses := Sat.Clause.make lits :: !clauses in
+  let p_ v = Sat.Lit.pos v and n_ v = Sat.Lit.neg_of v in
+  (* a term never selects both polarities of an attribute *)
+  for j = 0 to terms - 1 do
+    for a = 0 to attributes - 1 do
+      emit [ n_ (sel j a true); n_ (sel j a false) ]
+    done
+  done;
+  (* examples *)
+  let next_cover = ref n_sel in
+  let fresh_cover () =
+    let v = !next_cover in
+    incr next_cover;
+    v
+  in
+  for _ = 1 to examples do
+    let x = Array.init attributes (fun _ -> Stats.Rng.bool rng) in
+    if label x then begin
+      (* positive: some term covers x.  cover_j → term j selects no literal
+         falsified by x; and ∨_j cover_j *)
+      let covers =
+        List.init terms (fun j ->
+            let cj = fresh_cover () in
+            for a = 0 to attributes - 1 do
+              (* literal (a, pol) is falsified by x when x.(a) <> pol *)
+              emit [ n_ cj; n_ (sel j a (not x.(a))) ]
+            done;
+            cj)
+      in
+      emit (List.map p_ covers)
+    end
+    else
+      (* negative: every term must select a literal falsified by x *)
+      for j = 0 to terms - 1 do
+        emit (List.init attributes (fun a -> p_ (sel j a (not x.(a)))))
+      done
+  done;
+  let cnf = Sat.Cnf.make ~num_vars:!next_cover !clauses in
+  let three, _ = Sat.Three_sat.convert cnf in
+  three

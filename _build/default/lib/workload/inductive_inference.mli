@@ -1,0 +1,12 @@
+(** Inductive inference of boolean concepts (the SATLIB "ii" family).
+
+    The instance asks whether a [terms]-term DNF over [attributes] boolean
+    attributes exists that is consistent with a labelled sample: selector
+    variables choose each term's literals, negative examples must escape
+    every term, positive examples must be covered by some term (through
+    per-example coverage auxiliaries).  Labels come from a hidden DNF, so
+    the instance is satisfiable exactly when the hypothesis space is rich
+    enough — with [terms] at least the hidden size it is SAT. *)
+
+val generate :
+  Stats.Rng.t -> attributes:int -> terms:int -> examples:int -> Sat.Cnf.t

@@ -1,0 +1,20 @@
+let random_clause rng ~num_vars =
+  let vars = Stats.Rng.sample_without_replacement rng (min 3 num_vars) num_vars in
+  Sat.Clause.make (List.map (fun v -> Sat.Lit.make v (Stats.Rng.bool rng)) vars)
+
+let generate ?(planted = true) rng ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Uniform.generate: need at least 3 variables";
+  let hidden = Array.init num_vars (fun _ -> Stats.Rng.bool rng) in
+  let satisfied_by_hidden c =
+    List.exists
+      (fun l -> if Sat.Lit.is_pos l then hidden.(Sat.Lit.var l) else not hidden.(Sat.Lit.var l))
+      (Sat.Clause.lits c)
+  in
+  let rec draw () =
+    let c = random_clause rng ~num_vars in
+    if planted && not (satisfied_by_hidden c) then draw () else c
+  in
+  Sat.Cnf.make ~num_vars (List.init num_clauses (fun _ -> draw ()))
+
+let uf rng n =
+  generate rng ~num_vars:n ~num_clauses:(int_of_float (ceil (4.3 *. float_of_int n)))

@@ -1,0 +1,16 @@
+(** Uniform random 3-SAT (the SATLIB "UF" family, paper's AI benchmarks).
+
+    Clauses draw three distinct variables uniformly and negate each with
+    probability ½.  At the clause-to-variable ratio ≈ 4.26 these instances
+    sit at the satisfiability phase transition, which is what makes
+    UF150-645 … UF250-1065 hard for CDCL. *)
+
+val generate :
+  ?planted:bool -> Stats.Rng.t -> num_vars:int -> num_clauses:int -> Sat.Cnf.t
+(** [planted] (default [true], like the "UF = satisfiable uniform" family)
+    hides a random assignment and resamples any clause it falsifies, which
+    guarantees satisfiability while keeping the uniform clause shape. *)
+
+val uf : Stats.Rng.t -> int -> Sat.Cnf.t
+(** [uf rng n] is the standard phase-transition instance over [n] variables
+    ([⌈4.3·n⌉] clauses, satisfiable), e.g. [uf rng 150 ≈ UF150-645]. *)

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Anneal Array Chimera Embed List Qubo Sat Stats Testutil

@@ -1,0 +1,1 @@
+test/test_cardinality.ml: Alcotest Array Hyqsat List Printf QCheck QCheck_alcotest Sat Stats Testutil

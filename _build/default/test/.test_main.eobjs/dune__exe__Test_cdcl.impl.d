@@ -1,0 +1,1 @@
+test/test_cdcl.ml: Alcotest Array Cdcl Fun List Printf QCheck QCheck_alcotest Sat Stats Testutil Workload

@@ -1,0 +1,1 @@
+test/test_chimera.ml: Alcotest Chimera List

@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Chimera Embed Fun Int List Printf QCheck QCheck_alcotest Qubo Sat Stats Testutil

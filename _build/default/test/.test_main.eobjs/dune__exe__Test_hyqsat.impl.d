@@ -1,0 +1,1 @@
+test/test_hyqsat.ml: Alcotest Anneal Array Cdcl Chimera Embed Hyqsat Int List QCheck QCheck_alcotest Sat Stats Testutil Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Anneal Cdcl Filename Fun Hashtbl Hyqsat List Sat Sys Testutil Workload

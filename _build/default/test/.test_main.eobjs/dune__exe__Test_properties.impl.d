@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Chimera Embed Hashtbl Hyqsat List Option QCheck QCheck_alcotest Qubo Sat Testutil Workload

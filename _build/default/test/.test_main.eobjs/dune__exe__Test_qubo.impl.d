@@ -1,0 +1,1 @@
+test/test_qubo.ml: Alcotest Array Float List QCheck QCheck_alcotest Qubo Sat Stats Testutil

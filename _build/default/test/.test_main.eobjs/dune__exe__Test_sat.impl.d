@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List QCheck QCheck_alcotest Sat Stats Testutil

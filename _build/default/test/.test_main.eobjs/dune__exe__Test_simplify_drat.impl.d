@@ -1,0 +1,1 @@
+test/test_simplify_drat.ml: Alcotest Cdcl List QCheck QCheck_alcotest Sat Test_cdcl Testutil

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List QCheck QCheck_alcotest Stats

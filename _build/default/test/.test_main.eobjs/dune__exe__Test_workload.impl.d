@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cdcl List Printf Sat Testutil Workload

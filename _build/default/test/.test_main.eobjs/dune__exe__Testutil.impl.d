@@ -1,0 +1,1 @@
+test/testutil.ml: Format List QCheck QCheck_alcotest Sat Stats

@@ -1,0 +1,239 @@
+(* Tests for the annealing simulator stack. *)
+
+module SI = Anneal.Sparse_ising
+module Sampler = Anneal.Sampler
+module Noise = Anneal.Noise
+module Timing = Anneal.Timing
+module Machine = Anneal.Machine
+
+let fcheck = Alcotest.(check (float 1e-9))
+
+let sparse_ising_energy () =
+  (* E = 0.5 + 1·s0 - 2·s1 + 3·s0s1 *)
+  let ising = SI.build ~n:2 ~h:[| 1.; -2. |] ~couplings:[ ((0, 1), 3.) ] ~offset:0.5 in
+  fcheck "++" 2.5 (SI.energy ising [| 1; 1 |]);
+  fcheck "+-" 0.5 (SI.energy ising [| 1; -1 |]);
+  fcheck "-+" (-5.5) (SI.energy ising [| -1; 1 |]);
+  fcheck "--" 4.5 (SI.energy ising [| -1; -1 |]);
+  fcheck "field on 0 at s1=+1" 4.0 (SI.local_field ising [| 1; 1 |] 0);
+  fcheck "field on 1" 1.0 (SI.local_field ising [| 1; 1 |] 1)
+
+let sparse_ising_duplicate_couplings () =
+  let ising = SI.build ~n:2 ~h:[| 0.; 0. |] ~couplings:[ ((0, 1), 1.); ((1, 0), 1.) ] ~offset:0. in
+  fcheck "accumulated" 2.0 (SI.energy ising [| 1; 1 |])
+
+let sampler_finds_ground_state () =
+  (* frustration-free chain: ground state all spins down (h > 0) *)
+  let n = 30 in
+  let h = Array.make n 0.5 in
+  let couplings = List.init (n - 1) (fun i -> ((i, i + 1), -1.0)) in
+  let ising = SI.build ~n ~h ~couplings ~offset:0. in
+  let rng = Testutil.rng 3 in
+  let spins = Sampler.sample rng ising in
+  Alcotest.(check bool) "ground state reached" true (Array.for_all (fun s -> s = -1) spins)
+
+let sampler_best_of_improves () =
+  let r = Testutil.rng 5 in
+  (* random spin glass: best-of-k energy must be <= single-sample energy on average *)
+  let n = 40 in
+  let h = Array.init n (fun _ -> Stats.Rng.gaussian r ~mu:0. ~sigma:1.) in
+  let couplings =
+    List.concat
+      (List.init (n - 1) (fun i -> [ ((i, i + 1), Stats.Rng.gaussian r ~mu:0. ~sigma:1.) ]))
+  in
+  let ising = SI.build ~n ~h ~couplings ~offset:0. in
+  let single =
+    Stats.Descriptive.mean
+      (Array.init 20 (fun _ -> SI.energy ising (Sampler.sample ~schedule:Sampler.quick_schedule r ising)))
+  in
+  let best =
+    Stats.Descriptive.mean
+      (Array.init 20 (fun _ ->
+           SI.energy ising (Sampler.sample_best_of ~schedule:Sampler.quick_schedule r ising 8)))
+  in
+  Alcotest.(check bool) "best-of-k at least as good" true (best <= single +. 1e-9)
+
+let noise_perturbs_coefficients () =
+  let ising = SI.build ~n:2 ~h:[| 1.; 1. |] ~couplings:[ ((0, 1), 0.5) ] ~offset:0. in
+  let rng = Testutil.rng 7 in
+  let noisy = Noise.apply_coeff { Noise.noise_free with Noise.coeff_sigma = 0.1 } rng ising in
+  Alcotest.(check bool) "h changed" true
+    (noisy.SI.h.(0) <> 1.0 || noisy.SI.h.(1) <> 1.0);
+  let clean = Noise.apply_coeff Noise.noise_free rng ising in
+  Alcotest.(check bool) "noise-free shares" true (clean == ising)
+
+let noise_readout_flips () =
+  let rng = Testutil.rng 9 in
+  let spins = Array.make 1000 1 in
+  let flipped = Noise.apply_readout (Noise.bit_flip_only 0.5) rng spins in
+  let n_flipped = Array.fold_left (fun acc s -> if s = -1 then acc + 1 else acc) 0 flipped in
+  Alcotest.(check bool) "roughly half flipped" true (n_flipped > 350 && n_flipped < 650);
+  let same = Noise.apply_readout Noise.noise_free rng spins in
+  Alcotest.(check bool) "no flips when off" true (Array.for_all (fun s -> s = 1) same)
+
+let timing_formulas () =
+  let t = Timing.d_wave_2000q in
+  fcheck "single sample" 138. (Timing.single_sample_us t);
+  (* the Fig 1 formula: (20+110)*60 + 20*59 + programming *)
+  fcheck "60 samples" ((130. *. 60.) +. (20. *. 59.) +. 8.) (Timing.multi_sample_us t ~samples:60)
+
+(* end-to-end: embed a small clause set, anneal noise-free, energy 0 and a
+   satisfying assignment for a satisfiable queue *)
+let machine_on_satisfiable_queue () =
+  let g = Chimera.Graph.standard_2000q () in
+  let rng = Testutil.rng 11 in
+  let clauses =
+    [
+      Sat.Clause.of_dimacs [ 1; 2; 3 ];
+      Sat.Clause.of_dimacs [ -1; 2; 4 ];
+      Sat.Clause.of_dimacs [ -2; -3; 5 ];
+      Sat.Clause.of_dimacs [ 1; -4; 5 ];
+    ]
+  in
+  let enc = Qubo.Encode.encode ~num_vars:5 clauses in
+  let res = Embed.Hyqsat_scheme.embed g enc in
+  Alcotest.(check int) "all clauses embedded" 4 res.Embed.Hyqsat_scheme.embedded_clauses;
+  let job =
+    {
+      Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+      objective = Qubo.Encode.objective enc;
+      edges = res.Embed.Hyqsat_scheme.edges;
+    }
+  in
+  let outcome = Machine.run rng job in
+  Alcotest.(check bool) "no chain breaks noise-free" true (outcome.Machine.chain_breaks = 0);
+  fcheck "zero energy" 0.0 outcome.Machine.energy;
+  (* the assignment restricted to original vars satisfies the clauses *)
+  let x = Array.make 5 false in
+  List.iter (fun (node, v) -> if node < 5 then x.(node) <- v) outcome.Machine.assignment;
+  Alcotest.(check bool) "clauses satisfied" true (Qubo.Encode.clauses_satisfied enc x)
+
+let machine_on_unsat_queue () =
+  (* {x1, ¬x1} forces energy ≥ 1 whatever the sample *)
+  let g = Chimera.Graph.create ~rows:4 ~cols:4 in
+  let rng = Testutil.rng 13 in
+  let clauses = [ Sat.Clause.of_dimacs [ 1 ]; Sat.Clause.of_dimacs [ -1 ] ] in
+  let enc = Qubo.Encode.encode ~num_vars:1 clauses in
+  let res = Embed.Hyqsat_scheme.embed g enc in
+  Alcotest.(check int) "embedded" 2 res.Embed.Hyqsat_scheme.embedded_clauses;
+  let job =
+    {
+      Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+      objective = Qubo.Encode.objective enc;
+      edges = res.Embed.Hyqsat_scheme.edges;
+    }
+  in
+  let outcome = Machine.run rng job in
+  Alcotest.(check bool) "energy >= 1" true (outcome.Machine.energy >= 1.0 -. 1e-9)
+
+let machine_noise_raises_energy_spread () =
+  let g = Chimera.Graph.standard_2000q () in
+  let clauses =
+    List.init 12 (fun i ->
+        Sat.Clause.make
+          [ Sat.Lit.pos (i mod 6); Sat.Lit.neg_of ((i + 1) mod 6); Sat.Lit.pos ((i + 3) mod 6) ])
+  in
+  let enc = Qubo.Encode.encode ~num_vars:6 clauses in
+  let res = Embed.Hyqsat_scheme.embed g enc in
+  let job =
+    {
+      Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+      objective = Qubo.Encode.objective enc;
+      edges = res.Embed.Hyqsat_scheme.edges;
+    }
+  in
+  let energies noise seed =
+    let rng = Testutil.rng seed in
+    Array.init 30 (fun _ -> (Machine.run ~noise rng job).Machine.energy)
+  in
+  let clean = energies Noise.noise_free 17 in
+  let noisy = energies Noise.default_2000q 17 in
+  Alcotest.(check bool) "noisy mean >= clean mean" true
+    (Stats.Descriptive.mean noisy >= Stats.Descriptive.mean clean -. 1e-9)
+
+let machine_rejects_unembedded () =
+  let g = Chimera.Graph.create ~rows:2 ~cols:2 in
+  let obj = Qubo.Pbq.create () in
+  Qubo.Pbq.add_linear obj 0 1.0;
+  let job = { Machine.embedding = Embed.Embedding.create g; objective = obj; edges = [] } in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Machine.run (Testutil.rng 1) job);
+       false
+     with Machine.Unembedded_term _ -> true)
+
+let sampler_respects_init () =
+  (* with an empty schedule-budget the init must pass through untouched at
+     zero temperature... closest observable: a strongly ferromagnetic pair
+     seeded aligned stays aligned *)
+  let ising = SI.build ~n:2 ~h:[| 0.; 0. |] ~couplings:[ ((0, 1), -4.0) ] ~offset:0. in
+  let rng = Testutil.rng 19 in
+  let spins =
+    Sampler.sample
+      ~schedule:{ Sampler.sweeps = 30; beta_min = 2.0; beta_max = 20.0 }
+      ~init:[| 1; 1 |] rng ising
+  in
+  Alcotest.(check bool) "stays aligned" true (spins.(0) = spins.(1))
+
+let sampler_init_length_checked () =
+  let ising = SI.build ~n:3 ~h:[| 0.; 0.; 0. |] ~couplings:[] ~offset:0. in
+  Alcotest.(check bool) "bad init rejected" true
+    (try
+       ignore (Sampler.sample ~init:[| 1 |] (Testutil.rng 1) ising);
+       false
+     with Invalid_argument _ -> true)
+
+let machine_postprocess_off_keeps_soundness () =
+  (* postprocess off: energies may be worse, never negative-impossible, and
+     the assignment is still a real assignment of the objective *)
+  let g = Chimera.Graph.standard_2000q () in
+  let rng = Testutil.rng 23 in
+  let clauses =
+    [ Sat.Clause.of_dimacs [ 1; 2; 3 ]; Sat.Clause.of_dimacs [ -1; -2; 4 ] ]
+  in
+  let enc = Qubo.Encode.encode ~num_vars:4 clauses in
+  let res = Embed.Hyqsat_scheme.embed g enc in
+  let job =
+    {
+      Machine.embedding = res.Embed.Hyqsat_scheme.embedding;
+      objective = Qubo.Encode.objective enc;
+      edges = res.Embed.Hyqsat_scheme.edges;
+    }
+  in
+  let o = Machine.run ~postprocess:false rng job in
+  let lookup = o.Machine.assignment in
+  let e =
+    Qubo.Pbq.eval job.Machine.objective (fun v -> List.assoc v lookup)
+  in
+  Alcotest.(check (float 1e-6)) "reported energy consistent" e o.Machine.energy;
+  Alcotest.(check bool) "non-negative for penalty objectives" true (e >= -1e-9)
+
+let suite =
+  [
+    ( "anneal.sparse_ising",
+      [
+        Alcotest.test_case "energy" `Quick sparse_ising_energy;
+        Alcotest.test_case "duplicate couplings" `Quick sparse_ising_duplicate_couplings;
+      ] );
+    ( "anneal.sampler",
+      [
+        Alcotest.test_case "ground state" `Quick sampler_finds_ground_state;
+        Alcotest.test_case "best-of improves" `Quick sampler_best_of_improves;
+        Alcotest.test_case "respects init" `Quick sampler_respects_init;
+        Alcotest.test_case "init length checked" `Quick sampler_init_length_checked;
+      ] );
+    ( "anneal.noise",
+      [
+        Alcotest.test_case "coefficients" `Quick noise_perturbs_coefficients;
+        Alcotest.test_case "readout" `Quick noise_readout_flips;
+      ] );
+    ("anneal.timing", [ Alcotest.test_case "formulas" `Quick timing_formulas ]);
+    ( "anneal.machine",
+      [
+        Alcotest.test_case "satisfiable queue" `Quick machine_on_satisfiable_queue;
+        Alcotest.test_case "unsat queue" `Quick machine_on_unsat_queue;
+        Alcotest.test_case "noise raises energy" `Quick machine_noise_raises_energy_spread;
+        Alcotest.test_case "rejects unembedded" `Quick machine_rejects_unembedded;
+        Alcotest.test_case "postprocess off soundness" `Quick machine_postprocess_off_keeps_soundness;
+      ] );
+  ]

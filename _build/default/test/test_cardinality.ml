@@ -1,0 +1,100 @@
+(* Tests for cardinality constraints and exact MAX-SAT. *)
+
+module Card = Sat.Cardinality
+
+(* semantic check: the encoding (with registers existential) accepts exactly
+   the base assignments with <= k true literals *)
+let card_semantics_check ~n ~k ~lits =
+  let enc = Card.at_most_k ~num_vars:n lits ~k in
+  let base_formula bits =
+    let units =
+      List.init n (fun v ->
+          Sat.Clause.make [ (if bits land (1 lsl v) <> 0 then Sat.Lit.pos v else Sat.Lit.neg_of v) ])
+    in
+    Sat.Cnf.make ~num_vars:enc.Card.num_vars (units @ enc.Card.clauses)
+  in
+  let ok = ref true in
+  for bits = 0 to (1 lsl n) - 1 do
+    let count =
+      List.fold_left
+        (fun acc l ->
+          let v = bits land (1 lsl Sat.Lit.var l) <> 0 in
+          if (if Sat.Lit.is_pos l then v else not v) then acc + 1 else acc)
+        0 lits
+    in
+    let sat = Sat.Brute.solve ~limit_vars:24 (base_formula bits) <> None in
+    if sat <> (count <= k) then ok := false
+  done;
+  !ok
+
+let at_most_k_semantics =
+  QCheck.Test.make ~name:"at_most_k accepts exactly counts <= k" ~count:60
+    QCheck.(triple (int_range 1 5) (int_range 0 5) (int_bound 1000))
+    (fun (n, k, seed) ->
+      let r = Testutil.rng (seed + (n * 17) + k) in
+      let lits = List.init n (fun v -> Sat.Lit.make v (Stats.Rng.bool r)) in
+      card_semantics_check ~n ~k ~lits)
+
+let at_least_exactly () =
+  let n = 4 in
+  let lits = List.init n (fun v -> Sat.Lit.pos v) in
+  (* at_least 2: assignments with >= 2 true *)
+  let enc = Card.at_least_k ~num_vars:n lits ~k:2 in
+  let with_base bits =
+    let units =
+      List.init n (fun v ->
+          Sat.Clause.make [ (if bits land (1 lsl v) <> 0 then Sat.Lit.pos v else Sat.Lit.neg_of v) ])
+    in
+    Sat.Cnf.make ~num_vars:enc.Card.num_vars (units @ enc.Card.clauses)
+  in
+  for bits = 0 to 15 do
+    let count = List.length (List.filter (fun v -> bits land (1 lsl v) <> 0) [ 0; 1; 2; 3 ]) in
+    Alcotest.(check bool)
+      (Printf.sprintf "bits=%d" bits)
+      (count >= 2)
+      (Sat.Brute.solve (with_base bits) <> None)
+  done;
+  (* exactly 0 and exactly n degenerate cases *)
+  let e0 = Card.exactly_k ~num_vars:2 [ Sat.Lit.pos 0; Sat.Lit.pos 1 ] ~k:0 in
+  let f0 = Sat.Cnf.make ~num_vars:e0.Card.num_vars e0.Card.clauses in
+  (match Sat.Brute.solve f0 with
+  | Some m -> Alcotest.(check bool) "all false" false (m.(0) || m.(1))
+  | None -> Alcotest.fail "k=0 satisfiable by all-false")
+
+let exact_maxsat_matches_brute =
+  QCheck.Test.make ~name:"exact maxsat equals brute optimum" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 3 8 >>= fun n ->
+         int_range 3 25 >>= fun m ->
+         int_bound 100000 >>= fun seed ->
+         return (Testutil.random_cnf (Testutil.rng (seed + n + (m * 31))) ~n ~m ~k:3)))
+    (fun f ->
+      match Hyqsat.Maxsat.exact f with
+      | None -> false
+      | Some r ->
+          r.Hyqsat.Maxsat.violated = Sat.Brute.min_unsatisfied f
+          && Sat.Assignment.num_unsatisfied
+               (Sat.Assignment.of_bools r.Hyqsat.Maxsat.assignment)
+               f
+             = r.Hyqsat.Maxsat.violated)
+
+let exact_maxsat_on_unsat_pair () =
+  let f = Sat.Dimacs.parse_string "p cnf 1 2\n1 0\n-1 0\n" in
+  match Hyqsat.Maxsat.exact f with
+  | Some r -> Alcotest.(check int) "one violated" 1 r.Hyqsat.Maxsat.violated
+  | None -> Alcotest.fail "exact failed"
+
+let suite =
+  [
+    ( "sat.cardinality",
+      [
+        QCheck_alcotest.to_alcotest at_most_k_semantics;
+        Alcotest.test_case "at_least / exactly" `Quick at_least_exactly;
+      ] );
+    ( "hyqsat.maxsat_exact",
+      [
+        QCheck_alcotest.to_alcotest exact_maxsat_matches_brute;
+        Alcotest.test_case "unsat pair" `Quick exact_maxsat_on_unsat_pair;
+      ] );
+  ]

@@ -1,0 +1,349 @@
+(* Tests for the HyQSAT core: clause queue, calibration, frontend, backend,
+   hybrid solver. *)
+
+module Queue_ = Hyqsat.Clause_queue
+module Calibration = Hyqsat.Calibration
+module Frontend = Hyqsat.Frontend
+module Backend = Hyqsat.Backend
+module Hybrid = Hyqsat.Hybrid_solver
+
+let flat_activity _ = 1.0
+
+(* ---- clause queue ---- *)
+
+let queue_bfs_locality () =
+  let r = Testutil.rng 201 in
+  let f = Workload.Uniform.uf r 60 in
+  let q = Queue_.generate r f ~activity:flat_activity ~limit:30 in
+  Alcotest.(check int) "limit respected" 30 (List.length q);
+  Alcotest.(check int) "no duplicates" 30 (List.length (List.sort_uniq Int.compare q));
+  (* every clause after the head shares a variable with an earlier clause *)
+  let rec check_connected seen = function
+    | [] -> ()
+    | k :: rest ->
+        let c = Sat.Cnf.clause f k in
+        if seen <> [] then
+          Alcotest.(check bool) "BFS connectivity" true
+            (List.exists (fun k' -> Sat.Clause.shares_var c (Sat.Cnf.clause f k')) seen);
+        check_connected (k :: seen) rest
+  in
+  check_connected [] q
+
+let queue_head_from_top_activity () =
+  let r = Testutil.rng 202 in
+  let f = Workload.Uniform.uf r 40 in
+  (* one clause vastly more active than the rest: with top_k = 1 it must be
+     the head every time *)
+  let hot = 17 in
+  let activity k = if k = hot then 100.0 else 1.0 in
+  for _ = 1 to 5 do
+    match Queue_.generate ~top_k:1 r f ~activity ~limit:10 with
+    | head :: _ -> Alcotest.(check int) "hot clause first" hot head
+    | [] -> Alcotest.fail "empty queue"
+  done
+
+let queue_var_budget () =
+  let r = Testutil.rng 203 in
+  let f = Workload.Uniform.uf r 100 in
+  let q = Queue_.generate ~var_budget:20 r f ~activity:flat_activity ~limit:1000 in
+  let vars =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun k -> Sat.Clause.vars (Sat.Cnf.clause f k)) q)
+  in
+  Alcotest.(check bool) "var budget respected" true (List.length vars <= 20);
+  Alcotest.(check bool) "queue nonempty" true (q <> [])
+
+let queue_budget_improves_density () =
+  let r = Testutil.rng 204 in
+  let f = Workload.Uniform.uf r 150 in
+  let q = Queue_.generate ~var_budget:64 r f ~activity:flat_activity ~limit:500 in
+  let vars =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun k -> Sat.Clause.vars (Sat.Cnf.clause f k)) q)
+  in
+  (* the budgeted queue packs more clauses than variables *)
+  Alcotest.(check bool) "clauses > vars" true (List.length q > List.length vars)
+
+let queue_random_mode () =
+  let r = Testutil.rng 205 in
+  let f = Workload.Uniform.uf r 50 in
+  let q = Queue_.generate_random r f ~limit:25 in
+  Alcotest.(check int) "size" 25 (List.length q);
+  Alcotest.(check int) "distinct" 25 (List.length (List.sort_uniq Int.compare q))
+
+let queue_empty_formula () =
+  let f = Sat.Cnf.make ~num_vars:3 [] in
+  let r = Testutil.rng 206 in
+  Alcotest.(check (list int)) "empty" []
+    (Queue_.generate r f ~activity:flat_activity ~limit:10)
+
+(* ---- calibration ---- *)
+
+let calibration_paper_default () =
+  let c = Calibration.paper_default in
+  Alcotest.(check (float 1e-9)) "sat cut" 4.5 c.Calibration.partition.Stats.Naive_bayes.sat_cut;
+  Alcotest.(check (float 1e-9)) "unsat cut" 8.0 c.Calibration.partition.Stats.Naive_bayes.unsat_cut
+
+let calibration_separates_classes () =
+  let rng = Testutil.rng 207 in
+  let g = Chimera.Graph.standard_2000q () in
+  let c = Calibration.calibrate ~problems:8 ~noise:Anneal.Noise.noise_free rng g in
+  Alcotest.(check bool) "collected sat" true (Array.length c.Calibration.sat_energies >= 4);
+  Alcotest.(check bool) "collected unsat" true (Array.length c.Calibration.unsat_energies >= 4);
+  let mean_sat = Stats.Descriptive.mean c.Calibration.sat_energies in
+  let mean_unsat = Stats.Descriptive.mean c.Calibration.unsat_energies in
+  Alcotest.(check bool) "unsat energies higher" true (mean_unsat > mean_sat)
+
+(* ---- frontend ---- *)
+
+let frontend_prepares () =
+  let rng = Testutil.rng 208 in
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.uf rng 80 in
+  match Frontend.prepare rng g f ~activity:flat_activity with
+  | None -> Alcotest.fail "frontend produced nothing"
+  | Some p ->
+      Alcotest.(check bool) "clauses embedded" true (p.Frontend.clause_indices <> []);
+      Alcotest.(check bool) "not all embedded (344 clauses)" false p.Frontend.all_clauses_embedded;
+      (* job validates against its own edges *)
+      (match
+         Embed.Embedding.validate p.Frontend.job.Anneal.Machine.embedding
+           ~edges:p.Frontend.job.Anneal.Machine.edges
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* vars_involved are exactly the variables of the embedded clauses *)
+      let expect =
+        List.sort_uniq Int.compare
+          (List.concat_map (fun k -> Sat.Clause.vars (Sat.Cnf.clause f k)) p.Frontend.clause_indices)
+      in
+      Alcotest.(check (list int)) "vars involved" expect p.Frontend.vars_involved
+
+let frontend_small_formula_fully_embeds () =
+  let rng = Testutil.rng 209 in
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.generate rng ~num_vars:15 ~num_clauses:25 in
+  match Frontend.prepare rng g f ~activity:flat_activity with
+  | None -> Alcotest.fail "nothing prepared"
+  | Some p -> Alcotest.(check bool) "fully embedded" true p.Frontend.all_clauses_embedded
+
+(* ---- backend ---- *)
+
+let backend_classification () =
+  let c = Calibration.paper_default in
+  Alcotest.(check bool) "zero energy + all -> S1" true
+    (Backend.classify c ~all_embedded:true ~energy:0.0 = Backend.S1_solved);
+  Alcotest.(check bool) "zero energy partial -> S2" true
+    (Backend.classify c ~all_embedded:false ~energy:0.0 = Backend.S2_keep_assignment);
+  Alcotest.(check bool) "energy 2 -> S2" true
+    (Backend.classify c ~all_embedded:true ~energy:2.0 = Backend.S2_keep_assignment);
+  Alcotest.(check bool) "energy 6 -> S3" true
+    (Backend.classify c ~all_embedded:true ~energy:6.0 = Backend.S3_none);
+  Alcotest.(check bool) "energy 12 -> S4" true
+    (Backend.classify c ~all_embedded:true ~energy:12.0 = Backend.S4_reach_conflict)
+
+let backend_strategy1_verifies () =
+  (* an S1 sample that does NOT satisfy the formula must not be trusted *)
+  let rng = Testutil.rng 210 in
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.generate rng ~num_vars:12 ~num_clauses:20 in
+  match Frontend.prepare rng g f ~activity:flat_activity with
+  | None -> Alcotest.fail "nothing prepared"
+  | Some p ->
+      let solver = Cdcl.Solver.create f in
+      (* fabricate a lying outcome: energy 0 with an all-false assignment *)
+      let fake =
+        {
+          Anneal.Machine.assignment = List.map (fun v -> (v, false)) p.Frontend.vars_involved;
+          energy = 0.0;
+          physical_energy = 0.0;
+          chain_breaks = 0;
+          time_us = 130.;
+        }
+      in
+      let applied = Backend.apply Calibration.paper_default solver f p fake in
+      (match applied.Backend.solved with
+      | Some model ->
+          Alcotest.(check bool) "only a real model is reported" true
+            (Testutil.check_model f model)
+      | None -> ())
+
+let backend_ablation_masks () =
+  let c = Calibration.paper_default in
+  let rng = Testutil.rng 211 in
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.generate rng ~num_vars:12 ~num_clauses:20 in
+  match Frontend.prepare rng g f ~activity:flat_activity with
+  | None -> Alcotest.fail "nothing prepared"
+  | Some p ->
+      let solver = Cdcl.Solver.create f in
+      let outcome =
+        {
+          Anneal.Machine.assignment = List.map (fun v -> (v, false)) p.Frontend.vars_involved;
+          energy = 12.0;
+          physical_energy = 0.0;
+          chain_breaks = 0;
+          time_us = 130.;
+        }
+      in
+      let off = { Backend.s1 = true; s2 = true; s4 = false } in
+      let applied = Backend.apply ~enabled:off c solver f p outcome in
+      Alcotest.(check bool) "s4 disabled -> S3" true
+        (applied.Backend.strategy = Backend.S3_none)
+
+(* ---- hybrid solver ---- *)
+
+let hybrid_agrees_with_classic () =
+  let rng = Testutil.rng 212 in
+  for _ = 1 to 6 do
+    let f = Workload.Uniform.generate rng ~num_vars:25 ~num_clauses:100 in
+    let classic = Hybrid.solve_classic f in
+    let hybrid = Hybrid.solve f in
+    let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
+    Alcotest.(check bool) "same satisfiability" (is_sat classic.Hybrid.result)
+      (is_sat hybrid.Hybrid.result);
+    match hybrid.Hybrid.result with
+    | Cdcl.Solver.Sat m -> Alcotest.(check bool) "model valid" true (Testutil.check_model f m)
+    | _ -> ()
+  done
+
+let hybrid_agrees_under_noise () =
+  (* soundness under heavy noise: hints may be garbage, answers must not *)
+  let rng = Testutil.rng 213 in
+  let config =
+    { Hybrid.default_config with Hybrid.noise = Anneal.Noise.bit_flip_only 0.4 }
+  in
+  for _ = 1 to 4 do
+    let f = Workload.Uniform.generate rng ~num_vars:20 ~num_clauses:85 in
+    let classic = Hybrid.solve_classic f in
+    let hybrid = Hybrid.solve ~config f in
+    let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
+    Alcotest.(check bool) "noise never changes the answer" (is_sat classic.Hybrid.result)
+      (is_sat hybrid.Hybrid.result)
+  done
+
+let hybrid_unsat_detection () =
+  let rng = Testutil.rng 214 in
+  let f = Workload.Circuit_fault.generate rng ~inputs:6 ~gates:20 in
+  let hybrid = Hybrid.solve f in
+  Alcotest.(check bool) "unsat" true (hybrid.Hybrid.result = Cdcl.Solver.Unsat)
+
+let hybrid_report_consistency () =
+  let rng = Testutil.rng 215 in
+  let f = Workload.Uniform.uf rng 40 in
+  let r = Hybrid.solve f in
+  Alcotest.(check bool) "qa calls bounded by warmup" true
+    (r.Hybrid.qa_calls <= r.Hybrid.warmup_iterations + 1);
+  Alcotest.(check int) "strategy uses sum to qa calls" r.Hybrid.qa_calls
+    (Array.fold_left ( + ) 0 r.Hybrid.strategy_uses);
+  Alcotest.(check bool) "qa time positive iff calls" true
+    ((r.Hybrid.qa_calls > 0) = (r.Hybrid.qa_time_us > 0.));
+  Alcotest.(check bool) "end-to-end >= cdcl time" true
+    (Hybrid.end_to_end_time_s r >= r.Hybrid.cdcl_time_s)
+
+let hybrid_strategy1_shortcut () =
+  (* a formula small enough to fully embed can be finished by strategy 1 *)
+  let hit = ref false in
+  for seed = 1 to 6 do
+    let rng = Testutil.rng (216 + seed) in
+    let f = Workload.Uniform.generate rng ~num_vars:18 ~num_clauses:36 in
+    let r = Hybrid.solve f in
+    if r.Hybrid.strategy_uses.(0) > 0 then begin
+      hit := true;
+      match r.Hybrid.result with
+      | Cdcl.Solver.Sat m -> Alcotest.(check bool) "model valid" true (Testutil.check_model f m)
+      | _ -> Alcotest.fail "strategy 1 must imply SAT"
+    end
+  done;
+  Alcotest.(check bool) "strategy 1 fires on small instances" true !hit
+
+let estimate_iterations_positive =
+  QCheck.Test.make ~name:"iteration estimate positive and monotone-ish" ~count:50
+    (QCheck.pair (QCheck.int_range 10 200) (QCheck.int_range 1 4))
+    (fun (n, ratio) ->
+      let f =
+        Sat.Cnf.make ~num_vars:n
+          (List.init (n * ratio) (fun i ->
+               Sat.Clause.make [ Sat.Lit.pos (i mod n); Sat.Lit.neg_of ((i + 1) mod n) ]))
+      in
+      Hybrid.estimate_iterations f >= 16)
+
+(* ---- maxsat ---- *)
+
+let maxsat_reaches_optimum_on_satisfiable () =
+  let rng = Testutil.rng 401 in
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.generate rng ~num_vars:15 ~num_clauses:30 in
+  match Hyqsat.Maxsat.approximate rng g f with
+  | None -> Alcotest.fail "nothing embedded"
+  | Some r ->
+      Alcotest.(check int) "zero violations on planted instance" 0 r.Hyqsat.Maxsat.violated
+
+let maxsat_matches_brute_optimum () =
+  let rng = Testutil.rng 402 in
+  let g = Chimera.Graph.standard_2000q () in
+  for _ = 1 to 4 do
+    (* deeply over-constrained: optimum > 0 *)
+    let f = Workload.Uniform.generate ~planted:false rng ~num_vars:10 ~num_clauses:80 in
+    let optimum = Sat.Brute.min_unsatisfied f in
+    (match Hyqsat.Maxsat.approximate ~samples:10 rng g f with
+    | None -> Alcotest.fail "nothing embedded"
+    | Some r ->
+        Alcotest.(check bool) "annealer >= optimum" true (r.Hyqsat.Maxsat.violated >= optimum);
+        Alcotest.(check bool) "annealer close to optimum" true
+          (r.Hyqsat.Maxsat.violated <= optimum + 3));
+    let ls = Hyqsat.Maxsat.local_search rng f in
+    Alcotest.(check bool) "local search >= optimum" true (ls.Hyqsat.Maxsat.violated >= optimum)
+  done
+
+let maxsat_counts_consistent =
+  QCheck.Test.make ~name:"maxsat result counts its own violations" ~count:30
+    Testutil.small_cnf_arb (fun f ->
+      let rng = Testutil.rng 403 in
+      let ls = Hyqsat.Maxsat.local_search ~max_flips:500 rng f in
+      let a = Sat.Assignment.of_bools ls.Hyqsat.Maxsat.assignment in
+      Sat.Assignment.num_unsatisfied a f = ls.Hyqsat.Maxsat.violated)
+
+let suite =
+  [
+    ( "hyqsat.maxsat",
+      [
+        Alcotest.test_case "optimum on satisfiable" `Quick maxsat_reaches_optimum_on_satisfiable;
+        Alcotest.test_case "near brute optimum" `Slow maxsat_matches_brute_optimum;
+        QCheck_alcotest.to_alcotest maxsat_counts_consistent;
+      ] );
+    ( "hyqsat.clause_queue",
+      [
+        Alcotest.test_case "bfs locality" `Quick queue_bfs_locality;
+        Alcotest.test_case "head from top activity" `Quick queue_head_from_top_activity;
+        Alcotest.test_case "var budget" `Quick queue_var_budget;
+        Alcotest.test_case "budget improves density" `Quick queue_budget_improves_density;
+        Alcotest.test_case "random mode" `Quick queue_random_mode;
+        Alcotest.test_case "empty formula" `Quick queue_empty_formula;
+      ] );
+    ( "hyqsat.calibration",
+      [
+        Alcotest.test_case "paper default" `Quick calibration_paper_default;
+        Alcotest.test_case "separates classes" `Slow calibration_separates_classes;
+      ] );
+    ( "hyqsat.frontend",
+      [
+        Alcotest.test_case "prepares valid jobs" `Quick frontend_prepares;
+        Alcotest.test_case "small formula fully embeds" `Quick frontend_small_formula_fully_embeds;
+      ] );
+    ( "hyqsat.backend",
+      [
+        Alcotest.test_case "classification" `Quick backend_classification;
+        Alcotest.test_case "strategy 1 verifies" `Quick backend_strategy1_verifies;
+        Alcotest.test_case "ablation masks" `Quick backend_ablation_masks;
+      ] );
+    ( "hyqsat.hybrid",
+      [
+        Alcotest.test_case "agrees with classic" `Slow hybrid_agrees_with_classic;
+        Alcotest.test_case "sound under noise" `Slow hybrid_agrees_under_noise;
+        Alcotest.test_case "unsat detection" `Quick hybrid_unsat_detection;
+        Alcotest.test_case "report consistency" `Quick hybrid_report_consistency;
+        Alcotest.test_case "strategy 1 shortcut" `Slow hybrid_strategy1_shortcut;
+        QCheck_alcotest.to_alcotest estimate_iterations_positive;
+      ] );
+  ]

@@ -1,0 +1,79 @@
+(* Final widening pass of cross-cutting properties. *)
+
+let queue_deterministic_given_rng () =
+  let f = Workload.Uniform.uf (Testutil.rng 501) 80 in
+  let q1 = Hyqsat.Clause_queue.generate (Testutil.rng 7) f ~activity:(fun _ -> 1.) ~limit:40 in
+  let q2 = Hyqsat.Clause_queue.generate (Testutil.rng 7) f ~activity:(fun _ -> 1.) ~limit:40 in
+  Alcotest.(check (list int)) "same rng, same queue" q1 q2
+
+let spec_instances_deterministic () =
+  List.iter
+    (fun spec ->
+      let f1 = spec.Workload.Spec.generate (Testutil.rng 502) `Small in
+      let f2 = spec.Workload.Spec.generate (Testutil.rng 502) `Small in
+      Alcotest.(check bool) (spec.Workload.Spec.id ^ " deterministic") true
+        (Sat.Cnf.equal f1 f2))
+    Workload.Spec.table1
+
+let aux_count_matches_three_lit_clauses =
+  QCheck.Test.make ~name:"one auxiliary per 3-literal clause" ~count:100
+    Testutil.small_cnf_arb (fun f ->
+      let enc = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) (Sat.Cnf.clauses f) in
+      let three_lit =
+        List.length (List.filter (fun c -> Sat.Clause.size c = 3) (Sat.Cnf.clauses f))
+      in
+      enc.Qubo.Encode.num_total_vars - Sat.Cnf.num_vars f = three_lit)
+
+let embedding_qubits_disjoint =
+  QCheck.Test.make ~name:"hyqsat chains use disjoint qubits" ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 10000))
+    (fun seed ->
+      let r = Testutil.rng (503 + seed) in
+      let f = Workload.Uniform.uf r 60 in
+      let q = Hyqsat.Clause_queue.generate r f ~activity:(fun _ -> 1.) ~limit:40 ~var_budget:64 in
+      let enc = Qubo.Encode.encode ~num_vars:60 (List.map (Sat.Cnf.clause f) q) in
+      let g = Chimera.Graph.standard_2000q () in
+      let res = Embed.Hyqsat_scheme.embed g enc in
+      let emb = res.Embed.Hyqsat_scheme.embedding in
+      let seen = Hashtbl.create 256 in
+      List.for_all
+        (fun node ->
+          List.for_all
+            (fun qubit ->
+              if Hashtbl.mem seen qubit then false
+              else begin
+                Hashtbl.replace seen qubit ();
+                true
+              end)
+            (Option.value ~default:[] (Embed.Embedding.chain emb node)))
+        (Embed.Embedding.nodes emb))
+
+let warmup_scales_with_sqrt_k () =
+  (* 4x the clauses (at fixed ratio) should le roughly double the warm-up *)
+  let mk n = Workload.Uniform.uf (Testutil.rng 504) n in
+  let k1 = Hyqsat.Hybrid_solver.estimate_iterations (mk 50) in
+  let k2 = Hyqsat.Hybrid_solver.estimate_iterations (mk 200) in
+  Alcotest.(check bool) "bigger problem, bigger estimate" true (k2 > k1);
+  let w1 = sqrt (float_of_int k1) and w2 = sqrt (float_of_int k2) in
+  Alcotest.(check bool) "sqrt scaling in a sane band" true (w2 /. w1 > 1.5 && w2 /. w1 < 4.)
+
+let dimacs_of_generated_is_reparseable =
+  QCheck.Test.make ~name:"generated benchmarks round-trip through DIMACS" ~count:14
+    (QCheck.make QCheck.Gen.(int_bound 13))
+    (fun i ->
+      let spec = List.nth Workload.Spec.table1 i in
+      let f = spec.Workload.Spec.generate (Testutil.rng (505 + i)) `Small in
+      Sat.Cnf.equal f (Sat.Dimacs.parse_string (Sat.Dimacs.to_string f)))
+
+let suite =
+  [
+    ( "properties",
+      [
+        Alcotest.test_case "queue deterministic" `Quick queue_deterministic_given_rng;
+        Alcotest.test_case "spec deterministic" `Quick spec_instances_deterministic;
+        QCheck_alcotest.to_alcotest aux_count_matches_three_lit_clauses;
+        QCheck_alcotest.to_alcotest embedding_qubits_disjoint;
+        Alcotest.test_case "warmup sqrt scaling" `Quick warmup_scales_with_sqrt_k;
+        QCheck_alcotest.to_alcotest dimacs_of_generated_is_reparseable;
+      ] );
+  ]

@@ -1,0 +1,160 @@
+(* Tests for CNF preprocessing and DRAT proof logging/checking. *)
+
+module Simplify = Sat.Simplify
+module Drat = Sat.Drat
+
+(* ---- simplify ---- *)
+
+let simplify_units () =
+  (* x1; ¬x1 ∨ x2; x2 ∨ x3  —  units fix x1, x2 and the rest collapses *)
+  let f = Sat.Dimacs.parse_string "p cnf 3 3\n1 0\n-1 2 0\n2 3 0\n" in
+  match Simplify.simplify f with
+  | Simplify.Unsat_by_simplification -> Alcotest.fail "satisfiable input"
+  | Simplify.Simplified (f', r) ->
+      Alcotest.(check int) "all clauses gone" 0 (Sat.Cnf.num_clauses f');
+      Alcotest.(check bool) "x1 fixed true" true (List.mem (0, true) r.Simplify.fixed);
+      Alcotest.(check bool) "x2 fixed true" true (List.mem (1, true) r.Simplify.fixed)
+
+let simplify_conflict () =
+  let f = Sat.Dimacs.parse_string "p cnf 2 3\n1 0\n-1 2 0\n-2 0\n" in
+  Alcotest.(check bool) "conflict found" true
+    (Simplify.simplify f = Simplify.Unsat_by_simplification)
+
+let simplify_pure_literals () =
+  (* x1 occurs only positively: all its clauses are satisfied by x1 = true *)
+  let f = Sat.Dimacs.parse_string "p cnf 3 2\n1 2 0\n1 -3 0\n" in
+  match Simplify.simplify f with
+  | Simplify.Simplified (f', r) ->
+      Alcotest.(check int) "clauses gone" 0 (Sat.Cnf.num_clauses f');
+      Alcotest.(check bool) "x1 pure true" true (List.mem (0, true) r.Simplify.fixed)
+  | Simplify.Unsat_by_simplification -> Alcotest.fail "satisfiable"
+
+let simplify_subsumption () =
+  (* (x1 ∨ x2) subsumes (x1 ∨ x2 ∨ x3); disable pure literals' reach by
+     using both polarities of each variable elsewhere *)
+  let f =
+    Sat.Dimacs.parse_string "p cnf 3 4\n1 2 0\n1 2 3 0\n-1 -2 -3 0\n-3 1 0\n"
+  in
+  match Simplify.simplify ~subsumption:true f with
+  | Simplify.Simplified (f', _) ->
+      Alcotest.(check bool) "subsumed clause removed" true (Sat.Cnf.num_clauses f' < 4)
+  | Simplify.Unsat_by_simplification -> Alcotest.fail "satisfiable"
+
+let simplify_equisatisfiable =
+  QCheck.Test.make ~name:"simplify preserves satisfiability + model reconstructs" ~count:200
+    Testutil.small_cnf_arb (fun f ->
+      let expected = Sat.Brute.solve f <> None in
+      match Simplify.simplify f with
+      | Simplify.Unsat_by_simplification -> not expected
+      | Simplify.Simplified (f', r) -> (
+          match Sat.Brute.solve f' with
+          | None -> not expected
+          | Some m' ->
+              let m = Simplify.reconstruct r m' in
+              expected && Testutil.check_model f m))
+
+let simplify_never_grows =
+  QCheck.Test.make ~name:"simplify never adds clauses or variables" ~count:100
+    Testutil.small_cnf_arb (fun f ->
+      match Simplify.simplify f with
+      | Simplify.Unsat_by_simplification -> true
+      | Simplify.Simplified (f', _) ->
+          Sat.Cnf.num_clauses f' <= Sat.Cnf.num_clauses f
+          && Sat.Cnf.num_vars f' = Sat.Cnf.num_vars f)
+
+(* ---- drat ---- *)
+
+let drat_roundtrip () =
+  let proof =
+    [
+      Drat.Add [ Sat.Lit.pos 0; Sat.Lit.neg_of 2 ];
+      Drat.Delete [ Sat.Lit.pos 1 ];
+      Drat.Add [];
+    ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Drat.parse_string (Drat.to_string proof) = proof)
+
+let drat_checker_accepts_resolution () =
+  (* (x1 ∨ x2) (¬x1 ∨ x2) (¬x2): adding (x2) is RUP, then [] is RUP *)
+  let f = Sat.Dimacs.parse_string "p cnf 2 3\n1 2 0\n-1 2 0\n-2 0\n" in
+  let proof = [ Drat.Add [ Sat.Lit.pos 1 ]; Drat.Add [] ] in
+  (match Drat.check f proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* a bogus addition must be rejected: against (x1 ∨ x2) alone, assuming
+     ¬x1 only makes the clause unit — no conflict, so (x1) is not RUP *)
+  let g = Sat.Dimacs.parse_string "p cnf 2 1\n1 2 0\n" in
+  let bogus = [ Drat.Add [ Sat.Lit.pos 0 ] ] in
+  match Drat.check_steps g bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-RUP clause accepted"
+
+let drat_requires_empty_clause () =
+  let f = Sat.Dimacs.parse_string "p cnf 2 2\n1 2 0\n-2 0\n" in
+  (* valid derivation but no contradiction: check must fail, check_steps pass *)
+  let proof = [ Drat.Add [ Sat.Lit.pos 0 ] ] in
+  (match Drat.check_steps f proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Drat.check f proof with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted without the empty clause"
+
+let solver_proofs_check =
+  QCheck.Test.make ~name:"solver UNSAT answers carry checkable DRAT proofs" ~count:120
+    Testutil.small_cnf_arb (fun f ->
+      let config = Cdcl.Config.with_proof_logging Cdcl.Config.minisat_like in
+      let s = Cdcl.Solver.create ~config f in
+      match Cdcl.Solver.solve s with
+      | Cdcl.Solver.Sat _ -> (
+          (* derivation steps must still be individually valid *)
+          match Cdcl.Solver.proof s with
+          | Some proof -> Drat.check_steps f proof = Ok ()
+          | None -> false)
+      | Cdcl.Solver.Unsat -> (
+          match Cdcl.Solver.proof s with
+          | Some proof -> Drat.check f proof = Ok ()
+          | None -> false)
+      | Cdcl.Solver.Unknown -> false)
+
+let solver_proof_on_pigeonhole () =
+  (* a structured UNSAT family with clause deletions in play *)
+  let f = Test_cdcl.pigeonhole ~holes:4 in
+  let config = Cdcl.Config.with_proof_logging Cdcl.Config.minisat_like in
+  let s = Cdcl.Solver.create ~config f in
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php unsat");
+  match Cdcl.Solver.proof s with
+  | None -> Alcotest.fail "no proof"
+  | Some proof -> (
+      Alcotest.(check bool) "nonempty proof" true (List.length proof > 1);
+      match Drat.check f proof with Ok () -> () | Error e -> Alcotest.fail e)
+
+let no_proof_without_flag () =
+  let f = Sat.Dimacs.parse_string "p cnf 1 2\n1 0\n-1 0\n" in
+  let s = Cdcl.Solver.create f in
+  ignore (Cdcl.Solver.solve s);
+  Alcotest.(check bool) "no proof" true (Cdcl.Solver.proof s = None)
+
+let suite =
+  [
+    ( "sat.simplify",
+      [
+        Alcotest.test_case "units" `Quick simplify_units;
+        Alcotest.test_case "conflict" `Quick simplify_conflict;
+        Alcotest.test_case "pure literals" `Quick simplify_pure_literals;
+        Alcotest.test_case "subsumption" `Quick simplify_subsumption;
+        QCheck_alcotest.to_alcotest simplify_equisatisfiable;
+        QCheck_alcotest.to_alcotest simplify_never_grows;
+      ] );
+    ( "sat.drat",
+      [
+        Alcotest.test_case "roundtrip" `Quick drat_roundtrip;
+        Alcotest.test_case "accepts resolution" `Quick drat_checker_accepts_resolution;
+        Alcotest.test_case "requires empty clause" `Quick drat_requires_empty_clause;
+        QCheck_alcotest.to_alcotest solver_proofs_check;
+        Alcotest.test_case "pigeonhole proof" `Quick solver_proof_on_pigeonhole;
+        Alcotest.test_case "off by default" `Quick no_proof_without_flag;
+      ] );
+  ]
