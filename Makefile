@@ -1,0 +1,21 @@
+# Convenience entry points; `make verify` is the tier-1 gate.
+
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# one-command tier-1 verification (same as `dune build @verify`)
+verify:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

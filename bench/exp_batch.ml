@@ -1,0 +1,59 @@
+(* Batch-throughput benchmark for the service layer (no paper analogue):
+   solve a uf50 batch through Service.Batch at increasing worker counts and
+   report wall-clock, throughput and speedup over 1 worker, plus one
+   portfolio race to show first-winner cancellation.
+
+   On a W-core machine the batch speedup at `--jobs W` should exceed 2x for
+   W >= 4; on fewer cores the scaling columns simply saturate. *)
+
+let uf50_batch (ctx : Bench_util.ctx) count =
+  let rng = Bench_util.rng_of ctx 87 in
+  List.init count (fun i ->
+      let f = Workload.Uniform.uf rng 50 in
+      Service.Job.make ~name:(Printf.sprintf "uf50-%02d" i) ~seed:(ctx.seed + (101 * i)) ~id:i f)
+
+let run (ctx : Bench_util.ctx) =
+  Bench_util.header "Batch & portfolio service throughput"
+    "no paper analogue; service-layer scaling on uf50 batches";
+  let count = match ctx.scale with `Paper -> 40 | `Small -> 20 in
+  let jobs = uf50_batch ctx count in
+  let cores = Domain.recommended_domain_count () in
+  let worker_counts =
+    List.sort_uniq compare [ 1; 2; min 4 cores; cores ] |> List.filter (fun w -> w >= 1)
+  in
+  Printf.printf "%d uf50 instances, %d core(s) recommended\n\n" count cores;
+  Printf.printf "%8s %10s %12s %9s\n" "workers" "wall(s)" "jobs/s" "speedup";
+  Bench_util.hr ();
+  let base_wall = ref None in
+  List.iter
+    (fun workers ->
+      let members ~seed = Service.Batch.solo "minisat" ~seed in
+      let summary, _ = Service.Batch.run ~workers ~members jobs in
+      let wall = summary.Service.Telemetry.wall_time_s in
+      if !base_wall = None then base_wall := Some wall;
+      let speedup = match !base_wall with Some b when wall > 0. -> b /. wall | _ -> 1. in
+      Printf.printf "%8d %10.3f %12.1f %8.2fx\n" workers wall
+        summary.Service.Telemetry.throughput_jps speedup)
+    worker_counts;
+  Bench_util.hr ();
+  (* one portfolio race, to exercise cancellation end to end *)
+  let f = Workload.Uniform.uf (Bench_util.rng_of ctx 88) 50 in
+  let members = Service.Portfolio.members_named ~grid:4 ~seed:ctx.seed [ "minisat"; "kissat"; "walksat" ] in
+  let report = Service.Portfolio.race members f in
+  let winner =
+    match report.Service.Portfolio.winner with
+    | Some w -> w.Service.Portfolio.member
+    | None -> "(none)"
+  in
+  Printf.printf "\nportfolio race on one uf50: winner=%s wall=%.3f s\n" winner
+    report.Service.Portfolio.wall_time_s;
+  List.iter
+    (fun (m : Service.Portfolio.member_report) ->
+      Printf.printf "  %-10s %-8s %8d iters %s\n" m.Service.Portfolio.member
+        (match m.Service.Portfolio.stats.Service.Portfolio.result with
+        | Cdcl.Solver.Sat _ -> "sat"
+        | Cdcl.Solver.Unsat -> "unsat"
+        | Cdcl.Solver.Unknown -> "unknown")
+        m.Service.Portfolio.stats.Service.Portfolio.iterations
+        (if m.Service.Portfolio.cancelled then "(cancelled)" else ""))
+    report.Service.Portfolio.members

@@ -1,71 +1,96 @@
-(* hyqsat: solve DIMACS CNF files with the hybrid QA+CDCL solver or the
-   classical baselines. *)
+(* hyqsat: solve DIMACS CNF files with the hybrid QA+CDCL solver, the
+   classical baselines, or a parallel portfolio race — one file or a batch
+   across a worker pool.
 
-let solve_file path solver_kind noisy grid seed verbose =
+   Exit codes follow the SAT competition: 10 = SAT, 20 = UNSAT, 0 = unknown.
+   For a batch the code is 10 iff every instance is SAT, 20 iff every
+   instance is UNSAT, 0 otherwise. *)
+
+let load_formula path =
   let f = Sat.Dimacs.parse_file path in
-  let f =
-    if Sat.Cnf.is_3sat f then f
-    else begin
-      Printf.eprintf "note: converting %d-SAT input to 3-SAT\n%!" (Sat.Cnf.max_clause_size f);
-      fst (Sat.Three_sat.convert f)
-    end
-  in
-  let report =
-    match solver_kind with
-    | `Hybrid ->
-        let base = if noisy then Hyqsat.Hybrid_solver.noisy_config else Hyqsat.Hybrid_solver.default_config in
-        let config =
-          {
-            base with
-            Hyqsat.Hybrid_solver.graph = Chimera.Graph.create ~rows:grid ~cols:grid;
-            seed;
-          }
-        in
-        Hyqsat.Hybrid_solver.solve ~config f
-    | `Minisat ->
-        Hyqsat.Hybrid_solver.solve_classic ~config:(Cdcl.Config.with_seed seed Cdcl.Config.minisat_like) f
-    | `Kissat ->
-        Hyqsat.Hybrid_solver.solve_classic ~config:(Cdcl.Config.with_seed seed Cdcl.Config.kissat_like) f
-  in
-  (match report.Hyqsat.Hybrid_solver.result with
-  | Cdcl.Solver.Sat model ->
-      print_endline "s SATISFIABLE";
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf "v";
-      Array.iteri
-        (fun v b -> Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
-        model;
-      Buffer.add_string buf " 0";
-      print_endline (Buffer.contents buf)
-  | Cdcl.Solver.Unsat -> print_endline "s UNSATISFIABLE"
-  | Cdcl.Solver.Unknown -> print_endline "s UNKNOWN");
-  if verbose then begin
-    let st = report.Hyqsat.Hybrid_solver.solver_stats in
-    Printf.printf "c iterations        %d\n" report.Hyqsat.Hybrid_solver.iterations;
-    Printf.printf "c decisions         %d\n" st.Cdcl.Solver.decisions;
-    Printf.printf "c conflicts         %d\n" st.Cdcl.Solver.conflicts;
-    Printf.printf "c propagations      %d\n" st.Cdcl.Solver.propagations;
-    Printf.printf "c restarts          %d\n" st.Cdcl.Solver.restarts;
-    Printf.printf "c learnt clauses    %d\n" st.Cdcl.Solver.learnt_clauses;
-    Printf.printf "c qa calls          %d\n" report.Hyqsat.Hybrid_solver.qa_calls;
-    Printf.printf "c qa time           %.1f us\n" report.Hyqsat.Hybrid_solver.qa_time_us;
-    Printf.printf "c strategy uses     s1=%d s2=%d s3=%d s4=%d\n"
-      report.Hyqsat.Hybrid_solver.strategy_uses.(0)
-      report.Hyqsat.Hybrid_solver.strategy_uses.(1)
-      report.Hyqsat.Hybrid_solver.strategy_uses.(2)
-      report.Hyqsat.Hybrid_solver.strategy_uses.(3);
-    Printf.printf "c end-to-end time   %.3f ms\n"
-      (Hyqsat.Hybrid_solver.end_to_end_time_s report *. 1000.)
+  if Sat.Cnf.is_3sat f then f
+  else begin
+    let g, _map = Sat.Three_sat.convert f in
+    Printf.eprintf
+      "note: %s: converting %d-SAT input to 3-SAT (%d vars, %d clauses -> %d vars, %d clauses)\n%!"
+      path (Sat.Cnf.max_clause_size f) (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f)
+      (Sat.Cnf.num_vars g) (Sat.Cnf.num_clauses g);
+    g
+  end
+
+let print_model model =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "v";
+  Array.iteri
+    (fun v b -> Buffer.add_string buf (Printf.sprintf " %d" (if b then v + 1 else -(v + 1))))
+    model;
+  Buffer.add_string buf " 0";
+  print_endline (Buffer.contents buf)
+
+let print_comment_block text =
+  String.split_on_char '\n' text
+  |> List.iter (fun line -> if line <> "" then print_endline ("c " ^ line))
+
+let exit_code_of_outcomes outcomes =
+  let all p = List.for_all p outcomes in
+  if outcomes = [] then 0
+  else if all (function Service.Job.Sat _ -> true | _ -> false) then 10
+  else if all (function Service.Job.Unsat -> true | _ -> false) then 20
+  else 0
+
+let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
+    max_iterations json_out =
+  if paths = [] then begin
+    Printf.eprintf "hyqsat: no input files\n";
+    exit 2
   end;
-  match report.Hyqsat.Hybrid_solver.result with
-  | Cdcl.Solver.Sat _ -> 10
-  | Cdcl.Solver.Unsat -> 20
-  | Cdcl.Solver.Unknown -> 0
+  let specs =
+    List.mapi
+      (fun i path ->
+        Service.Job.make ~name:path ?timeout_s:timeout ~max_iterations ~retries:(max 0 retries)
+          ~seed:(seed + (101 * i)) ~id:i (load_formula path))
+      paths
+  in
+  let members ~seed =
+    if portfolio then Service.Portfolio.default_members ~grid ~seed ()
+    else
+      let name =
+        match (solver_kind, noisy) with
+        | `Hybrid, false -> "hybrid"
+        | `Hybrid, true -> "hybrid-noisy"
+        | `Minisat, _ -> "minisat"
+        | `Kissat, _ -> "kissat"
+      in
+      Service.Batch.solo ~grid name ~seed
+  in
+  let summary, results = Service.Batch.run ~workers:jobs ~members specs in
+  let records = List.map (fun r -> r.Service.Batch.record) results in
+  if json_out then print_endline (Service.Telemetry.to_json_string summary records)
+  else begin
+    let single = List.length results = 1 in
+    List.iter
+      (fun r ->
+        if not single then
+          Printf.printf "c ---- %s (%s)\n" r.Service.Batch.spec.Service.Job.name
+            r.Service.Batch.record.Service.Telemetry.outcome;
+        (match r.Service.Batch.outcome with
+        | Service.Job.Sat model ->
+            print_endline "s SATISFIABLE";
+            if single then print_model model
+        | Service.Job.Unsat -> print_endline "s UNSATISFIABLE"
+        | Service.Job.Unknown _ -> print_endline "s UNKNOWN"))
+      results;
+    if verbose || not single then begin
+      if verbose then print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_table records);
+      print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_summary summary)
+    end
+  end;
+  exit_code_of_outcomes (List.map (fun r -> r.Service.Batch.outcome) results)
 
 open Cmdliner
 
-let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF input file.")
+let paths_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"DIMACS CNF input files (one or more).")
 
 let solver_arg =
   let kinds = [ ("hybrid", `Hybrid); ("minisat", `Minisat); ("kissat", `Kissat) ] in
@@ -73,7 +98,17 @@ let solver_arg =
     value
     & opt (enum kinds) `Hybrid
     & info [ "s"; "solver" ] ~docv:"KIND"
-        ~doc:"Solver: $(b,hybrid) (QA+CDCL), $(b,minisat) or $(b,kissat) baselines.")
+        ~doc:
+          "Solver: $(b,hybrid) (QA+CDCL), $(b,minisat) or $(b,kissat) baselines.  Ignored with \
+           $(b,--portfolio).")
+
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race all solver configurations (hybrid, hybrid-noisy, minisat, kissat, walksat) per \
+           instance; first definite answer wins and cancels the rest.")
 
 let noisy_arg =
   Arg.(value & flag & info [ "noisy" ] ~doc:"Use the D-Wave 2000Q noise model instead of the noise-free simulator.")
@@ -82,12 +117,42 @@ let grid_arg =
   Arg.(value & opt int 16 & info [ "grid" ] ~docv:"N" ~doc:"Chimera grid size (N×N cells; 16 = D-Wave 2000Q).")
 
 let seed_arg = Arg.(value & opt int 20230225 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print solver statistics.")
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-job telemetry.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains solving instances in parallel.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Per-instance wall-clock deadline; expiry reports $(b,unknown:timeout).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"K"
+        ~doc:"Retry an unknown outcome up to K times with reseeded solvers (deadline permitting).")
+
+let max_iterations_arg =
+  Arg.(
+    value & opt int max_int
+    & info [ "max-iterations" ] ~docv:"N" ~doc:"CDCL step budget per solve attempt.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the run telemetry (summary + per-job records) as JSON on stdout.")
 
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
   Cmd.v
     (Cmd.info "hyqsat" ~doc)
-    Term.(const solve_file $ path_arg $ solver_arg $ noisy_arg $ grid_arg $ seed_arg $ verbose_arg)
+    Term.(
+      const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
+      $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

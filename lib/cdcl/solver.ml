@@ -76,6 +76,8 @@ type t = {
   mutable s_max_level : int;
   (* DRAT proof, reversed (config.log_proof) *)
   mutable proof_rev : Sat.Drat.step list;
+  (* cooperative cancellation, polled between iterations by [solve] *)
+  mutable terminate : unit -> bool;
   (* terminal state *)
   mutable status : result;
 }
@@ -139,6 +141,7 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
       s_iterations = 0;
       s_max_level = 0;
       proof_rev = [];
+      terminate = (fun () -> false);
       status = Unknown;
     }
   in
@@ -570,15 +573,16 @@ let solve ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
   let saturating_add a b = if a > max_int - b then max_int else a + b in
   let conflict_budget = saturating_add t.s_conflicts max_conflicts in
   let iteration_budget = saturating_add t.s_iterations max_iterations in
-  let rec loop () =
+  let rec loop polls =
     if t.s_conflicts >= conflict_budget || t.s_iterations >= iteration_budget then Unknown
+    else if polls land 127 = 0 && t.terminate () then Unknown
     else
       match step t with
-      | `Continue -> loop ()
+      | `Continue -> loop (polls + 1)
       | `Sat m -> Sat m
       | `Unsat -> Unsat
   in
-  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown -> loop ()
+  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown -> loop 0
 
 let solve_with_assumptions ?max_conflicts ?max_iterations t lits =
   if t.status = Unsat then `Unsat
@@ -641,3 +645,4 @@ let model t = match t.status with Sat m -> Some m | _ -> None
 let is_decided t = match t.status with Unknown -> false | _ -> true
 
 let force_restart t = t.restart_pending <- true
+let set_terminate t f = t.terminate <- f

@@ -110,3 +110,13 @@ val proof : t -> Sat.Drat.t option
 val force_restart : t -> unit
 (** Request a restart before the next decision (used by the hybrid backend
     to apply fresh phase hints from the top of the search tree). *)
+
+val set_terminate : t -> (unit -> bool) -> unit
+(** Install a cooperative-cancellation callback.  {!solve} polls it between
+    iterations (at most every 128 steps, and once on entry) and answers
+    [Unknown] as soon as it returns [true].  The solver state stays valid:
+    [solve] may be called again after the flag clears, continuing the
+    search.  The callback must be cheap (e.g. an [Atomic.get]) and is the
+    contract the portfolio service uses to stop losing racers; replace it
+    with [(fun () -> false)] to disable.  It runs on whatever domain called
+    [solve], so it must be safe to call from that domain only. *)

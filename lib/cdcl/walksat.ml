@@ -1,6 +1,7 @@
 type stats = { flips : int; restarts_used : int }
 
-let solve ?(max_flips = 10_000) ?(restarts = 10) ?(noise = 0.5) rng f =
+let solve ?(max_flips = 10_000) ?(restarts = 10) ?(noise = 0.5)
+    ?(should_stop = fun () -> false) rng f =
   let n = Sat.Cnf.num_vars f in
   let m = Sat.Cnf.num_clauses f in
   let total_flips = ref 0 in
@@ -34,7 +35,7 @@ let solve ?(max_flips = 10_000) ?(restarts = 10) ?(noise = 0.5) rng f =
     done;
     let flips = ref 0 in
     let solved = ref (unsat_clauses () = []) in
-    while (not !solved) && !flips < max_flips do
+    while (not !solved) && !flips < max_flips && not (!flips land 63 = 0 && should_stop ()) do
       (match unsat_clauses () with
       | [] -> solved := true
       | unsat ->
@@ -61,6 +62,7 @@ let solve ?(max_flips = 10_000) ?(restarts = 10) ?(noise = 0.5) rng f =
   in
   (try
      for _ = 1 to restarts do
+       if should_stop () then raise Exit;
        incr restarts_used;
        if attempt () then begin
          result := Some (Array.copy model);

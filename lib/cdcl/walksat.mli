@@ -11,9 +11,12 @@ val solve :
   ?max_flips:int ->
   ?restarts:int ->
   ?noise:float ->
+  ?should_stop:(unit -> bool) ->
   Stats.Rng.t ->
   Sat.Cnf.t ->
   bool array option * stats
 (** [solve rng f] is [Some model] if local search finds one within
     [restarts] × [max_flips] flips ([noise] = random-walk probability,
-    default 0.5); [None] is inconclusive. *)
+    default 0.5); [None] is inconclusive.  [should_stop] is polled every
+    64 flips and before each restart; when it returns [true] the search
+    gives up immediately with [None] (portfolio cancellation). *)

@@ -64,7 +64,8 @@ let strategy_index = function
   | Backend.S3_none -> 2
   | Backend.S4_reach_conflict -> 3
 
-let solve ?(config = default_config) ?(max_iterations = max_int) f =
+let solve ?(config = default_config) ?(max_iterations = max_int)
+    ?(should_stop = fun () -> false) f =
   let rng = Stats.Rng.create ~seed:config.seed in
   let solver = Cdcl.Solver.create ~config:config.cdcl f in
   let warmup =
@@ -85,7 +86,7 @@ let solve ?(config = default_config) ?(max_iterations = max_int) f =
   let iter = ref 0 in
   let result = ref Cdcl.Solver.Unknown in
   let running = ref true in
-  while !running && !iter < max_iterations do
+  while !running && !iter < max_iterations && not (!iter land 127 = 0 && should_stop ()) do
     (* warm-up: consult the annealer before stepping *)
     if !iter < warmup && !iter mod config.qa_period = 0 && !solved_by_qa = None then begin
       match
@@ -156,8 +157,10 @@ let solve ?(config = default_config) ?(max_iterations = max_int) f =
     solver_stats = Cdcl.Solver.stats solver;
   }
 
-let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int) f =
+let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int)
+    ?(should_stop = fun () -> false) f =
   let solver = Cdcl.Solver.create ~config f in
+  Cdcl.Solver.set_terminate solver should_stop;
   let t0 = Sys.time () in
   let result = Cdcl.Solver.solve ~max_iterations solver in
   let elapsed = Sys.time () -. t0 in

@@ -54,7 +54,20 @@ val end_to_end_pipelined_s : report -> float
 val estimate_iterations : Sat.Cnf.t -> int
 (** The paper's K estimate from variable and clause counts. *)
 
-val solve : ?config:config -> ?max_iterations:int -> Sat.Cnf.t -> report
+val solve :
+  ?config:config -> ?max_iterations:int -> ?should_stop:(unit -> bool) -> Sat.Cnf.t -> report
+(** [should_stop] is a cooperative-cancellation callback polled between
+    iterations (every 128 steps); when it returns [true] the search stops
+    and the report carries [Unknown].  It must be cheap and safe to call
+    from the solving domain — the service layer passes an [Atomic.get].
+    [max_iterations] is the step budget: the search executes at most that
+    many CDCL iterations before answering [Unknown]. *)
 
-val solve_classic : ?config:Cdcl.Config.t -> ?max_iterations:int -> Sat.Cnf.t -> report
-(** The classical baseline through the same reporting type (zero QA). *)
+val solve_classic :
+  ?config:Cdcl.Config.t ->
+  ?max_iterations:int ->
+  ?should_stop:(unit -> bool) ->
+  Sat.Cnf.t ->
+  report
+(** The classical baseline through the same reporting type (zero QA).
+    [should_stop] as in {!solve}, installed via {!Cdcl.Solver.set_terminate}. *)

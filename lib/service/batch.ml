@@ -1,0 +1,87 @@
+type job_result = {
+  spec : Job.spec;
+  outcome : Job.outcome;
+  record : Telemetry.record;
+  race : Portfolio.race_report;
+}
+
+let solo ?grid name ~seed = Portfolio.members_named ?grid ~seed [ name ]
+
+let max_member_iterations (race : Portfolio.race_report) =
+  List.fold_left
+    (fun acc (m : Portfolio.member_report) -> max acc m.Portfolio.stats.Portfolio.iterations)
+    0 race.Portfolio.members
+
+let process ~members (spec : Job.spec) ~enqueued_at =
+  let started = Unix.gettimeofday () in
+  let queue_wait_s = started -. enqueued_at in
+  let deadline = Job.deadline spec in
+  (* bounded retry with reseeding: an attempt that ends Unknown (step budget
+     exhausted, or an incomplete member giving up) is retried with fresh
+     seeds while attempts and wall-clock remain *)
+  let rec attempt k =
+    let seed = Job.attempt_seed spec k in
+    let race =
+      Portfolio.race ~deadline ~max_iterations:spec.Job.max_iterations (members ~seed)
+        spec.Job.formula
+    in
+    match race.Portfolio.winner with
+    | Some _ -> (race, k + 1)
+    | None ->
+        if k < spec.Job.retries && not (Deadline.expired deadline) then attempt (k + 1)
+        else (race, k + 1)
+  in
+  let race, attempts = attempt 0 in
+  let solve_time_s = Unix.gettimeofday () -. started in
+  let outcome =
+    match race.Portfolio.winner with
+    | Some w -> (
+        match w.Portfolio.stats.Portfolio.result with
+        | Cdcl.Solver.Sat m -> Job.Sat m
+        | Cdcl.Solver.Unsat -> Job.Unsat
+        | Cdcl.Solver.Unknown -> assert false (* winners are decisive *))
+    | None -> Job.Unknown (if Deadline.expired deadline then Job.Timeout else Job.Budget)
+  in
+  let winner_name, iterations, qa_calls, strategy_uses =
+    match race.Portfolio.winner with
+    | Some w ->
+        ( w.Portfolio.member,
+          w.Portfolio.stats.Portfolio.iterations,
+          w.Portfolio.stats.Portfolio.qa_calls,
+          Array.copy w.Portfolio.stats.Portfolio.strategy_uses )
+    | None -> ("", max_member_iterations race, 0, Array.make 4 0)
+  in
+  let record =
+    {
+      Telemetry.job_id = spec.Job.id;
+      job_name = spec.Job.name;
+      outcome = Job.outcome_label outcome;
+      winner = winner_name;
+      attempts;
+      queue_wait_s;
+      solve_time_s;
+      iterations;
+      qa_calls;
+      strategy_uses;
+    }
+  in
+  { spec; outcome; record; race }
+
+let run ?(workers = 1) ~members jobs =
+  let workers = max 1 (min 64 workers) in (* same clamp as Pool.create *)
+  let t0 = Unix.gettimeofday () in
+  let pool =
+    Pool.create ~workers (fun ~worker:_ (spec, enqueued_at) ->
+        process ~members spec ~enqueued_at)
+  in
+  List.iter (fun spec -> Pool.submit pool (spec, Unix.gettimeofday ())) jobs;
+  let results = Pool.drain pool in
+  let wall_time_s = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.to_list results
+    |> List.map (function Ok r -> r | Error e -> raise e)
+  in
+  let summary =
+    Telemetry.summarize ~workers ~wall_time_s (List.map (fun r -> r.record) results)
+  in
+  (summary, results)

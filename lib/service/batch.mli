@@ -1,0 +1,32 @@
+(** Batch solving service: schedule {!Job.spec}s onto a {!Pool} of worker
+    domains, each job solved by a (possibly 1-member) {!Portfolio} race
+    under its deadline, with bounded reseeding retries and full
+    {!Telemetry}.
+
+    Results come back in submission order regardless of worker count, and
+    per-job outcomes depend only on the job's seeds — never on scheduling —
+    so a batch is reproducible at any [workers] setting. *)
+
+type job_result = {
+  spec : Job.spec;
+  outcome : Job.outcome;
+  record : Telemetry.record;
+  race : Portfolio.race_report;  (** last attempt's full race detail *)
+}
+
+val run :
+  ?workers:int ->
+  members:(seed:int -> Portfolio.member list) ->
+  Job.spec list ->
+  Telemetry.summary * job_result list
+(** [run ~workers ~members jobs] solves every job and returns the
+    aggregated summary plus per-job results in input order.
+
+    [members ~seed] builds the portfolio for one attempt; retries call it
+    again with {!Job.attempt_seed} so every attempt searches differently.
+    [workers] defaults to 1.  A worker exception (e.g. a member raising) is
+    re-raised after the pool is drained. *)
+
+val solo : ?grid:int -> string -> seed:int -> Portfolio.member list
+(** [solo name] is a 1-member portfolio — the degenerate race used for
+    plain batch solving ([--jobs] without [--portfolio]). *)

@@ -1,0 +1,32 @@
+type spec = {
+  id : int;
+  name : string;
+  formula : Sat.Cnf.t;
+  timeout_s : float option;
+  max_iterations : int;
+  retries : int;
+  seed : int;
+}
+
+let make ?name ?timeout_s ?(max_iterations = max_int) ?(retries = 0) ?(seed = 20230225) ~id
+    formula =
+  let name = match name with Some n -> n | None -> Printf.sprintf "job-%d" id in
+  if retries < 0 then invalid_arg "Job.make: retries < 0";
+  { id; name; formula; timeout_s; max_iterations; retries; seed }
+
+let deadline spec =
+  match spec.timeout_s with None -> Deadline.none | Some s -> Deadline.after s
+
+(* 7919 is the 1000th prime: attempt seeds stay far apart without colliding
+   with the +1/+2 seed conventions used elsewhere in the suite *)
+let attempt_seed spec k = spec.seed + (7919 * k)
+
+type unknown_reason = Timeout | Budget | Cancelled
+type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
+
+let outcome_label = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown Timeout -> "unknown:timeout"
+  | Unknown Budget -> "unknown:budget"
+  | Unknown Cancelled -> "unknown:cancelled"

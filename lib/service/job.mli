@@ -1,0 +1,46 @@
+(** Solver jobs: one DIMACS instance plus its solving policy.
+
+    A job is the unit of work the batch service schedules onto the worker
+    pool.  Besides the formula it carries a wall-clock timeout (measured
+    from the moment a worker starts it, not from enqueue), a step budget,
+    and a bounded retry policy: an [Unknown] outcome (budget exhausted)
+    is retried with a reseeded solver as long as attempts and deadline
+    remain. *)
+
+type spec = {
+  id : int;  (** caller-chosen, reported back in telemetry *)
+  name : string;  (** display name, e.g. the CNF path *)
+  formula : Sat.Cnf.t;
+  timeout_s : float option;  (** per-job wall-clock deadline; [None] = none *)
+  max_iterations : int;  (** CDCL step budget per attempt *)
+  retries : int;  (** extra attempts after an [Unknown] (0 = single shot) *)
+  seed : int;  (** base seed; attempt [k] reseeds with [seed + 7919·k] *)
+}
+
+val make :
+  ?name:string ->
+  ?timeout_s:float ->
+  ?max_iterations:int ->
+  ?retries:int ->
+  ?seed:int ->
+  id:int ->
+  Sat.Cnf.t ->
+  spec
+(** Defaults: [name] = ["job-<id>"], no timeout, [max_iterations] =
+    [max_int], [retries] = 0, [seed] = 20230225. *)
+
+val deadline : spec -> Deadline.t
+(** The job's deadline anchored at the current instant (call it when the
+    job starts running). *)
+
+val attempt_seed : spec -> int -> int
+(** [attempt_seed spec k] is the reseeded base for attempt [k] (0-based). *)
+
+(** Why a job ended without a definite answer. *)
+type unknown_reason = Timeout | Budget | Cancelled
+
+type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
+
+val outcome_label : outcome -> string
+(** ["sat"], ["unsat"], ["unknown:timeout"], ["unknown:budget"],
+    ["unknown:cancelled"] — the stable strings used in telemetry. *)

@@ -1,0 +1,121 @@
+type solve_stats = {
+  result : Cdcl.Solver.result;
+  iterations : int;
+  qa_calls : int;
+  strategy_uses : int array;
+}
+
+type member = {
+  name : string;
+  run : should_stop:(unit -> bool) -> max_iterations:int -> Sat.Cnf.t -> solve_stats;
+}
+
+type member_report = {
+  member : string;
+  stats : solve_stats;
+  time_s : float;
+  cancelled : bool;
+}
+
+type race_report = {
+  winner : member_report option;
+  members : member_report list;
+  wall_time_s : float;
+}
+
+let member_names = [ "hybrid"; "hybrid-noisy"; "minisat"; "kissat"; "walksat" ]
+
+let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
+  {
+    result = r.Hyqsat.Hybrid_solver.result;
+    iterations = r.Hyqsat.Hybrid_solver.iterations;
+    qa_calls = r.Hyqsat.Hybrid_solver.qa_calls;
+    strategy_uses = Array.copy r.Hyqsat.Hybrid_solver.strategy_uses;
+  }
+
+let hybrid_member ~name ~base ~grid ~seed =
+  {
+    name;
+    run =
+      (fun ~should_stop ~max_iterations f ->
+        let config =
+          {
+            base with
+            Hyqsat.Hybrid_solver.graph =
+              (if grid = 16 then base.Hyqsat.Hybrid_solver.graph
+               else Chimera.Graph.create ~rows:grid ~cols:grid);
+            seed;
+          }
+        in
+        stats_of_report (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop f));
+  }
+
+let classic_member ~name ~base ~seed =
+  {
+    name;
+    run =
+      (fun ~should_stop ~max_iterations f ->
+        stats_of_report
+          (Hyqsat.Hybrid_solver.solve_classic
+             ~config:(Cdcl.Config.with_seed seed base)
+             ~max_iterations ~should_stop f));
+  }
+
+let walksat_member ~seed =
+  {
+    name = "walksat";
+    run =
+      (fun ~should_stop ~max_iterations f ->
+        let rng = Stats.Rng.create ~seed in
+        (* one flip ≈ one iteration; split the budget over a few restarts *)
+        let max_flips = max 1_000 (min 200_000 (max_iterations / 4)) in
+        let model, st = Cdcl.Walksat.solve ~max_flips ~restarts:64 ~should_stop rng f in
+        let result =
+          match model with Some m -> Cdcl.Solver.Sat m | None -> Cdcl.Solver.Unknown
+        in
+        { result; iterations = st.Cdcl.Walksat.flips; qa_calls = 0; strategy_uses = Array.make 4 0 });
+  }
+
+let make_member ?(grid = 16) ~seed = function
+  | "hybrid" -> hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
+  | "hybrid-noisy" ->
+      hybrid_member ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config ~grid
+        ~seed:(seed + 1)
+  | "minisat" -> classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2)
+  | "kissat" -> classic_member ~name:"kissat" ~base:Cdcl.Config.kissat_like ~seed:(seed + 3)
+  | "walksat" -> walksat_member ~seed:(seed + 4)
+  | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
+
+let members_named ?grid ~seed names = List.map (make_member ?grid ~seed) names
+let default_members ?grid ~seed () = members_named ?grid ~seed member_names
+
+let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown -> false
+
+let race ?(deadline = Deadline.none) ?(max_iterations = max_int) members f =
+  if members = [] then invalid_arg "Portfolio.race: no members";
+  let t_start = Unix.gettimeofday () in
+  let cancel = Atomic.make false in
+  let winner_idx = Atomic.make (-1) in
+  let should_stop () = Atomic.get cancel || Deadline.expired deadline in
+  let run_one i m =
+    let t0 = Unix.gettimeofday () in
+    let stats = m.run ~should_stop ~max_iterations f in
+    let time_s = Unix.gettimeofday () -. t0 in
+    if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
+      Atomic.set cancel true;
+    let cancelled = (not (is_decisive stats.result)) && Atomic.get cancel in
+    { member = m.name; stats; time_s; cancelled }
+  in
+  let reports =
+    match members with
+    | [ m ] -> [ run_one 0 m ]
+    | _ ->
+        let domains =
+          List.mapi (fun i m -> Domain.spawn (fun () -> run_one i m)) members
+        in
+        List.map Domain.join domains
+  in
+  let winner =
+    match Atomic.get winner_idx with -1 -> None | i -> Some (List.nth reports i)
+  in
+  { winner; members = reports; wall_time_s = Unix.gettimeofday () -. t_start }

@@ -1,0 +1,53 @@
+(** Portfolio racing: run diverse solver configurations on the same
+    formula in parallel domains and keep the first definite answer.
+
+    Each member receives a [should_stop] callback combining the shared
+    race-cancel flag (set by the first member to answer Sat/Unsat) with the
+    job deadline; the cancellation contract of {!Cdcl.Solver.set_terminate}
+    / {!Hyqsat.Hybrid_solver.solve} guarantees losers return within ~128
+    solver steps of the flag flipping. *)
+
+type solve_stats = {
+  result : Cdcl.Solver.result;
+  iterations : int;
+  qa_calls : int;
+  strategy_uses : int array;  (** length 4; zeros for classical members *)
+}
+
+type member = {
+  name : string;
+  run : should_stop:(unit -> bool) -> max_iterations:int -> Sat.Cnf.t -> solve_stats;
+}
+
+type member_report = {
+  member : string;
+  stats : solve_stats;
+  time_s : float;
+  cancelled : bool;  (** returned [Unknown] after the race was decided *)
+}
+
+type race_report = {
+  winner : member_report option;  (** first member to answer Sat/Unsat *)
+  members : member_report list;  (** input order, winner included *)
+  wall_time_s : float;
+}
+
+val member_names : string list
+(** The stock portfolio: ["hybrid"; "hybrid-noisy"; "minisat"; "kissat";
+    "walksat"]. *)
+
+val default_members : ?grid:int -> seed:int -> unit -> member list
+(** All stock members, solver RNGs derived from [seed].  [grid] sizes the
+    simulated Chimera topology for the hybrid members (default 16 =
+    D-Wave 2000Q). *)
+
+val members_named : ?grid:int -> seed:int -> string list -> member list
+(** Subset of the stock portfolio by name.
+    @raise Invalid_argument on an unknown name. *)
+
+val race :
+  ?deadline:Deadline.t -> ?max_iterations:int -> member list -> Sat.Cnf.t -> race_report
+(** Race the members on [f]: one domain per member (run inline when there
+    is exactly one), first Sat/Unsat answer cancels the rest.  All members
+    are joined before returning, so the report is complete.
+    @raise Invalid_argument on an empty member list. *)

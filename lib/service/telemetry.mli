@@ -1,0 +1,49 @@
+(** Per-job run telemetry and service-level aggregation.
+
+    Every job the batch service executes emits one {!record}; a finished
+    run aggregates them into a {!summary}.  Both serialise to a JSON
+    document (self-contained emitter/parser — the container has no JSON
+    library) that round-trips through {!of_json_string}, and pretty-print
+    as an aligned table for interactive use. *)
+
+type record = {
+  job_id : int;
+  job_name : string;
+  outcome : string;  (** {!Job.outcome_label} string *)
+  winner : string;  (** portfolio member that answered first; [""] if none *)
+  attempts : int;  (** 1 + retries actually used *)
+  queue_wait_s : float;  (** enqueue → worker pickup *)
+  solve_time_s : float;  (** worker pickup → answer, all attempts *)
+  iterations : int;  (** winner's CDCL iterations (max over members if none) *)
+  qa_calls : int;  (** winner's annealer calls *)
+  strategy_uses : int array;  (** length 4, winner's strategy-1..4 uses *)
+}
+
+type summary = {
+  jobs : int;
+  sat : int;
+  unsat : int;
+  unknown : int;
+  workers : int;
+  wall_time_s : float;  (** submit of first job → last result *)
+  total_solve_s : float;  (** Σ solve_time — CPU the pool actually spent *)
+  max_solve_s : float;
+  mean_queue_wait_s : float;
+  throughput_jps : float;  (** jobs / wall_time *)
+}
+
+val summarize : workers:int -> wall_time_s:float -> record list -> summary
+
+(** {2 JSON} *)
+
+val to_json_string : summary -> record list -> string
+(** One JSON object [{"summary": {...}, "jobs": [...]}].  Floats are
+    printed with enough digits to round-trip exactly. *)
+
+val of_json_string : string -> (summary * record list, string) result
+(** Inverse of {!to_json_string}; [Error msg] on malformed input. *)
+
+(** {2 Pretty-printing} *)
+
+val pp_table : Format.formatter -> record list -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,251 @@
+(* Tests for the batch/portfolio service layer: pool ordering, scheduling
+   determinism, deadlines, first-winner cancellation, telemetry JSON. *)
+
+module Job = Service.Job
+module Pool = Service.Pool
+module Deadline = Service.Deadline
+module Portfolio = Service.Portfolio
+module Batch = Service.Batch
+module Telemetry = Service.Telemetry
+
+let planted_cnf seed n = Workload.Uniform.uf (Testutil.rng seed) n
+
+(* a member that answers instantly (the designated race winner) *)
+let instant_member model =
+  {
+    Portfolio.name = "instant";
+    run =
+      (fun ~should_stop:_ ~max_iterations:_ _f ->
+        {
+          Portfolio.result = Cdcl.Solver.Sat model;
+          iterations = 1;
+          qa_calls = 0;
+          strategy_uses = Array.make 4 0;
+        });
+  }
+
+(* a member that only stops when cancelled (bounded so a cancellation bug
+   fails the test instead of hanging it) *)
+let spin_member () =
+  {
+    Portfolio.name = "spin";
+    run =
+      (fun ~should_stop ~max_iterations:_ _f ->
+        let spins = ref 0 in
+        while (not (should_stop ())) && !spins < 2_000_000_000 do
+          incr spins;
+          if !spins land 1023 = 0 then Domain.cpu_relax ()
+        done;
+        {
+          Portfolio.result = Cdcl.Solver.Unknown;
+          iterations = !spins;
+          qa_calls = 0;
+          strategy_uses = Array.make 4 0;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let pool_preserves_order () =
+  let results =
+    Pool.map ~workers:3 (fun ~worker:_ x -> x * x) (List.init 20 Fun.id)
+  in
+  let values = List.map (function Ok v -> v | Error _ -> -1) results in
+  Alcotest.(check (list int)) "squares in submission order"
+    (List.init 20 (fun i -> i * i))
+    values
+
+let pool_captures_exceptions () =
+  let results =
+    Pool.map ~workers:2
+      (fun ~worker:_ x -> if x = 1 then failwith "boom" else x)
+      [ 0; 1; 2 ]
+  in
+  (match results with
+  | [ Ok 0; Error (Failure _); Ok 2 ] -> ()
+  | _ -> Alcotest.fail "expected [Ok 0; Error boom; Ok 2]");
+  let p = Pool.create ~workers:1 (fun ~worker:_ () -> ()) in
+  ignore (Pool.drain p);
+  Alcotest.check_raises "submit after drain" (Invalid_argument "Pool.submit: pool already drained")
+    (fun () -> Pool.submit p ())
+
+let batch_jobs seeds =
+  List.mapi
+    (fun i seed -> Job.make ~name:(Printf.sprintf "uf-%d" i) ~seed ~id:i (planted_cnf seed 30))
+    seeds
+
+let outcomes_of results =
+  List.map (fun r -> r.Batch.record.Telemetry.outcome) results
+
+let batch_is_worker_count_independent () =
+  let seeds = List.init 8 (fun i -> 1000 + (17 * i)) in
+  let members ~seed = Batch.solo "minisat" ~seed in
+  let _, r1 = Batch.run ~workers:1 ~members (batch_jobs seeds) in
+  let _, r3 = Batch.run ~workers:3 ~members (batch_jobs seeds) in
+  Alcotest.(check (list string)) "same outcomes at any worker count" (outcomes_of r1)
+    (outcomes_of r3);
+  Alcotest.(check (list int)) "results in submission order"
+    (List.init 8 Fun.id)
+    (List.map (fun r -> r.Batch.record.Telemetry.job_id) r3);
+  (* deterministic reruns: same seeds, same models *)
+  let _, r1' = Batch.run ~workers:1 ~members (batch_jobs seeds) in
+  List.iter2
+    (fun a b ->
+      match (a.Batch.outcome, b.Batch.outcome) with
+      | Job.Sat ma, Job.Sat mb ->
+          Alcotest.(check bool) "identical model" true (ma = mb);
+          Alcotest.(check bool) "model satisfies formula" true
+            (Testutil.check_model a.Batch.spec.Job.formula ma)
+      | oa, ob ->
+          Alcotest.(check string) "same outcome" (Job.outcome_label oa) (Job.outcome_label ob))
+    r1 r1'
+
+let deadline_expiry_returns_unknown () =
+  (* the spin member never answers: only the deadline can end the race, so
+     returning at all proves expiry is honoured (bounded fallback would take
+     minutes, not the ~50 ms we allow) *)
+  let f = planted_cnf 7 10 in
+  let jobs = [ Job.make ~timeout_s:0.05 ~retries:3 ~id:0 f ] in
+  let _, results = Batch.run ~members:(fun ~seed:_ -> [ spin_member () ]) jobs in
+  match results with
+  | [ r ] ->
+      Alcotest.(check string) "timeout outcome" "unknown:timeout"
+        r.Batch.record.Telemetry.outcome;
+      Alcotest.(check bool) "no winner recorded" true (r.Batch.record.Telemetry.winner = "");
+      (* deadline expired before any retry could be useful: attempts stop *)
+      Alcotest.(check bool) "bounded attempts" true (r.Batch.record.Telemetry.attempts <= 4)
+  | _ -> Alcotest.fail "expected one result"
+
+let budget_exhaustion_returns_unknown () =
+  let f = planted_cnf 11 50 in
+  let jobs = [ Job.make ~max_iterations:1 ~id:0 f ] in
+  let members ~seed = Batch.solo "minisat" ~seed in
+  let _, results = Batch.run ~members jobs in
+  match results with
+  | [ r ] ->
+      Alcotest.(check string) "budget outcome" "unknown:budget" r.Batch.record.Telemetry.outcome
+  | _ -> Alcotest.fail "expected one result"
+
+let cancellation_stops_losers () =
+  let f = Sat.Cnf.make ~num_vars:1 [ Sat.Clause.make [ Sat.Lit.make 0 true ] ] in
+  let report = Portfolio.race [ instant_member [| true |]; spin_member () ] f in
+  (match report.Portfolio.winner with
+  | Some w -> Alcotest.(check string) "instant member wins" "instant" w.Portfolio.member
+  | None -> Alcotest.fail "race had no winner");
+  let spin =
+    List.find (fun m -> m.Portfolio.member = "spin") report.Portfolio.members
+  in
+  Alcotest.(check bool) "loser observed the cancel flag" true spin.Portfolio.cancelled;
+  Alcotest.(check bool) "loser stopped well before its bound" true
+    (spin.Portfolio.stats.Portfolio.iterations < 2_000_000_000)
+
+let cdcl_terminate_hook () =
+  let f = planted_cnf 23 50 in
+  let solver = Cdcl.Solver.create f in
+  Cdcl.Solver.set_terminate solver (fun () -> true);
+  (match Cdcl.Solver.solve solver with
+  | Cdcl.Solver.Unknown -> ()
+  | _ -> Alcotest.fail "terminate should force Unknown");
+  (* the solver stays usable once the flag clears *)
+  Cdcl.Solver.set_terminate solver (fun () -> false);
+  match Cdcl.Solver.solve solver with
+  | Cdcl.Solver.Sat m ->
+      Alcotest.(check bool) "model valid after resume" true (Testutil.check_model f m)
+  | _ -> Alcotest.fail "planted instance must be SAT"
+
+let walksat_stops_on_cancel () =
+  let f = planted_cnf 31 40 in
+  let model, _ =
+    Cdcl.Walksat.solve ~should_stop:(fun () -> true) (Testutil.rng 1) f
+  in
+  Alcotest.(check bool) "cancelled walksat is inconclusive" true (model = None)
+
+let portfolio_race_finds_answer () =
+  let f = planted_cnf 42 30 in
+  let members = Portfolio.members_named ~grid:4 ~seed:5 [ "minisat"; "kissat"; "walksat" ] in
+  let report = Portfolio.race members f in
+  match report.Portfolio.winner with
+  | Some w -> (
+      match w.Portfolio.stats.Portfolio.result with
+      | Cdcl.Solver.Sat m ->
+          Alcotest.(check bool) "winning model satisfies" true (Testutil.check_model f m)
+      | _ -> Alcotest.fail "planted instance must be SAT")
+  | None -> Alcotest.fail "race found no answer"
+
+let telemetry_json_roundtrip () =
+  let records =
+    [
+      {
+        Telemetry.job_id = 0;
+        job_name = "path/with \"quotes\"\tand\nnewlines\\";
+        outcome = "sat";
+        winner = "hybrid";
+        attempts = 2;
+        queue_wait_s = 1.5e-05;
+        solve_time_s = 0.12345678901234567;
+        iterations = 1234;
+        qa_calls = 7;
+        strategy_uses = [| 1; 0; 3; 2 |];
+      };
+      {
+        Telemetry.job_id = 1;
+        job_name = "uf50-01.cnf";
+        outcome = "unknown:timeout";
+        winner = "";
+        attempts = 1;
+        queue_wait_s = 0.;
+        solve_time_s = 3.25;
+        iterations = 0;
+        qa_calls = 0;
+        strategy_uses = [| 0; 0; 0; 0 |];
+      };
+    ]
+  in
+  let summary = Telemetry.summarize ~workers:4 ~wall_time_s:3.3 records in
+  let doc = Telemetry.to_json_string summary records in
+  match Telemetry.of_json_string doc with
+  | Error msg -> Alcotest.fail ("JSON did not parse back: " ^ msg)
+  | Ok (summary', records') ->
+      Alcotest.(check bool) "summary round-trips" true (summary = summary');
+      Alcotest.(check int) "record count" 2 (List.length records');
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "record round-trips" true (a = b))
+        records records'
+
+let telemetry_json_rejects_garbage () =
+  (match Telemetry.of_json_string "{" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated JSON must not parse");
+  match Telemetry.of_json_string "{\"summary\":{},\"jobs\":[]}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields must not parse"
+
+let deadline_basics () =
+  Alcotest.(check bool) "none never expires" false (Deadline.expired Deadline.none);
+  Alcotest.(check bool) "past deadline expired" true (Deadline.expired (Deadline.after (-1.)));
+  Alcotest.(check bool) "remaining positive" true
+    (Deadline.remaining_s (Deadline.after 10.) > 5.);
+  let tight = Deadline.earliest (Deadline.after 10.) (Deadline.after 1.) in
+  Alcotest.(check bool) "earliest picks tighter" true (Deadline.remaining_s tight < 5.)
+
+let suite =
+  [
+    ( "service",
+      [
+        Alcotest.test_case "pool preserves submission order" `Quick pool_preserves_order;
+        Alcotest.test_case "pool captures exceptions" `Quick pool_captures_exceptions;
+        Alcotest.test_case "batch independent of worker count" `Quick
+          batch_is_worker_count_independent;
+        Alcotest.test_case "deadline expiry returns Unknown" `Quick
+          deadline_expiry_returns_unknown;
+        Alcotest.test_case "step budget returns Unknown" `Quick budget_exhaustion_returns_unknown;
+        Alcotest.test_case "cancellation stops losers" `Quick cancellation_stops_losers;
+        Alcotest.test_case "CDCL terminate hook" `Quick cdcl_terminate_hook;
+        Alcotest.test_case "walksat stops on cancel" `Quick walksat_stops_on_cancel;
+        Alcotest.test_case "portfolio race finds answer" `Quick portfolio_race_finds_answer;
+        Alcotest.test_case "telemetry JSON round-trip" `Quick telemetry_json_roundtrip;
+        Alcotest.test_case "telemetry JSON rejects garbage" `Quick
+          telemetry_json_rejects_garbage;
+        Alcotest.test_case "deadline basics" `Quick deadline_basics;
+      ] );
+  ]
