@@ -6,16 +6,21 @@
    For a batch the code is 10 iff every instance is SAT, 20 iff every
    instance is UNSAT, 0 otherwise. *)
 
+(* returns (formula to solve, original formula when a 3-SAT conversion
+   happened).  Keeping the original lets the service project models back to
+   the input's variables — without it the "v" line would include the
+   conversion's auxiliary chain variables — and certify answers against the
+   formula the user actually asked about. *)
 let load_formula path =
   let f = Sat.Dimacs.parse_file path in
-  if Sat.Cnf.is_3sat f then f
+  if Sat.Cnf.is_3sat f then (f, None)
   else begin
     let g, _map = Sat.Three_sat.convert f in
     Printf.eprintf
       "note: %s: converting %d-SAT input to 3-SAT (%d vars, %d clauses -> %d vars, %d clauses)\n%!"
       path (Sat.Cnf.max_clause_size f) (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f)
       (Sat.Cnf.num_vars g) (Sat.Cnf.num_clauses g);
-    g
+    (g, Some f)
   end
 
 let print_model model =
@@ -38,21 +43,47 @@ let exit_code_of_outcomes outcomes =
   else if all (function Service.Job.Unsat -> true | _ -> false) then 20
   else 0
 
+let print_certification (record : Service.Telemetry.record) =
+  match record.Service.Telemetry.verified with
+  | "" -> ()
+  | "model" -> print_endline "c certified: model checked against the original formula"
+  | "proof" -> print_endline "c certified: unsat DRAT proof checked (RUP, empty clause derived)"
+  | failed -> print_endline ("c CERTIFICATION FAILED — answer withheld: " ^ failed)
+
+let write_proof path (r : Service.Batch.job_result) =
+  match r.Service.Batch.race.Service.Portfolio.winner with
+  | Some w -> (
+      match w.Service.Portfolio.stats.Service.Portfolio.proof with
+      | Some proof ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Sat.Drat.to_string proof));
+          Printf.printf "c proof: %d steps written to %s\n" (List.length proof) path
+      | None -> Printf.eprintf "warning: winner %s logged no proof\n%!" w.Service.Portfolio.member)
+  | None -> ()
+
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out =
+    max_iterations json_out certify proof_file =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
   end;
+  if proof_file <> None && List.length paths > 1 then begin
+    Printf.eprintf "hyqsat: --proof takes a single input file\n";
+    exit 2
+  end;
+  let log_proof = certify || proof_file <> None in
   let specs =
     List.mapi
       (fun i path ->
-        Service.Job.make ~name:path ?timeout_s:timeout ~max_iterations ~retries:(max 0 retries)
-          ~seed:(seed + (101 * i)) ~id:i (load_formula path))
+        let formula, original = load_formula path in
+        Service.Job.make ~name:path ?original ~certify ?timeout_s:timeout ~max_iterations
+          ~retries:(max 0 retries) ~seed:(seed + (101 * i)) ~id:i formula)
       paths
   in
   let members ~seed =
-    if portfolio then Service.Portfolio.default_members ~grid ~seed ()
+    if portfolio then Service.Portfolio.default_members ~grid ~log_proof ~seed ()
     else
       let name =
         match (solver_kind, noisy) with
@@ -61,7 +92,7 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
         | `Minisat, _ -> "minisat"
         | `Kissat, _ -> "kissat"
       in
-      Service.Batch.solo ~grid name ~seed
+      Service.Batch.solo ~grid ~log_proof name ~seed
   in
   let summary, results = Service.Batch.run ~workers:jobs ~members specs in
   let records = List.map (fun r -> r.Service.Batch.record) results in
@@ -73,12 +104,16 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
         if not single then
           Printf.printf "c ---- %s (%s)\n" r.Service.Batch.spec.Service.Job.name
             r.Service.Batch.record.Service.Telemetry.outcome;
+        print_certification r.Service.Batch.record;
         (match r.Service.Batch.outcome with
         | Service.Job.Sat model ->
             print_endline "s SATISFIABLE";
             if single then print_model model
         | Service.Job.Unsat -> print_endline "s UNSATISFIABLE"
-        | Service.Job.Unknown _ -> print_endline "s UNKNOWN"))
+        | Service.Job.Unknown _ -> print_endline "s UNKNOWN");
+        match proof_file with
+        | Some path when r.Service.Batch.outcome = Service.Job.Unsat -> write_proof path r
+        | _ -> ())
       results;
     if verbose || not single then begin
       if verbose then print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_table records);
@@ -147,12 +182,33 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit the run telemetry (summary + per-job records) as JSON on stdout.")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Check every answer before reporting it: a SAT model is verified against the \
+           $(i,original) formula (pre-3-SAT-conversion), an UNSAT answer must carry a DRAT \
+           proof that passes the RUP checker.  A rejected claim is withheld and reported as \
+           $(b,unknown:cert-failed).")
+
+let proof_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:
+          "Write the winner's DRAT proof to $(docv) when the (single) instance is UNSAT.  The \
+           proof is stated over the formula the solver ran on (after any 3-SAT conversion).  \
+           Implies proof logging.")
+
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
   Cmd.v
     (Cmd.info "hyqsat" ~doc)
     Term.(
       const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
-      $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg)
+      $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
+      $ certify_arg $ proof_arg)
 
 let () = exit (Cmd.eval' cmd)

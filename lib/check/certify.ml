@@ -1,0 +1,93 @@
+type verdict =
+  | Model_verified
+  | Proof_verified of int
+  | Nothing_to_certify
+
+let verdict_label = function
+  | Ok Model_verified -> "model"
+  | Ok (Proof_verified _) -> "proof"
+  | Ok Nothing_to_certify -> ""
+  | Error reason -> "failed: " ^ reason
+
+let check_model ~original m =
+  let n = Sat.Cnf.num_vars original in
+  if Array.length m < n then
+    Error
+      (Printf.sprintf "model assigns %d of %d original variables" (Array.length m) n)
+  else begin
+    let m = if Array.length m > n then Array.sub m 0 n else m in
+    let a = Sat.Assignment.of_bools m in
+    let bad = ref None in
+    Sat.Cnf.iter_clauses
+      (fun i c ->
+        if !bad = None && not (Sat.Assignment.satisfies_clause a c) then bad := Some (i, c))
+      original;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, c) ->
+        Error (Format.asprintf "model falsifies clause %d: %a" i Sat.Clause.pp c)
+  end
+
+let check_proof solved proof = Sat.Drat.check solved proof
+
+let certify ~original ~solved ?proof result =
+  match result with
+  | Cdcl.Solver.Unknown -> Ok Nothing_to_certify
+  | Cdcl.Solver.Sat m -> (
+      match check_model ~original m with
+      | Ok () -> Ok Model_verified
+      | Error e -> Error e)
+  | Cdcl.Solver.Unsat -> (
+      match proof with
+      | None -> Error "unsat answer carries no proof"
+      | Some p -> (
+          match check_proof solved p with
+          | Ok () -> Ok (Proof_verified (List.length p))
+          | Error e -> Error ("proof rejected: " ^ e)))
+
+type t = {
+  report : Hyqsat.Hybrid_solver.report;
+  solved : Sat.Cnf.t;
+  mapping : Sat.Three_sat.mapping option;
+  model : bool array option;
+  certificate : (verdict, string) result;
+}
+
+let convert_if_needed f =
+  if Sat.Cnf.is_3sat f then (f, None)
+  else
+    let g, mapping = Sat.Three_sat.convert f in
+    (g, Some mapping)
+
+let finish ~original ~solved ~mapping report =
+  let certificate =
+    certify ~original ~solved ?proof:report.Hyqsat.Hybrid_solver.proof
+      report.Hyqsat.Hybrid_solver.result
+  in
+  let model =
+    match report.Hyqsat.Hybrid_solver.result with
+    | Cdcl.Solver.Sat m ->
+        Some
+          (match mapping with
+          | Some map -> Sat.Three_sat.project_model map m
+          | None -> m)
+    | _ -> None
+  in
+  { report; solved; mapping; model; certificate }
+
+let solve ?(config = Hyqsat.Hybrid_solver.default_config) ?max_iterations ?should_stop f =
+  let solved, mapping = convert_if_needed f in
+  let config =
+    {
+      config with
+      Hyqsat.Hybrid_solver.cdcl = Cdcl.Config.with_proof_logging config.Hyqsat.Hybrid_solver.cdcl;
+    }
+  in
+  let report = Hyqsat.Hybrid_solver.solve ~config ?max_iterations ?should_stop solved in
+  finish ~original:f ~solved ~mapping report
+
+let solve_classic ?(config = Cdcl.Config.minisat_like) ?max_iterations ?should_stop f =
+  let solved, mapping = convert_if_needed f in
+  let config = Cdcl.Config.with_proof_logging config in
+  let report = Hyqsat.Hybrid_solver.solve_classic ~config ?max_iterations ?should_stop solved in
+  finish ~original:f ~solved ~mapping report

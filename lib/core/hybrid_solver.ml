@@ -40,6 +40,7 @@ type report = {
   cdcl_time_s : float;
   strategy_uses : int array;
   solver_stats : Cdcl.Solver.stats;
+  proof : Sat.Drat.t option;
 }
 
 let end_to_end_time_s r =
@@ -155,6 +156,7 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     cdcl_time_s = !cdcl_time;
     strategy_uses;
     solver_stats = Cdcl.Solver.stats solver;
+    proof = Cdcl.Solver.proof solver;
   }
 
 let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int)
@@ -176,4 +178,5 @@ let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_in
     cdcl_time_s = elapsed;
     strategy_uses = Array.make 4 0;
     solver_stats = stats;
+    proof = Cdcl.Solver.proof solver;
   }

@@ -39,6 +39,10 @@ type report = {
   cdcl_time_s : float;  (** measured CPU of the classical search *)
   strategy_uses : int array;  (** length 4: uses of strategies 1–4 *)
   solver_stats : Cdcl.Solver.stats;
+  proof : Sat.Drat.t option;
+      (** DRAT derivation when [cdcl.log_proof] is set — the strategy
+          feedback only injects phase/priority hints, never clauses, so
+          every logged step is an ordinary RUP-checkable learnt clause *)
 }
 
 val end_to_end_time_s : report -> float

@@ -2,19 +2,40 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+let is_space = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
+
+let split_on_whitespace line =
+  let out = ref [] and start = ref (-1) in
+  let n = String.length line in
+  for i = 0 to n - 1 do
+    if is_space line.[i] then begin
+      if !start >= 0 then out := String.sub line !start (i - !start) :: !out;
+      start := -1
+    end
+    else if !start < 0 then start := i
+  done;
+  if !start >= 0 then out := String.sub line !start (n - !start) :: !out;
+  List.rev !out
+
 let tokenize s =
-  (* splits on any whitespace, dropping comment lines *)
+  (* splits on any whitespace (CRLF files included), dropping comment lines *)
   let out = ref [] in
   String.split_on_char '\n' s
   |> List.iter (fun line ->
          let line = String.trim line in
          if String.length line = 0 then ()
          else if line.[0] = 'c' then ()
-         else
-           String.split_on_char ' ' line
-           |> List.concat_map (String.split_on_char '\t')
-           |> List.iter (fun tok -> if tok <> "" then out := tok :: !out));
+         else List.iter (fun tok -> out := tok :: !out) (split_on_whitespace line));
   List.rev !out
+
+(* SATLIB benchmark files end with a "%" footer ("%" then a lone "0");
+   everything from the first "%" token on is trailing junk, not clauses *)
+let drop_satlib_footer toks =
+  let rec take acc = function
+    | [] | "%" :: _ -> List.rev acc
+    | t :: rest -> take (t :: acc) rest
+  in
+  take [] toks
 
 let parse_string s =
   match tokenize s with
@@ -26,6 +47,7 @@ let parse_string s =
         try int_of_string nc with Failure _ -> fail "bad clause count %S" nc
       in
       if num_vars < 0 || num_clauses < 0 then fail "negative counts in header";
+      let rest = drop_satlib_footer rest in
       let clauses = ref [] in
       let current = ref [] in
       List.iter

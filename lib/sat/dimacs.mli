@@ -1,7 +1,10 @@
 (** DIMACS CNF reader/writer.
 
     Supports the standard [p cnf <vars> <clauses>] header, [c] comment lines,
-    and clauses terminated by [0] possibly spanning several lines. *)
+    and clauses terminated by [0] possibly spanning several lines.  SATLIB
+    benchmark files are read unmodified: a ["%"] token ends the clause
+    section (the [% / 0] footer of the uf/uuf suites is ignored), and CRLF
+    line endings or stray tabs are treated as plain whitespace. *)
 
 exception Parse_error of string
 (** Raised on malformed input, with a human-readable reason. *)

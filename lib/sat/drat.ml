@@ -15,26 +15,46 @@ let to_string proof =
     proof;
   Buffer.contents buf
 
+let is_space = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
+
+let split_on_whitespace line =
+  let out = ref [] and start = ref (-1) in
+  let n = String.length line in
+  for i = 0 to n - 1 do
+    if is_space line.[i] then begin
+      if !start >= 0 then out := String.sub line !start (i - !start) :: !out;
+      start := -1
+    end
+    else if !start < 0 then start := i
+  done;
+  if !start >= 0 then out := String.sub line !start (n - !start) :: !out;
+  List.rev !out
+
 let parse_string s =
   let steps = ref [] in
   String.split_on_char '\n' s
   |> List.iter (fun line ->
-         let line = String.trim line in
-         if line <> "" then begin
-           let is_delete = String.length line > 2 && String.sub line 0 2 = "d " in
-           let body = if is_delete then String.sub line 2 (String.length line - 2) else line in
-           let ints =
-             String.split_on_char ' ' body
-             |> List.filter (fun t -> t <> "")
-             |> List.map (fun t ->
-                    try int_of_string t with Failure _ -> failwith ("Drat.parse: " ^ t))
-           in
-           match List.rev ints with
-           | 0 :: rest ->
-               let lits = List.rev_map Lit.of_dimacs rest in
-               steps := (if is_delete then Delete lits else Add lits) :: !steps
-           | _ -> failwith "Drat.parse: clause not 0-terminated"
-         end);
+         match split_on_whitespace line with
+         | [] -> () (* blank (or whitespace-only) line *)
+         | "c" :: _ -> () (* comment, as emitted by drat-trim *)
+         | toks ->
+             let is_delete, body =
+               match toks with
+               | [ "d" ] -> failwith "Drat.parse: bare \"d\" line (deletion without literals)"
+               | "d" :: rest -> (true, rest)
+               | _ -> (false, toks)
+             in
+             let ints =
+               List.map
+                 (fun t ->
+                   try int_of_string t with Failure _ -> failwith ("Drat.parse: bad literal " ^ t))
+                 body
+             in
+             (match List.rev ints with
+             | 0 :: rest ->
+                 let lits = List.rev_map Lit.of_dimacs rest in
+                 steps := (if is_delete then Delete lits else Add lits) :: !steps
+             | _ -> failwith "Drat.parse: clause not 0-terminated"));
   List.rev !steps
 
 (* ------------------------------------------------------------------ *)

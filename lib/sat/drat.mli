@@ -17,7 +17,10 @@ val to_string : t -> string
 (** Standard textual DRAT ("d" prefix for deletions, DIMACS literals). *)
 
 val parse_string : string -> t
-(** Inverse of {!to_string}.  @raise Failure on malformed input. *)
+(** Inverse of {!to_string}.  Tokens may be separated by any whitespace
+    (tabs, CR), [c] comment lines are skipped, and a bare [d] line is
+    rejected with a clear message rather than read as a literal.
+    @raise Failure on malformed input. *)
 
 val check : Cnf.t -> t -> (unit, string) result
 (** [check f proof] verifies every addition is RUP with respect to [f] plus

@@ -5,7 +5,32 @@ type job_result = {
   race : Portfolio.race_report;
 }
 
-let solo ?grid name ~seed = Portfolio.members_named ?grid ~seed [ name ]
+let solo ?grid ?log_proof name ~seed = Portfolio.members_named ?grid ?log_proof ~seed [ name ]
+
+(* 3-SAT conversion keeps original variables first, so projecting a model of
+   the converted formula is a prefix restriction *)
+let project_model ~original m =
+  let n = Sat.Cnf.num_vars original in
+  if Array.length m > n then Array.sub m 0 n else m
+
+(* certification hook: winners are checked before being reported.  A claim
+   the checker rejects is withheld as [Unknown Cert_failed] rather than
+   handed to the caller wrong *)
+let certify_outcome (spec : Job.spec) (race : Portfolio.race_report) outcome =
+  if not spec.Job.certify then (outcome, "")
+  else
+    let original = Job.original_formula spec in
+    let result, proof =
+      match (outcome, race.Portfolio.winner) with
+      | Job.Sat m, _ -> (Cdcl.Solver.Sat m, None)
+      | Job.Unsat, Some w -> (Cdcl.Solver.Unsat, w.Portfolio.stats.Portfolio.proof)
+      | Job.Unsat, None -> (Cdcl.Solver.Unsat, None)
+      | Job.Unknown _, _ -> (Cdcl.Solver.Unknown, None)
+    in
+    let verdict = Check.Certify.certify ~original ~solved:spec.Job.formula ?proof result in
+    match verdict with
+    | Ok _ -> (outcome, Check.Certify.verdict_label verdict)
+    | Error _ -> (Job.Unknown Job.Cert_failed, Check.Certify.verdict_label verdict)
 
 let max_member_iterations (race : Portfolio.race_report) =
   List.fold_left
@@ -37,11 +62,15 @@ let process ~members (spec : Job.spec) ~enqueued_at =
     match race.Portfolio.winner with
     | Some w -> (
         match w.Portfolio.stats.Portfolio.result with
-        | Cdcl.Solver.Sat m -> Job.Sat m
+        | Cdcl.Solver.Sat m ->
+            (* report models in the caller's variable space, not the 3-SAT
+               converted one (the aux chain variables are an artifact) *)
+            Job.Sat (project_model ~original:(Job.original_formula spec) m)
         | Cdcl.Solver.Unsat -> Job.Unsat
         | Cdcl.Solver.Unknown -> assert false (* winners are decisive *))
     | None -> Job.Unknown (if Deadline.expired deadline then Job.Timeout else Job.Budget)
   in
+  let outcome, verified = certify_outcome spec race outcome in
   let winner_name, iterations, qa_calls, strategy_uses =
     match race.Portfolio.winner with
     | Some w ->
@@ -56,6 +85,7 @@ let process ~members (spec : Job.spec) ~enqueued_at =
       Telemetry.job_id = spec.Job.id;
       job_name = spec.Job.name;
       outcome = Job.outcome_label outcome;
+      verified;
       winner = winner_name;
       attempts;
       queue_wait_s;

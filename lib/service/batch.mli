@@ -24,9 +24,18 @@ val run :
 
     [members ~seed] builds the portfolio for one attempt; retries call it
     again with {!Job.attempt_seed} so every attempt searches differently.
-    [workers] defaults to 1.  A worker exception (e.g. a member raising) is
-    re-raised after the pool is drained. *)
+    [workers] defaults to 1.  A worker exception is re-raised after the
+    pool is drained (a raising portfolio member is absorbed by the race
+    itself — see {!Portfolio.race}).
 
-val solo : ?grid:int -> string -> seed:int -> Portfolio.member list
+    Sat models are projected back to the job's original variable space
+    ({!Job.original_formula}) before being reported.  When the job has
+    [certify] set, the winner is checked first — the Sat model against the
+    original formula, the Unsat DRAT proof against the solved formula (the
+    members must run with [log_proof] for a proof to exist) — and a claim
+    the checker rejects comes back as [Unknown Cert_failed] with the
+    reason in the record's [verified] field. *)
+
+val solo : ?grid:int -> ?log_proof:bool -> string -> seed:int -> Portfolio.member list
 (** [solo name] is a 1-member portfolio — the degenerate race used for
     plain batch solving ([--jobs] without [--portfolio]). *)

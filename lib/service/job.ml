@@ -2,17 +2,25 @@ type spec = {
   id : int;
   name : string;
   formula : Sat.Cnf.t;
+  original : Sat.Cnf.t option;
+  certify : bool;
   timeout_s : float option;
   max_iterations : int;
   retries : int;
   seed : int;
 }
 
-let make ?name ?timeout_s ?(max_iterations = max_int) ?(retries = 0) ?(seed = 20230225) ~id
-    formula =
+let make ?name ?original ?(certify = false) ?timeout_s ?(max_iterations = max_int)
+    ?(retries = 0) ?(seed = 20230225) ~id formula =
   let name = match name with Some n -> n | None -> Printf.sprintf "job-%d" id in
   if retries < 0 then invalid_arg "Job.make: retries < 0";
-  { id; name; formula; timeout_s; max_iterations; retries; seed }
+  (match original with
+  | Some g when Sat.Cnf.num_vars g > Sat.Cnf.num_vars formula ->
+      invalid_arg "Job.make: original has more variables than the formula solved"
+  | _ -> ());
+  { id; name; formula; original; certify; timeout_s; max_iterations; retries; seed }
+
+let original_formula spec = match spec.original with Some g -> g | None -> spec.formula
 
 let deadline spec =
   match spec.timeout_s with None -> Deadline.none | Some s -> Deadline.after s
@@ -21,7 +29,8 @@ let deadline spec =
    with the +1/+2 seed conventions used elsewhere in the suite *)
 let attempt_seed spec k = spec.seed + (7919 * k)
 
-type unknown_reason = Timeout | Budget | Cancelled
+type unknown_reason = Timeout | Budget | Cancelled | Cert_failed
+
 type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
 
 let outcome_label = function
@@ -30,3 +39,4 @@ let outcome_label = function
   | Unknown Timeout -> "unknown:timeout"
   | Unknown Budget -> "unknown:budget"
   | Unknown Cancelled -> "unknown:cancelled"
+  | Unknown Cert_failed -> "unknown:cert-failed"

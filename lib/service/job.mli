@@ -5,12 +5,22 @@
     from the moment a worker starts it, not from enqueue), a step budget,
     and a bounded retry policy: an [Unknown] outcome (budget exhausted)
     is retried with a reseeded solver as long as attempts and deadline
-    remain. *)
+    remain.
+
+    When the input was 3-SAT-converted before solving, [original] keeps
+    the pre-conversion formula: models are projected back to it before
+    being reported, and [certify] checks answers against it (models) or
+    the solved formula (DRAT proofs) before they leave the service. *)
 
 type spec = {
   id : int;  (** caller-chosen, reported back in telemetry *)
   name : string;  (** display name, e.g. the CNF path *)
-  formula : Sat.Cnf.t;
+  formula : Sat.Cnf.t;  (** what the solvers run on (post-conversion) *)
+  original : Sat.Cnf.t option;
+      (** pre-conversion formula, when different from [formula]; its
+          variables must be a prefix of [formula]'s
+          (the {!Sat.Three_sat.convert} layout) *)
+  certify : bool;  (** model-check Sat / proof-check Unsat before reporting *)
   timeout_s : float option;  (** per-job wall-clock deadline; [None] = none *)
   max_iterations : int;  (** CDCL step budget per attempt *)
   retries : int;  (** extra attempts after an [Unknown] (0 = single shot) *)
@@ -19,6 +29,8 @@ type spec = {
 
 val make :
   ?name:string ->
+  ?original:Sat.Cnf.t ->
+  ?certify:bool ->
   ?timeout_s:float ->
   ?max_iterations:int ->
   ?retries:int ->
@@ -26,8 +38,13 @@ val make :
   id:int ->
   Sat.Cnf.t ->
   spec
-(** Defaults: [name] = ["job-<id>"], no timeout, [max_iterations] =
-    [max_int], [retries] = 0, [seed] = 20230225. *)
+(** Defaults: [name] = ["job-<id>"], no original (the formula is solved
+    as-is), [certify] = [false], no timeout, [max_iterations] = [max_int],
+    [retries] = 0, [seed] = 20230225. *)
+
+val original_formula : spec -> Sat.Cnf.t
+(** The formula answers are reported against: [original] if present,
+    otherwise [formula]. *)
 
 val deadline : spec -> Deadline.t
 (** The job's deadline anchored at the current instant (call it when the
@@ -36,11 +53,14 @@ val deadline : spec -> Deadline.t
 val attempt_seed : spec -> int -> int
 (** [attempt_seed spec k] is the reseeded base for attempt [k] (0-based). *)
 
-(** Why a job ended without a definite answer. *)
-type unknown_reason = Timeout | Budget | Cancelled
+(** Why a job ended without a definite answer.  [Cert_failed] means a
+    solver claimed Sat/Unsat but the certification check rejected the
+    claim — the answer is withheld rather than reported wrong. *)
+type unknown_reason = Timeout | Budget | Cancelled | Cert_failed
 
 type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
 
 val outcome_label : outcome -> string
 (** ["sat"], ["unsat"], ["unknown:timeout"], ["unknown:budget"],
-    ["unknown:cancelled"] — the stable strings used in telemetry. *)
+    ["unknown:cancelled"], ["unknown:cert-failed"] — the stable strings
+    used in telemetry. *)

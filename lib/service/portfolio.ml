@@ -3,6 +3,7 @@ type solve_stats = {
   iterations : int;
   qa_calls : int;
   strategy_uses : int array;
+  proof : Sat.Drat.t option;
 }
 
 type member = {
@@ -15,6 +16,7 @@ type member_report = {
   stats : solve_stats;
   time_s : float;
   cancelled : bool;
+  error : string option;
 }
 
 type race_report = {
@@ -31,34 +33,37 @@ let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
     iterations = r.Hyqsat.Hybrid_solver.iterations;
     qa_calls = r.Hyqsat.Hybrid_solver.qa_calls;
     strategy_uses = Array.copy r.Hyqsat.Hybrid_solver.strategy_uses;
+    proof = r.Hyqsat.Hybrid_solver.proof;
   }
 
-let hybrid_member ~name ~base ~grid ~seed =
+let hybrid_member ~name ~base ~grid ~seed ~log_proof =
   {
     name;
     run =
       (fun ~should_stop ~max_iterations f ->
+        let cdcl = base.Hyqsat.Hybrid_solver.cdcl in
         let config =
           {
             base with
             Hyqsat.Hybrid_solver.graph =
               (if grid = 16 then base.Hyqsat.Hybrid_solver.graph
                else Chimera.Graph.create ~rows:grid ~cols:grid);
+            cdcl = (if log_proof then Cdcl.Config.with_proof_logging cdcl else cdcl);
             seed;
           }
         in
         stats_of_report (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop f));
   }
 
-let classic_member ~name ~base ~seed =
+let classic_member ~name ~base ~seed ~log_proof =
   {
     name;
     run =
       (fun ~should_stop ~max_iterations f ->
+        let config = Cdcl.Config.with_seed seed base in
+        let config = if log_proof then Cdcl.Config.with_proof_logging config else config in
         stats_of_report
-          (Hyqsat.Hybrid_solver.solve_classic
-             ~config:(Cdcl.Config.with_seed seed base)
-             ~max_iterations ~should_stop f));
+          (Hyqsat.Hybrid_solver.solve_classic ~config ~max_iterations ~should_stop f));
   }
 
 let walksat_member ~seed =
@@ -73,21 +78,33 @@ let walksat_member ~seed =
         let result =
           match model with Some m -> Cdcl.Solver.Sat m | None -> Cdcl.Solver.Unknown
         in
-        { result; iterations = st.Cdcl.Walksat.flips; qa_calls = 0; strategy_uses = Array.make 4 0 });
+        {
+          result;
+          iterations = st.Cdcl.Walksat.flips;
+          qa_calls = 0;
+          strategy_uses = Array.make 4 0;
+          proof = None;
+        });
   }
 
-let make_member ?(grid = 16) ~seed = function
-  | "hybrid" -> hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
+let make_member ?(grid = 16) ?(log_proof = false) ~seed = function
+  | "hybrid" ->
+      hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
+        ~log_proof
   | "hybrid-noisy" ->
       hybrid_member ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config ~grid
-        ~seed:(seed + 1)
-  | "minisat" -> classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2)
-  | "kissat" -> classic_member ~name:"kissat" ~base:Cdcl.Config.kissat_like ~seed:(seed + 3)
+        ~seed:(seed + 1) ~log_proof
+  | "minisat" ->
+      classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2) ~log_proof
+  | "kissat" ->
+      classic_member ~name:"kissat" ~base:Cdcl.Config.kissat_like ~seed:(seed + 3) ~log_proof
   | "walksat" -> walksat_member ~seed:(seed + 4)
   | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
 
-let members_named ?grid ~seed names = List.map (make_member ?grid ~seed) names
-let default_members ?grid ~seed () = members_named ?grid ~seed member_names
+let members_named ?grid ?log_proof ~seed names =
+  List.map (make_member ?grid ?log_proof ~seed) names
+
+let default_members ?grid ?log_proof ~seed () = members_named ?grid ?log_proof ~seed member_names
 
 let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown -> false
 
@@ -99,12 +116,28 @@ let race ?(deadline = Deadline.none) ?(max_iterations = max_int) members f =
   let should_stop () = Atomic.get cancel || Deadline.expired deadline in
   let run_one i m =
     let t0 = Unix.gettimeofday () in
-    let stats = m.run ~should_stop ~max_iterations f in
-    let time_s = Unix.gettimeofday () -. t0 in
-    if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
-      Atomic.set cancel true;
-    let cancelled = (not (is_decisive stats.result)) && Atomic.get cancel in
-    { member = m.name; stats; time_s; cancelled }
+    (* a raising member must not poison the race: without the handler the
+       exception would resurface from Domain.join, losing every sibling
+       report and any winner already found *)
+    match m.run ~should_stop ~max_iterations f with
+    | stats ->
+        let time_s = Unix.gettimeofday () -. t0 in
+        if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
+          Atomic.set cancel true;
+        let cancelled = (not (is_decisive stats.result)) && Atomic.get cancel in
+        { member = m.name; stats; time_s; cancelled; error = None }
+    | exception e ->
+        let time_s = Unix.gettimeofday () -. t0 in
+        let stats =
+          {
+            result = Cdcl.Solver.Unknown;
+            iterations = 0;
+            qa_calls = 0;
+            strategy_uses = Array.make 4 0;
+            proof = None;
+          }
+        in
+        { member = m.name; stats; time_s; cancelled = false; error = Some (Printexc.to_string e) }
   in
   let reports =
     match members with

@@ -12,6 +12,9 @@ type solve_stats = {
   iterations : int;
   qa_calls : int;
   strategy_uses : int array;  (** length 4; zeros for classical members *)
+  proof : Sat.Drat.t option;
+      (** DRAT derivation, present when the member ran with proof logging
+          ([log_proof] below); [None] for walksat *)
 }
 
 type member = {
@@ -24,6 +27,9 @@ type member_report = {
   stats : solve_stats;
   time_s : float;
   cancelled : bool;  (** returned [Unknown] after the race was decided *)
+  error : string option;
+      (** [Some exn] when the member raised; its result is forced to
+          [Unknown] and the race carries on with the other members *)
 }
 
 type race_report = {
@@ -36,12 +42,13 @@ val member_names : string list
 (** The stock portfolio: ["hybrid"; "hybrid-noisy"; "minisat"; "kissat";
     "walksat"]. *)
 
-val default_members : ?grid:int -> seed:int -> unit -> member list
+val default_members : ?grid:int -> ?log_proof:bool -> seed:int -> unit -> member list
 (** All stock members, solver RNGs derived from [seed].  [grid] sizes the
     simulated Chimera topology for the hybrid members (default 16 =
-    D-Wave 2000Q). *)
+    D-Wave 2000Q).  [log_proof] (default [false]) makes the CDCL-backed
+    members record DRAT derivations so Unsat answers are checkable. *)
 
-val members_named : ?grid:int -> seed:int -> string list -> member list
+val members_named : ?grid:int -> ?log_proof:bool -> seed:int -> string list -> member list
 (** Subset of the stock portfolio by name.
     @raise Invalid_argument on an unknown name. *)
 
@@ -49,5 +56,8 @@ val race :
   ?deadline:Deadline.t -> ?max_iterations:int -> member list -> Sat.Cnf.t -> race_report
 (** Race the members on [f]: one domain per member (run inline when there
     is exactly one), first Sat/Unsat answer cancels the rest.  All members
-    are joined before returning, so the report is complete.
+    are joined before returning, so the report is complete.  A member that
+    raises is reported with [error = Some _] and result [Unknown] instead
+    of propagating from [Domain.join] — sibling reports and a winner found
+    by another member survive.
     @raise Invalid_argument on an empty member list. *)

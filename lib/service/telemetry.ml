@@ -2,6 +2,7 @@ type record = {
   job_id : int;
   job_name : string;
   outcome : string;
+  verified : string;
   winner : string;
   attempts : int;
   queue_wait_s : float;
@@ -269,6 +270,7 @@ let json_of_record r =
       ("job_id", Int r.job_id);
       ("job_name", Str r.job_name);
       ("outcome", Str r.outcome);
+      ("verified", Str r.verified);
       ("winner", Str r.winner);
       ("attempts", Int r.attempts);
       ("queue_wait_s", Num r.queue_wait_s);
@@ -321,6 +323,7 @@ let record_of_json j =
     job_id = as_int (field kvs "job_id");
     job_name = as_str (field kvs "job_name");
     outcome = as_str (field kvs "outcome");
+    verified = (match List.assoc_opt "verified" kvs with Some v -> as_str v | None -> "");
     winner = as_str (field kvs "winner");
     attempts = as_int (field kvs "attempts");
     queue_wait_s = as_num (field kvs "queue_wait_s");
@@ -360,14 +363,16 @@ let of_json_string s =
 (* tables *)
 
 let pp_table fmt records =
-  Format.fprintf fmt "%-4s %-28s %-16s %-12s %3s %9s %9s %10s %5s@."
-    "id" "job" "outcome" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa";
+  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s@."
+    "id" "job" "outcome" "verified" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-4d %-28s %-16s %-12s %3d %9.2f %9.2f %10d %5d@."
+      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d@."
         r.job_id
         (if String.length r.job_name > 28 then String.sub r.job_name 0 28 else r.job_name)
-        r.outcome r.winner r.attempts
+        r.outcome
+        (match r.verified with "" -> "-" | v -> v)
+        r.winner r.attempts
         (r.queue_wait_s *. 1000.)
         (r.solve_time_s *. 1000.)
         r.iterations r.qa_calls)

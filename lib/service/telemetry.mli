@@ -10,6 +10,11 @@ type record = {
   job_id : int;
   job_name : string;
   outcome : string;  (** {!Job.outcome_label} string *)
+  verified : string;
+      (** certification verdict: ["model"] (Sat model checked against the
+          original formula), ["proof"] (Unsat DRAT proof checked),
+          ["failed: <why>"], or [""] when certification was off or there
+          was nothing to certify *)
   winner : string;  (** portfolio member that answered first; [""] if none *)
   attempts : int;  (** 1 + retries actually used *)
   queue_wait_s : float;  (** enqueue → worker pickup *)

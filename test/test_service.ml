@@ -21,6 +21,7 @@ let instant_member model =
           iterations = 1;
           qa_calls = 0;
           strategy_uses = Array.make 4 0;
+          proof = None;
         });
   }
 
@@ -41,6 +42,7 @@ let spin_member () =
           iterations = !spins;
           qa_calls = 0;
           strategy_uses = Array.make 4 0;
+          proof = None;
         });
   }
 
@@ -179,6 +181,7 @@ let telemetry_json_roundtrip () =
         Telemetry.job_id = 0;
         job_name = "path/with \"quotes\"\tand\nnewlines\\";
         outcome = "sat";
+        verified = "model";
         winner = "hybrid";
         attempts = 2;
         queue_wait_s = 1.5e-05;
@@ -191,6 +194,7 @@ let telemetry_json_roundtrip () =
         Telemetry.job_id = 1;
         job_name = "uf50-01.cnf";
         outcome = "unknown:timeout";
+        verified = "";
         winner = "";
         attempts = 1;
         queue_wait_s = 0.;
