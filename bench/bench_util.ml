@@ -4,9 +4,10 @@ type ctx = {
   scale : Workload.Spec.scale;
   seed : int;
   problems : int; (* instances per benchmark *)
+  trace : string option; (* JSONL trace output for experiments that support it *)
 }
 
-let default_ctx = { scale = `Small; seed = 1; problems = 3 }
+let default_ctx = { scale = `Small; seed = 1; problems = 3; trace = None }
 
 let rng_of ctx salt = Stats.Rng.create ~seed:(ctx.seed + (salt * 7919))
 

@@ -15,8 +15,22 @@ let uf50_batch (ctx : Bench_util.ctx) count =
 let run (ctx : Bench_util.ctx) =
   Bench_util.header "Batch & portfolio service throughput"
     "no paper analogue; service-layer scaling on uf50 batches";
-  let count = match ctx.scale with `Paper -> 40 | `Small -> 20 in
+  (* small scale tracks --problems so CI can run a quick traced smoke
+     (e.g. --problems 2 gives a 10-instance batch) *)
+  let count =
+    match ctx.scale with `Paper -> 40 | `Small -> min 20 (max 10 (5 * ctx.problems))
+  in
   let jobs = uf50_batch ctx count in
+  let obs =
+    match ctx.trace with
+    | None -> Obs.Ctx.null
+    | Some path ->
+        let o = Obs.Ctx.create () in
+        Obs.Ctx.attach o (Obs.Export.file_jsonl path);
+        Obs.Ctx.attach o (Obs.Export.console_tree Format.std_formatter);
+        Printf.printf "tracing to %s\n" path;
+        o
+  in
   let cores = Domain.recommended_domain_count () in
   let worker_counts =
     List.sort_uniq compare [ 1; 2; min 4 cores; cores ] |> List.filter (fun w -> w >= 1)
@@ -28,7 +42,7 @@ let run (ctx : Bench_util.ctx) =
   List.iter
     (fun workers ->
       let members ~seed = Service.Batch.solo "minisat" ~seed in
-      let summary, _ = Service.Batch.run ~workers ~members jobs in
+      let summary, _ = Service.Batch.run ~workers ~obs ~members jobs in
       let wall = summary.Service.Telemetry.wall_time_s in
       if !base_wall = None then base_wall := Some wall;
       let speedup = match !base_wall with Some b when wall > 0. -> b /. wall | _ -> 1. in
@@ -39,7 +53,7 @@ let run (ctx : Bench_util.ctx) =
   (* one portfolio race, to exercise cancellation end to end *)
   let f = Workload.Uniform.uf (Bench_util.rng_of ctx 88) 50 in
   let members = Service.Portfolio.members_named ~grid:4 ~seed:ctx.seed [ "minisat"; "kissat"; "walksat" ] in
-  let report = Service.Portfolio.race members f in
+  let report = Service.Portfolio.race ~obs members f in
   let winner =
     match report.Service.Portfolio.winner with
     | Some w -> w.Service.Portfolio.member
@@ -53,7 +67,8 @@ let run (ctx : Bench_util.ctx) =
         (match m.Service.Portfolio.stats.Service.Portfolio.result with
         | Cdcl.Solver.Sat _ -> "sat"
         | Cdcl.Solver.Unsat -> "unsat"
-        | Cdcl.Solver.Unknown -> "unknown")
+        | Cdcl.Solver.Unknown _ -> "unknown")
         m.Service.Portfolio.stats.Service.Portfolio.iterations
         (if m.Service.Portfolio.cancelled then "(cancelled)" else ""))
-    report.Service.Portfolio.members
+    report.Service.Portfolio.members;
+  Obs.Ctx.close obs

@@ -11,15 +11,9 @@ let solve_classic ?(config = Cdcl.Config.minisat_like) f = Hybrid.solve_classic 
 
 let hybrid_config ?(noise = Anneal.Noise.noise_free) ?(strategies = Hyqsat.Backend.all_enabled)
     ?(queue_mode = Hyqsat.Frontend.Activity_bfs) ?(adjust = true) ?(graph_size = 16) seed =
-  {
-    Hybrid.default_config with
-    Hybrid.noise;
-    strategies;
-    queue_mode;
-    adjust_coefficients = adjust;
-    graph = Chimera.Graph.create ~rows:graph_size ~cols:graph_size;
-    seed;
-  }
+  Hybrid.make_config ~noise ~strategies ~queue_mode ~adjust_coefficients:adjust
+    ~graph:(Chimera.Graph.create ~rows:graph_size ~cols:graph_size)
+    ~seed ()
 
 (* cap pathological runs so one outlier cannot stall the whole experiment *)
 let iteration_cap (ctx : Bench_util.ctx) =

@@ -22,8 +22,8 @@ let experiments =
     ("batch", Exp_batch.run);
   ]
 
-let run_selected names scale seed problems =
-  let ctx = { Bench_util.scale; seed; problems } in
+let run_selected names scale seed problems trace =
+  let ctx = { Bench_util.scale; seed; problems; trace } in
   let selected =
     match names with
     | [] -> experiments
@@ -63,9 +63,16 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Rando
 let problems_arg =
   Arg.(value & opt int 3 & info [ "problems" ] ~docv:"N" ~doc:"Instances per benchmark.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL observability trace to $(docv) (currently used by $(b,batch)).")
+
 let cmd =
   let doc = "regenerate the HyQSAT paper's tables and figures" in
   Cmd.v (Cmd.info "hyqsat-bench" ~doc)
-    Term.(const run_selected $ names_arg $ scale_arg $ seed_arg $ problems_arg)
+    Term.(const run_selected $ names_arg $ scale_arg $ seed_arg $ problems_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -64,7 +64,7 @@ let write_proof path (r : Service.Batch.job_result) =
   | None -> ()
 
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out certify proof_file =
+    max_iterations json_out certify proof_file trace_file metrics =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
@@ -94,7 +94,19 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
       in
       Service.Batch.solo ~grid ~log_proof name ~seed
   in
-  let summary, results = Service.Batch.run ~workers:jobs ~members specs in
+  let obs =
+    if trace_file = None && not metrics then Obs.Ctx.null
+    else begin
+      let ctx = Obs.Ctx.create () in
+      Option.iter (fun path -> Obs.Ctx.attach ctx (Obs.Export.file_jsonl path)) trace_file;
+      ctx
+    end
+  in
+  let summary, results = Service.Batch.run ~workers:jobs ~obs ~members specs in
+  (* flush spans (and the trace file) before printing; metrics go to stdout
+     as comment lines so the "s"/"v" output stays machine-parseable *)
+  let metric_snapshot = Obs.Ctx.snapshot obs in
+  Obs.Ctx.close obs;
   let records = List.map (fun r -> r.Service.Batch.record) results in
   if json_out then print_endline (Service.Telemetry.to_json_string summary records)
   else begin
@@ -120,6 +132,7 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
       print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_summary summary)
     end
   end;
+  if metrics then print_string (Obs.Export.prometheus_string metric_snapshot);
   exit_code_of_outcomes (List.map (fun r -> r.Service.Batch.outcome) results)
 
 open Cmdliner
@@ -202,6 +215,24 @@ let proof_arg =
            proof is stated over the formula the solver ran on (after any 3-SAT conversion).  \
            Implies proof logging.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines trace of the run to $(docv): one span per batch, job, solve \
+           attempt and pipeline stage (frontend/embed/anneal/backend/cdcl), plus final metric \
+           values.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump run metrics (counters, gauges, histograms) in Prometheus text format on stdout \
+           after the results.")
+
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
   Cmd.v
@@ -209,6 +240,6 @@ let cmd =
     Term.(
       const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
       $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-      $ certify_arg $ proof_arg)
+      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,7 +13,7 @@ let describe (c : Check.Certify.t) =
   (match c.Check.Certify.report.Hyqsat.Hybrid_solver.result with
   | Cdcl.Solver.Sat _ -> Format.printf "answer: SATISFIABLE@."
   | Cdcl.Solver.Unsat -> Format.printf "answer: UNSATISFIABLE@."
-  | Cdcl.Solver.Unknown -> Format.printf "answer: UNKNOWN@.");
+  | Cdcl.Solver.Unknown _ -> Format.printf "answer: UNKNOWN@.");
   match c.Check.Certify.certificate with
   | Ok Check.Certify.Model_verified ->
       Format.printf "certified: model satisfies the original formula@."

@@ -17,7 +17,7 @@ let () =
   let verdict = function
     | Cdcl.Solver.Unsat -> "fault is untestable (circuits equivalent)"
     | Cdcl.Solver.Sat _ -> "fault is testable!"
-    | Cdcl.Solver.Unknown -> "unknown"
+    | Cdcl.Solver.Unknown _ -> "unknown"
   in
   Format.printf "classic CDCL:  %s in %d iterations@."
     (verdict classic.Hyqsat.Hybrid_solver.result) classic.Hyqsat.Hybrid_solver.iterations;

@@ -26,7 +26,7 @@ let () =
       Format.printf "%d = %d x %d@." target x y;
       assert (x * y = target)
   | Cdcl.Solver.Unsat -> Format.printf "%d is prime (within %d-bit operands)@." target bits
-  | Cdcl.Solver.Unknown -> Format.printf "unknown@.");
+  | Cdcl.Solver.Unknown _ -> Format.printf "unknown@.");
   Format.printf "solved in %d CDCL iterations with %d QA calls@."
     report.Hyqsat.Hybrid_solver.iterations report.Hyqsat.Hybrid_solver.qa_calls;
 

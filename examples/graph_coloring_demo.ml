@@ -33,4 +33,4 @@ let () =
       Format.printf "model checks out: %b@."
         (Sat.Assignment.satisfies (Sat.Assignment.of_bools model) f)
   | Cdcl.Solver.Unsat -> Format.printf "unexpected UNSAT (flat graphs are 3-colourable)@."
-  | Cdcl.Solver.Unknown -> Format.printf "unknown@."
+  | Cdcl.Solver.Unknown _ -> Format.printf "unknown@."

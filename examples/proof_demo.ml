@@ -14,7 +14,7 @@ let () =
   (match Cdcl.Solver.solve solver with
   | Cdcl.Solver.Unsat -> Format.printf "solver answer: UNSATISFIABLE@."
   | Cdcl.Solver.Sat _ -> Format.printf "solver answer: SATISFIABLE (fault testable)@."
-  | Cdcl.Solver.Unknown -> Format.printf "unknown@.");
+  | Cdcl.Solver.Unknown _ -> Format.printf "unknown@.");
 
   match Cdcl.Solver.proof solver with
   | None -> Format.printf "(no proof logged)@."

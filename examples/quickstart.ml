@@ -20,7 +20,7 @@ let () =
       Array.iteri (fun v b -> Format.printf " x%d=%d" (v + 1) (if b then 1 else 0)) model;
       Format.printf "@."
   | Cdcl.Solver.Unsat -> Format.printf "UNSATISFIABLE@."
-  | Cdcl.Solver.Unknown -> Format.printf "UNKNOWN@.");
+  | Cdcl.Solver.Unknown _ -> Format.printf "UNKNOWN@.");
 
   Format.printf "CDCL iterations: %d   QA calls: %d   modelled QA time: %.0f us@."
     report.Hyqsat.Hybrid_solver.iterations report.Hyqsat.Hybrid_solver.qa_calls

@@ -72,7 +72,8 @@ let greedy_descent objective lookup =
       vars
   done
 
-let run ?(noise = Noise.noise_free) ?schedule ?(chain_strength = 2.0) ?(postprocess = true)
+let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
+    ?(chain_strength = 2.0) ?(postprocess = true)
     ?(timing = Timing.d_wave_2000q) rng job =
   let schedule =
     match schedule with
@@ -152,7 +153,7 @@ let run ?(noise = Noise.noise_free) ?schedule ?(chain_strength = 2.0) ?(postproc
       let s = if Stats.Rng.bool rng then 1 else -1 in
       List.iter (fun q -> init.(Hashtbl.find phys_of_qubit q) <- s) (chain_of job node))
     nodes;
-  let spins = Sampler.sample ~schedule ~init:(Array.sub init 0 n_phys) rng programmed in
+  let spins = Sampler.sample ~obs ~schedule ~init:(Array.sub init 0 n_phys) rng programmed in
   let spins = Noise.apply_readout noise rng spins in
   (* unembed by majority vote *)
   let chain_breaks = ref 0 in
@@ -203,7 +204,7 @@ let run ?(noise = Noise.noise_free) ?schedule ?(chain_strength = 2.0) ?(postproc
         beta_max = 12.;
       }
     in
-    let spins' = Sampler.sample ~schedule:post_schedule ~init rng logical_sparse in
+    let spins' = Sampler.sample ~obs ~schedule:post_schedule ~init rng logical_sparse in
     Array.iteri
       (fun i s -> Hashtbl.replace lookup logical.Qubo.Ising.var_of_spin.(i) (s = 1))
       spins';
@@ -211,10 +212,15 @@ let run ?(noise = Noise.noise_free) ?schedule ?(chain_strength = 2.0) ?(postproc
   end;
   let assignment = List.map (fun (node, _) -> (node, Hashtbl.find lookup node)) assignment in
   let energy = Qubo.Pbq.eval job.objective (Hashtbl.find lookup) in
+  let time_us = Timing.single_sample_us timing in
+  if not (Obs.Ctx.is_null obs) then begin
+    Obs.Metrics.count obs "anneal_chain_breaks_total" !chain_breaks;
+    Obs.Metrics.observe obs "anneal_time_us" time_us
+  end;
   {
     assignment;
     energy;
     physical_energy = Sparse_ising.energy programmed spins;
     chain_breaks = !chain_breaks;
-    time_us = Timing.single_sample_us timing;
+    time_us;
   }

@@ -28,6 +28,7 @@ exception Unembedded_term of string
     realisable coupler. *)
 
 val run :
+  ?obs:Obs.Ctx.t ->
   ?noise:Noise.t ->
   ?schedule:Sampler.schedule ->
   ?chain_strength:float ->
@@ -36,7 +37,11 @@ val run :
   Stats.Rng.t ->
   job ->
   outcome
-(** One annealing cycle.  Defaults: noise-free, {!Sampler.default_schedule}
+(** One annealing cycle.  With a live [obs] the call adds chain breaks to
+    [anneal_chain_breaks_total], records the modelled [time_us] into the
+    [anneal_time_us] histogram and threads [obs] through both sampler runs
+    (main anneal and post-processing).
+    Defaults: noise-free, {!Sampler.default_schedule}
     (or {!Sampler.quick_schedule} when the noise model says so), chain
     strength 2.0 (relative to the normalised coefficient range), D-Wave
     2000Q timing.  [postprocess] (default [true]) runs the machine-side

@@ -3,7 +3,8 @@ type schedule = { sweeps : int; beta_min : float; beta_max : float }
 let default_schedule = { sweeps = 256; beta_min = 0.1; beta_max = 16.0 }
 let quick_schedule = { sweeps = 96; beta_min = 0.1; beta_max = 8.0 }
 
-let sample ?(schedule = default_schedule) ?init rng (ising : Sparse_ising.t) =
+let sample ?(obs = Obs.Ctx.null) ?(schedule = default_schedule) ?init rng
+    (ising : Sparse_ising.t) =
   let n = ising.Sparse_ising.n in
   let spins =
     match init with
@@ -12,6 +13,7 @@ let sample ?(schedule = default_schedule) ?init rng (ising : Sparse_ising.t) =
         Array.copy s
     | None -> Array.init n (fun _ -> if Stats.Rng.bool rng then 1 else -1)
   in
+  let accepted = ref 0 in
   if n > 0 then begin
     let ratio =
       if schedule.sweeps <= 1 then 1.0
@@ -23,11 +25,17 @@ let sample ?(schedule = default_schedule) ?init rng (ising : Sparse_ising.t) =
         let field = Sparse_ising.local_field ising spins i in
         let delta = -2.0 *. float_of_int spins.(i) *. field in
         (* delta = E(flipped) - E(current) *)
-        if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then
-          spins.(i) <- -spins.(i)
+        if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then begin
+          spins.(i) <- -spins.(i);
+          incr accepted
+        end
       done;
       beta := !beta *. ratio
     done
+  end;
+  if not (Obs.Ctx.is_null obs) then begin
+    Obs.Metrics.count obs "anneal_sweeps_total" schedule.sweeps;
+    Obs.Metrics.count obs "anneal_accepted_flips_total" !accepted
   end;
   spins
 

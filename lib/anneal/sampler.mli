@@ -14,9 +14,17 @@ val quick_schedule : schedule
 (** 96 sweeps: a deliberately shallow anneal that leaves residual thermal
     excitation, used to emulate a noisy single-shot device. *)
 
-val sample : ?schedule:schedule -> ?init:int array -> Stats.Rng.t -> Sparse_ising.t -> int array
+val sample :
+  ?obs:Obs.Ctx.t ->
+  ?schedule:schedule ->
+  ?init:int array ->
+  Stats.Rng.t ->
+  Sparse_ising.t ->
+  int array
 (** One annealed spin configuration (±1 entries).  [init] seeds the sweep
-    (e.g. chain-coherent spins); default is uniform random. *)
+    (e.g. chain-coherent spins); default is uniform random.  With a live
+    [obs] the call adds to the [anneal_sweeps_total] and
+    [anneal_accepted_flips_total] counters. *)
 
 val sample_best_of : ?schedule:schedule -> Stats.Rng.t -> Sparse_ising.t -> int -> int array
 (** Best of [k] independent samples by energy (multi-sample device mode). *)

@@ -74,6 +74,6 @@ let solve ?(max_decisions = max_int) f =
       if Sat.Cnf.num_clauses f = 0 then Solver.Sat (Array.make n false)
       else if search () then Solver.Sat (Sat.Assignment.to_bools assign ~default:false)
       else Solver.Unsat
-    with Budget -> Solver.Unknown
+    with Budget -> Solver.Unknown Sat.Answer.Budget
   in
   (result, { decisions = !decisions; propagations = !propagations; backtracks = !backtracks })

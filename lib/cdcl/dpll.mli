@@ -8,4 +8,4 @@
 type stats = { decisions : int; propagations : int; backtracks : int }
 
 val solve : ?max_decisions:int -> Sat.Cnf.t -> Solver.result * stats
-(** [Unknown] when the decision budget runs out. *)
+(** [Unknown Budget] when the decision budget runs out. *)

@@ -1,4 +1,9 @@
-type result = Sat of bool array | Unsat | Unknown
+type result = Sat.Answer.t =
+  | Sat of bool array
+  | Unsat
+  | Unknown of Sat.Answer.reason
+
+let is_decided_status = function Unknown _ -> false | _ -> true
 
 type stats = {
   decisions : int;
@@ -78,6 +83,8 @@ type t = {
   mutable proof_rev : Sat.Drat.step list;
   (* cooperative cancellation, polled between iterations by [solve] *)
   mutable terminate : unit -> bool;
+  (* observability; Obs.Ctx.null (the default) makes every hook free *)
+  mutable obs : Obs.Ctx.t;
   (* terminal state *)
   mutable status : result;
 }
@@ -142,7 +149,8 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
       s_max_level = 0;
       proof_rev = [];
       terminate = (fun () -> false);
-      status = Unknown;
+      obs = Obs.Ctx.null;
+      status = Unknown Sat.Answer.Budget;
     }
   in
   (* install original clauses *)
@@ -166,7 +174,7 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
   (* enqueue unit clauses at level 0 *)
   List.iter
     (fun (_, l) ->
-      if t.status = Unknown then
+      if not (is_decided_status t.status) then
         match value_lit t l with
         | 1 -> ()
         | -1 ->
@@ -389,6 +397,9 @@ let lbd t lits =
   Hashtbl.length tbl
 
 let record_learnt t lits =
+  if not (Obs.Ctx.is_null t.obs) then
+    Obs.Metrics.observe t.obs "cdcl_learnt_clause_size"
+      (float_of_int (Array.length lits));
   log_proof t (Sat.Drat.Add (Array.to_list lits));
   t.s_learnt_clauses <- t.s_learnt_clauses + 1;
   t.s_learnt_literals <- t.s_learnt_literals + Array.length lits;
@@ -502,7 +513,7 @@ let step t =
   match t.status with
   | Sat m -> `Sat m
   | Unsat -> `Unsat
-  | Unknown -> (
+  | Unknown _ -> (
       t.s_iterations <- t.s_iterations + 1;
       match propagate t with
       | Some conflict ->
@@ -574,21 +585,22 @@ let solve ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
   let conflict_budget = saturating_add t.s_conflicts max_conflicts in
   let iteration_budget = saturating_add t.s_iterations max_iterations in
   let rec loop polls =
-    if t.s_conflicts >= conflict_budget || t.s_iterations >= iteration_budget then Unknown
-    else if polls land 127 = 0 && t.terminate () then Unknown
+    if t.s_conflicts >= conflict_budget || t.s_iterations >= iteration_budget then
+      Unknown Sat.Answer.Budget
+    else if polls land 127 = 0 && t.terminate () then Unknown Sat.Answer.Cancelled
     else
       match step t with
       | `Continue -> loop (polls + 1)
       | `Sat m -> Sat m
       | `Unsat -> Unsat
   in
-  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown -> loop 0
+  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown _ -> loop 0
 
 let solve_with_assumptions ?max_conflicts ?max_iterations t lits =
   if t.status = Unsat then `Unsat
   else begin
     (* a previous Sat answer is no longer meaningful under new assumptions *)
-    t.status <- Unknown;
+    t.status <- Unknown Sat.Answer.Budget;
     cancel_until t 0;
     t.assumptions <- Array.of_list lits;
     let finish r =
@@ -600,10 +612,10 @@ let solve_with_assumptions ?max_conflicts ?max_iterations t lits =
         (* the model honours the assumptions by construction *)
         finish (`Sat m)
     | Unsat -> finish `Unsat
-    | Unknown -> finish `Unknown
+    | Unknown _ -> finish `Unknown
     | exception Assumptions_falsified ->
         cancel_until t 0;
-        t.status <- Unknown;
+        t.status <- Unknown Sat.Answer.Budget;
         finish `Unsat_assumptions
   end
 
@@ -642,7 +654,19 @@ let value t v =
 let trail_literals t = Vec.to_list t.trail
 let proof t = if t.config.Config.log_proof then Some (List.rev t.proof_rev) else None
 let model t = match t.status with Sat m -> Some m | _ -> None
-let is_decided t = match t.status with Unknown -> false | _ -> true
+let is_decided t = match t.status with Unknown _ -> false | _ -> true
 
 let force_restart t = t.restart_pending <- true
 let set_terminate t f = t.terminate <- f
+let set_obs t obs = t.obs <- obs
+
+let flush_obs t =
+  let obs = t.obs in
+  if not (Obs.Ctx.is_null obs) then begin
+    Obs.Metrics.count obs "cdcl_conflicts_total" t.s_conflicts;
+    Obs.Metrics.count obs "cdcl_propagations_total" t.s_propagations;
+    Obs.Metrics.count obs "cdcl_decisions_total" t.s_decisions;
+    Obs.Metrics.count obs "cdcl_restarts_total" t.s_restarts;
+    Obs.Metrics.count obs "cdcl_learnt_clauses_total" t.s_learnt_clauses;
+    Obs.Metrics.count obs "cdcl_deleted_clauses_total" t.s_deleted
+  end

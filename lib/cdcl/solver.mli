@@ -18,7 +18,16 @@
 
 type t
 
-type result = Sat of bool array | Unsat | Unknown
+type result = Sat.Answer.t =
+  | Sat of bool array
+  | Unsat
+  | Unknown of Sat.Answer.reason
+      (** re-export of {!Sat.Answer.t}: the constructors here {e are} the
+          shared answer constructors, so values flow between [Cdcl],
+          [Hybrid_solver], [Job], [Portfolio] and [Certify] without
+          conversion.  [solve] reports [Unknown Budget] when a conflict or
+          iteration budget runs out and [Unknown Cancelled] when the
+          [set_terminate] hook fires. *)
 
 type stats = {
   decisions : int;
@@ -120,3 +129,17 @@ val set_terminate : t -> (unit -> bool) -> unit
     contract the portfolio service uses to stop losing racers; replace it
     with [(fun () -> false)] to disable.  It runs on whatever domain called
     [solve], so it must be safe to call from that domain only. *)
+
+val set_obs : t -> Obs.Ctx.t -> unit
+(** Attach an observability context: from then on each learnt clause's
+    size is recorded into the [cdcl_learnt_clause_size] histogram.  The
+    default is {!Obs.Ctx.null}, which makes every hook a single pointer
+    comparison. *)
+
+val flush_obs : t -> unit
+(** Push this solver's lifetime counters ([cdcl_conflicts_total],
+    [cdcl_propagations_total], [cdcl_decisions_total],
+    [cdcl_restarts_total], [cdcl_learnt_clauses_total],
+    [cdcl_deleted_clauses_total]) into the attached context.  Call exactly
+    once per solver instance, when it is retired — the counts are absolute,
+    so flushing twice would double-count.  No-op without {!set_obs}. *)

@@ -32,7 +32,7 @@ let check_proof solved proof = Sat.Drat.check solved proof
 
 let certify ~original ~solved ?proof result =
   match result with
-  | Cdcl.Solver.Unknown -> Ok Nothing_to_certify
+  | Cdcl.Solver.Unknown _ -> Ok Nothing_to_certify
   | Cdcl.Solver.Sat m -> (
       match check_model ~original m with
       | Ok () -> Ok Model_verified
@@ -75,13 +75,21 @@ let finish ~original ~solved ~mapping report =
   in
   { report; solved; mapping; model; certificate }
 
+(* the certified answer in the shared Sat.Answer shape: a claim the checker
+   rejected is withheld as Unknown Cert_failed; Sat carries the projected
+   model so it speaks the original formula's variables *)
+let answer t =
+  match (t.certificate, t.report.Hyqsat.Hybrid_solver.result, t.model) with
+  | Error _, _, _ -> Sat.Answer.Unknown Sat.Answer.Cert_failed
+  | Ok _, Cdcl.Solver.Sat _, Some m -> Sat.Answer.Sat m
+  | Ok _, r, _ -> r
+
 let solve ?(config = Hyqsat.Hybrid_solver.default_config) ?max_iterations ?should_stop f =
   let solved, mapping = convert_if_needed f in
   let config =
-    {
-      config with
-      Hyqsat.Hybrid_solver.cdcl = Cdcl.Config.with_proof_logging config.Hyqsat.Hybrid_solver.cdcl;
-    }
+    Hyqsat.Hybrid_solver.make_config ~base:config
+      ~cdcl:(Cdcl.Config.with_proof_logging config.Hyqsat.Hybrid_solver.cdcl)
+      ()
   in
   let report = Hyqsat.Hybrid_solver.solve ~config ?max_iterations ?should_stop solved in
   finish ~original:f ~solved ~mapping report

@@ -51,6 +51,12 @@ type t = {
   certificate : (verdict, string) result;
 }
 
+val answer : t -> Sat.Answer.t
+(** The certified result in the shared answer type: the solver's answer
+    when the certificate holds (with [Sat] carrying the model projected to
+    the original variables), [Unknown Cert_failed] when the checker
+    rejected the claim. *)
+
 val solve :
   ?config:Hyqsat.Hybrid_solver.config ->
   ?max_iterations:int ->

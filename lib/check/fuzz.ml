@@ -57,14 +57,12 @@ let instance ~config ~seed =
 let label = function
   | Cdcl.Solver.Sat _ -> "sat"
   | Cdcl.Solver.Unsat -> "unsat"
-  | Cdcl.Solver.Unknown -> "unknown"
+  | Cdcl.Solver.Unknown _ -> "unknown"
 
 let hybrid_config config ~seed =
-  {
-    Hyqsat.Hybrid_solver.default_config with
-    Hyqsat.Hybrid_solver.graph = Chimera.Graph.create ~rows:config.grid ~cols:config.grid;
-    seed;
-  }
+  Hyqsat.Hybrid_solver.make_config
+    ~graph:(Chimera.Graph.create ~rows:config.grid ~cols:config.grid)
+    ~seed ()
 
 let check_instance ~config ~seed f =
   let reference = Sat.Brute.solve f in
@@ -72,7 +70,7 @@ let check_instance ~config ~seed f =
   let examine name (c : Certify.t) =
     let answer = c.Certify.report.Hyqsat.Hybrid_solver.result in
     match (answer, c.Certify.certificate) with
-    | Cdcl.Solver.Unknown, _ ->
+    | Cdcl.Solver.Unknown _, _ ->
         (* budget exhaustion is not a soundness failure *)
         Ok ()
     | _, Error why ->

@@ -78,7 +78,7 @@ let labeled_energy ?(adjust = true) rng graph noise f =
     match Cdcl.Solver.solve (Cdcl.Solver.create sub) with
     | Cdcl.Solver.Sat _ -> Some (energy, true)
     | Cdcl.Solver.Unsat -> Some (energy, false)
-    | Cdcl.Solver.Unknown -> None
+    | Cdcl.Solver.Unknown _ -> None
   end
 
 let calibrate ?(problems = 60) ?(noise = Anneal.Noise.default_2000q) ?(confidence = 0.9)

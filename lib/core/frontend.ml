@@ -6,6 +6,7 @@ type prepared = {
   vars_involved : int list;
   all_clauses_embedded : bool;
   cpu_time_s : float;
+  embed_time_s : float;
 }
 
 let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity =
@@ -21,7 +22,9 @@ let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity 
   else begin
     let clauses = List.map (Sat.Cnf.clause f) queue in
     let enc = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) clauses in
+    let t_embed = Sys.time () in
     let res = Embed.Hyqsat_scheme.embed graph enc in
+    let embed_time_s = Sys.time () -. t_embed in
     let embedded = res.Embed.Hyqsat_scheme.embedded_clauses in
     if embedded = 0 then None
     else begin
@@ -49,6 +52,7 @@ let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity 
           vars_involved;
           all_clauses_embedded = embedded = Sat.Cnf.num_clauses f;
           cpu_time_s = Sys.time () -. t0;
+          embed_time_s;
         }
     end
   end

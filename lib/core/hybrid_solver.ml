@@ -27,7 +27,25 @@ let default_config =
     seed = 20230225;
   }
 
-let noisy_config = { default_config with noise = Anneal.Noise.default_2000q }
+let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibration
+    ?queue_mode ?adjust_coefficients ?strategies ?qa_period ?warmup_fraction ?seed
+    () =
+  let v d o = Option.value ~default:d o in
+  {
+    cdcl = v base.cdcl cdcl;
+    graph = v base.graph graph;
+    noise = v base.noise noise;
+    timing = v base.timing timing;
+    calibration = v base.calibration calibration;
+    queue_mode = v base.queue_mode queue_mode;
+    adjust_coefficients = v base.adjust_coefficients adjust_coefficients;
+    strategies = v base.strategies strategies;
+    qa_period = v base.qa_period qa_period;
+    warmup_fraction = v base.warmup_fraction warmup_fraction;
+    seed = v base.seed seed;
+  }
+
+let noisy_config = make_config ~noise:Anneal.Noise.default_2000q ()
 
 type report = {
   result : Cdcl.Solver.result;
@@ -65,10 +83,30 @@ let strategy_index = function
   | Backend.S3_none -> 2
   | Backend.S4_reach_conflict -> 3
 
+let strategy_name = function
+  | Backend.S1_solved -> "s1"
+  | Backend.S2_keep_assignment -> "s2"
+  | Backend.S3_none -> "s3"
+  | Backend.S4_reach_conflict -> "s4"
+
 let solve ?(config = default_config) ?(max_iterations = max_int)
-    ?(should_stop = fun () -> false) f =
+    ?(should_stop = fun () -> false) ?(obs = Obs.Ctx.null)
+    ?(parent = Obs.Span.none) f =
+  let traced = not (Obs.Ctx.is_null obs) in
+  let root =
+    if traced then
+      Obs.Span.start obs ~parent
+        ~attrs:
+          [
+            ("vars", string_of_int (Sat.Cnf.num_vars f));
+            ("clauses", string_of_int (Sat.Cnf.num_clauses f));
+          ]
+        "hybrid_solve"
+    else Obs.Span.none
+  in
   let rng = Stats.Rng.create ~seed:config.seed in
   let solver = Cdcl.Solver.create ~config:config.cdcl f in
+  Cdcl.Solver.set_obs solver obs;
   let warmup =
     int_of_float
       (config.warmup_fraction *. sqrt (float_of_int (estimate_iterations f)))
@@ -85,25 +123,43 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
      a backbone-like signal *)
   let votes : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let iter = ref 0 in
-  let result = ref Cdcl.Solver.Unknown in
+  let result = ref (Cdcl.Solver.Unknown Sat.Answer.Budget) in
   let running = ref true in
   while !running && !iter < max_iterations && not (!iter land 127 = 0 && should_stop ()) do
     (* warm-up: consult the annealer before stepping *)
     if !iter < warmup && !iter mod config.qa_period = 0 && !solved_by_qa = None then begin
-      match
-        Frontend.prepare ~queue_mode:config.queue_mode ~adjust:config.adjust_coefficients
-          rng config.graph f
-          ~activity:(Cdcl.Solver.clause_activity solver)
-      with
-      | None -> ()
+      let span_iter =
+        if traced then
+          Obs.Span.start obs ~parent:root
+            ~attrs:[ ("iter", string_of_int !iter) ]
+            "warmup_iter"
+        else Obs.Span.none
+      in
+      let span_frontend = Obs.Span.start obs ~parent:span_iter "frontend" in
+      (match
+         Frontend.prepare ~queue_mode:config.queue_mode ~adjust:config.adjust_coefficients
+           rng config.graph f
+           ~activity:(Cdcl.Solver.clause_activity solver)
+       with
+      | None -> Obs.Span.stop span_frontend
       | Some prepared ->
           frontend_time := !frontend_time +. prepared.Frontend.cpu_time_s;
+          (* stage spans carry the report's own (CPU / modelled) times, so
+             summing frontend+anneal+backend+cdcl spans in a trace equals
+             end_to_end_time_s exactly *)
+          Obs.Span.record obs ~parent:span_frontend
+            ~dur_s:prepared.Frontend.embed_time_s "embed";
+          Obs.Span.stop ~dur_s:prepared.Frontend.cpu_time_s span_frontend;
           let outcome =
-            Anneal.Machine.run ~noise:config.noise ~timing:config.timing rng
+            Anneal.Machine.run ~obs ~noise:config.noise ~timing:config.timing rng
               prepared.Frontend.job
           in
           incr qa_calls;
           qa_time_us := !qa_time_us +. outcome.Anneal.Machine.time_us;
+          Obs.Span.record obs ~parent:span_iter
+            ~dur_s:(outcome.Anneal.Machine.time_us *. 1e-6)
+            "anneal";
+          Obs.Metrics.incr obs "qa_calls_total";
           (* rate-limit phase hints: consecutive samples solve different
              random subsets, and re-phasing every iteration oscillates *)
           List.iter
@@ -123,9 +179,16 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
           backend_time := !backend_time +. applied.Backend.cpu_time_s;
           strategy_uses.(strategy_index applied.Backend.strategy) <-
             strategy_uses.(strategy_index applied.Backend.strategy) + 1;
+          Obs.Span.record obs ~parent:span_iter ~dur_s:applied.Backend.cpu_time_s
+            "backend";
+          if traced then
+            Obs.Metrics.incr obs
+              (Obs.Metrics.labelled "strategy_uses_total"
+                 [ ("strategy", strategy_name applied.Backend.strategy) ]);
           (match applied.Backend.solved with
           | Some model -> solved_by_qa := Some model
-          | None -> ())
+          | None -> ()));
+      Obs.Span.stop span_iter
     end;
     (match !solved_by_qa with
     | Some model ->
@@ -145,8 +208,22 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
             result := Cdcl.Solver.Unsat;
             running := false))
   done;
+  let result =
+    (* the loop leaves [running] true only when it stopped undecided — a
+       budget ran out or the cancellation callback fired *)
+    if !running then
+      Cdcl.Solver.Unknown
+        (if should_stop () then Sat.Answer.Cancelled else Sat.Answer.Budget)
+    else !result
+  in
+  if traced then begin
+    Obs.Span.record obs ~parent:root ~dur_s:!cdcl_time "cdcl";
+    Cdcl.Solver.flush_obs solver;
+    Obs.Span.add_attr root "result" (Sat.Answer.label result);
+    Obs.Span.stop root
+  end;
   {
-    result = !result;
+    result;
     iterations = !iter;
     warmup_iterations = min warmup !iter;
     qa_calls = !qa_calls;
@@ -160,12 +237,24 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
   }
 
 let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int)
-    ?(should_stop = fun () -> false) f =
+    ?(should_stop = fun () -> false) ?(obs = Obs.Ctx.null)
+    ?(parent = Obs.Span.none) f =
+  let traced = not (Obs.Ctx.is_null obs) in
+  let root =
+    if traced then Obs.Span.start obs ~parent "classic_solve" else Obs.Span.none
+  in
   let solver = Cdcl.Solver.create ~config f in
   Cdcl.Solver.set_terminate solver should_stop;
+  Cdcl.Solver.set_obs solver obs;
   let t0 = Sys.time () in
   let result = Cdcl.Solver.solve ~max_iterations solver in
   let elapsed = Sys.time () -. t0 in
+  if traced then begin
+    Obs.Span.record obs ~parent:root ~dur_s:elapsed "cdcl";
+    Cdcl.Solver.flush_obs solver;
+    Obs.Span.add_attr root "result" (Sat.Answer.label result);
+    Obs.Span.stop root
+  end;
   let stats = Cdcl.Solver.stats solver in
   {
     result;

@@ -24,9 +24,29 @@ type config = {
 val default_config : config
 (** Noise-free annealer on the 16×16 graph, paper defaults everywhere. *)
 
+val make_config :
+  ?base:config ->
+  ?cdcl:Cdcl.Config.t ->
+  ?graph:Chimera.Graph.t ->
+  ?noise:Anneal.Noise.t ->
+  ?timing:Anneal.Timing.t ->
+  ?calibration:Calibration.t ->
+  ?queue_mode:Frontend.queue_mode ->
+  ?adjust_coefficients:bool ->
+  ?strategies:Backend.enabled ->
+  ?qa_period:int ->
+  ?warmup_fraction:float ->
+  ?seed:int ->
+  unit ->
+  config
+(** The one way call sites build configs: every field defaults to [base]
+    (itself defaulting to {!default_config}), so adding a config field
+    never breaks callers.  Do not construct [config] record literals
+    outside this module. *)
+
 val noisy_config : config
-(** Same but with the {!Anneal.Noise.default_2000q} noise model — the
-    "real-world QA" mode of Table II. *)
+(** [make_config ~noise:Anneal.Noise.default_2000q ()] — the "real-world
+    QA" mode of Table II. *)
 
 type report = {
   result : Cdcl.Solver.result;
@@ -59,19 +79,39 @@ val estimate_iterations : Sat.Cnf.t -> int
 (** The paper's K estimate from variable and clause counts. *)
 
 val solve :
-  ?config:config -> ?max_iterations:int -> ?should_stop:(unit -> bool) -> Sat.Cnf.t -> report
+  ?config:config ->
+  ?max_iterations:int ->
+  ?should_stop:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
+  ?parent:Obs.Span.t ->
+  Sat.Cnf.t ->
+  report
 (** [should_stop] is a cooperative-cancellation callback polled between
     iterations (every 128 steps); when it returns [true] the search stops
-    and the report carries [Unknown].  It must be cheap and safe to call
-    from the solving domain — the service layer passes an [Atomic.get].
-    [max_iterations] is the step budget: the search executes at most that
-    many CDCL iterations before answering [Unknown]. *)
+    and the report carries [Unknown Cancelled].  It must be cheap and safe
+    to call from the solving domain — the service layer passes an
+    [Atomic.get].  [max_iterations] is the step budget: the search executes
+    at most that many CDCL iterations before answering [Unknown Budget].
+
+    With a live [obs] the solve emits a ["hybrid_solve"] span (under
+    [parent]) containing one ["warmup_iter"] span per annealer
+    consultation — each with ["frontend"] (and its ["embed"] child),
+    ["anneal"] and ["backend"] children carrying the report's own stage
+    times (modelled time for the anneal) — plus a final ["cdcl"] span, so
+    the frontend/anneal/backend/cdcl span durations of one solve sum
+    exactly to {!end_to_end_time_s}.  Counters: [qa_calls_total],
+    [strategy_uses_total{strategy=...}], the annealer's and the CDCL
+    engine's own metrics. *)
 
 val solve_classic :
   ?config:Cdcl.Config.t ->
   ?max_iterations:int ->
   ?should_stop:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
+  ?parent:Obs.Span.t ->
   Sat.Cnf.t ->
   report
 (** The classical baseline through the same reporting type (zero QA).
-    [should_stop] as in {!solve}, installed via {!Cdcl.Solver.set_terminate}. *)
+    [should_stop] as in {!solve}, installed via {!Cdcl.Solver.set_terminate}.
+    With a live [obs], emits a ["classic_solve"] span with one ["cdcl"]
+    child and the CDCL engine's metrics. *)

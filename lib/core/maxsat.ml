@@ -46,7 +46,7 @@ let exact ?(max_conflicts_per_step = max_int) f =
           let assignment = Array.sub model 0 n in
           Some { assignment; violated = count_violated f assignment }
       | Cdcl.Solver.Unsat -> search (bound + 1)
-      | Cdcl.Solver.Unknown -> None
+      | Cdcl.Solver.Unknown _ -> None
     end
   in
   search 0

@@ -1,0 +1,253 @@
+(* JSON string escaping, sufficient for metric/span names and attrs. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Counters are conceptually integers most of the time; print them without
+   a fractional part when exact, otherwise with enough digits to
+   round-trip. *)
+let num x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let span_line (r : Ctx.span_record) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start_s\":%.6f,\"dur_s\":%.6f"
+       r.id r.parent (escape r.name) r.start_s r.dur_s);
+  if r.attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      r.attrs;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let metric_line (name, m) =
+  match (m : Ctx.metric) with
+  | Ctx.Counter c ->
+      Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%s}\n"
+        (escape name) (num c.count)
+  | Ctx.Gauge g ->
+      Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n"
+        (escape name) (num g.value)
+  | Ctx.Histogram h ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"buckets\":["
+           (escape name) h.observations (num h.sum));
+      let first = ref true in
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            let le =
+              if i < Array.length h.bounds then num h.bounds.(i) else "\"+Inf\""
+            in
+            Buffer.add_string buf (Printf.sprintf "{\"le\":%s,\"n\":%d}" le n)
+          end)
+        h.counts;
+      Buffer.add_string buf "]}\n";
+      Buffer.contents buf
+
+let jsonl ~write ?(on_close = fun () -> ()) () =
+  {
+    Ctx.on_span = (fun r -> write (span_line r));
+    on_metrics = (fun ms -> List.iter (fun m -> write (metric_line m)) ms);
+    on_close;
+  }
+
+let file_jsonl path =
+  let oc = open_out path in
+  jsonl ~write:(output_string oc) ~on_close:(fun () -> close_out oc) ()
+
+(* -- console tree ------------------------------------------------------ *)
+
+type node = {
+  mutable n_count : int;
+  mutable n_total : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let fresh_node () = { n_count = 0; n_total = 0.0; children = Hashtbl.create 4 }
+
+let console_tree ppf =
+  let spans : Ctx.span_record list ref = ref [] in
+  let render ms =
+    let records = List.rev !spans in
+    let byid = Hashtbl.create 64 in
+    List.iter (fun (r : Ctx.span_record) -> Hashtbl.replace byid r.id r) records;
+    let root = fresh_node () in
+    let memo : (int, node) Hashtbl.t = Hashtbl.create 64 in
+    (* map a span id to its aggregation node, following the parent chain;
+       a parent that never stopped aggregates its children at the root *)
+    let rec node_of id =
+      if id = 0 then root
+      else
+        match Hashtbl.find_opt memo id with
+        | Some n -> n
+        | None ->
+            let n =
+              match Hashtbl.find_opt byid id with
+              | None -> root
+              | Some r ->
+                  let parent = node_of r.parent in
+                  (match Hashtbl.find_opt parent.children r.name with
+                  | Some n -> n
+                  | None ->
+                      let n = fresh_node () in
+                      Hashtbl.replace parent.children r.name n;
+                      n)
+            in
+            Hashtbl.replace memo id n;
+            n
+    in
+    List.iter
+      (fun (r : Ctx.span_record) ->
+        let n = node_of r.id in
+        n.n_count <- n.n_count + 1;
+        n.n_total <- n.n_total +. r.dur_s)
+      records;
+    let sorted_children node =
+      Hashtbl.fold (fun name n acc -> (name, n) :: acc) node.children []
+      |> List.sort (fun (na, a) (nb, b) ->
+             match compare b.n_total a.n_total with
+             | 0 -> compare na nb
+             | c -> c)
+    in
+    Format.fprintf ppf "trace summary@.";
+    let rec print prefix node =
+      let kids = sorted_children node in
+      let last = List.length kids - 1 in
+      List.iteri
+        (fun i (name, n) ->
+          let branch, cont = if i = last then ("└─ ", "   ") else ("├─ ", "│  ") in
+          Format.fprintf ppf "%s%s%s ×%d — %.3f s@." prefix branch name
+            n.n_count n.n_total;
+          print (prefix ^ cont) n)
+        kids
+    in
+    print "" root;
+    if ms <> [] then begin
+      Format.fprintf ppf "metrics@.";
+      List.iter
+        (fun (name, m) ->
+          match (m : Ctx.metric) with
+          | Ctx.Counter c -> Format.fprintf ppf "  %s = %s@." name (num c.count)
+          | Ctx.Gauge g -> Format.fprintf ppf "  %s = %s@." name (num g.value)
+          | Ctx.Histogram h ->
+              let mean =
+                if h.observations = 0 then 0.0
+                else h.sum /. float_of_int h.observations
+              in
+              Format.fprintf ppf "  %s: n=%d sum=%s mean=%.6g@." name
+                h.observations (num h.sum) mean)
+        ms
+    end
+  in
+  {
+    Ctx.on_span = (fun r -> spans := r :: !spans);
+    on_metrics = render;
+    on_close = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+(* -- prometheus text format -------------------------------------------- *)
+
+(* Metric names may carry labels inline ("name{k=\"v\"}"); split them so
+   the TYPE line uses the base name and histogram buckets can merge an
+   [le] label in. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let labels =
+        if String.length rest > 0 && rest.[String.length rest - 1] = '}' then
+          String.sub rest 0 (String.length rest - 1)
+        else rest
+      in
+      (base, labels)
+
+let prometheus_string ms =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed base) then begin
+      Hashtbl.replace typed base kind;
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  let with_labels base labels extra =
+    let all = List.filter (fun s -> s <> "") [ labels; extra ] in
+    match all with
+    | [] -> base
+    | _ -> base ^ "{" ^ String.concat "," all ^ "}"
+  in
+  List.iter
+    (fun (name, m) ->
+      let base, labels = split_labels name in
+      match (m : Ctx.metric) with
+      | Ctx.Counter c ->
+          type_line base "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_labels base labels "") (num c.count))
+      | Ctx.Gauge g ->
+          type_line base "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_labels base labels "") (num g.value))
+      | Ctx.Histogram h ->
+          type_line base "histogram";
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              let le =
+                if i < Array.length h.bounds then
+                  Printf.sprintf "%g" h.bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s %d\n"
+                   (with_labels (base ^ "_bucket") labels
+                      (Printf.sprintf "le=\"%s\"" le))
+                   !cum))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n"
+               (with_labels (base ^ "_sum") labels "")
+               (num h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n"
+               (with_labels (base ^ "_count") labels "")
+               h.observations))
+    ms;
+  Buffer.contents buf
+
+let prometheus oc =
+  {
+    Ctx.on_span = ignore;
+    on_metrics = (fun ms -> output_string oc (prometheus_string ms));
+    on_close = (fun () -> flush oc);
+  }

@@ -1,0 +1,26 @@
+(** Exporters: ready-made {!Ctx.sink}s.
+
+    Each constructor takes output primitives rather than file paths so
+    tests can capture into buffers; [file_jsonl] is the convenience
+    wrapper the CLI uses. *)
+
+val jsonl : write:(string -> unit) -> ?on_close:(unit -> unit) -> unit -> Ctx.sink
+(** JSON-lines trace: one [{"type":"span",...}] object per stopped span,
+    then one [{"type":"counter"|"gauge"|"histogram",...}] object per
+    metric at close.  Every line ends with ['\n']. *)
+
+val file_jsonl : string -> Ctx.sink
+(** [jsonl] writing to a fresh file at the given path; the file is closed
+    by the sink's [on_close]. *)
+
+val console_tree : Format.formatter -> Ctx.sink
+(** Human-readable summary at close: spans aggregated by name path into a
+    box-drawing tree (call count and total duration per node), followed by
+    the metrics. *)
+
+val prometheus : out_channel -> Ctx.sink
+(** Prometheus text exposition format, written once at close. *)
+
+val prometheus_string : (string * Ctx.metric) list -> string
+(** The text-format rendering of a metrics snapshot (used by
+    [prometheus] and by golden tests). *)

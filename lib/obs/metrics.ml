@@ -1,0 +1,13 @@
+let incr ctx ?(by = 1.0) name = Ctx.counter_add ctx name by
+let count ctx name n = Ctx.counter_add ctx name (float_of_int n)
+let gauge ctx name v = Ctx.gauge_set ctx name v
+let observe ctx ?bounds name v = Ctx.histogram_observe ctx ?bounds name v
+
+let labelled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      let pairs =
+        List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels
+      in
+      name ^ "{" ^ String.concat "," pairs ^ "}"

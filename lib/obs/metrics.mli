@@ -1,0 +1,24 @@
+(** Name-based convenience wrappers over the {!Ctx} metrics registry.
+
+    Metrics are created lazily on first use; using one name with two
+    different kinds raises [Invalid_argument].  All operations are no-ops
+    on {!Ctx.null}. *)
+
+val incr : Ctx.t -> ?by:float -> string -> unit
+(** Bump a counter (default [by = 1.0]). *)
+
+val count : Ctx.t -> string -> int -> unit
+(** Bump a counter by an integer amount. *)
+
+val gauge : Ctx.t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : Ctx.t -> ?bounds:float array -> string -> float -> unit
+(** Record one observation into a histogram.  [bounds] (inclusive upper
+    edges, ascending; default {!Ctx.default_buckets}) is fixed at the
+    histogram's first observation. *)
+
+val labelled : string -> (string * string) list -> string
+(** [labelled "strategy_uses_total" ["strategy", "s1"]] is
+    ["strategy_uses_total{strategy=\"s1\"}"] — Prometheus-style labels
+    encoded into the metric name, understood by the exporters. *)

@@ -1,0 +1,15 @@
+type reason = Timeout | Budget | Cancelled | Cert_failed
+type t = Sat of bool array | Unsat | Unknown of reason
+
+let reason_label = function
+  | Timeout -> "timeout"
+  | Budget -> "budget"
+  | Cancelled -> "cancelled"
+  | Cert_failed -> "cert-failed"
+
+let label = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown r -> "unknown:" ^ reason_label r
+
+let is_decisive = function Sat _ | Unsat -> true | Unknown _ -> false

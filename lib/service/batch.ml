@@ -15,19 +15,19 @@ let project_model ~original m =
 
 (* certification hook: winners are checked before being reported.  A claim
    the checker rejects is withheld as [Unknown Cert_failed] rather than
-   handed to the caller wrong *)
+   handed to the caller wrong.  [Job.outcome] and [Cdcl.Solver.result] are
+   the same type ({!Sat.Answer.t}), so the outcome feeds the checker
+   directly *)
 let certify_outcome (spec : Job.spec) (race : Portfolio.race_report) outcome =
   if not spec.Job.certify then (outcome, "")
   else
     let original = Job.original_formula spec in
-    let result, proof =
+    let proof =
       match (outcome, race.Portfolio.winner) with
-      | Job.Sat m, _ -> (Cdcl.Solver.Sat m, None)
-      | Job.Unsat, Some w -> (Cdcl.Solver.Unsat, w.Portfolio.stats.Portfolio.proof)
-      | Job.Unsat, None -> (Cdcl.Solver.Unsat, None)
-      | Job.Unknown _, _ -> (Cdcl.Solver.Unknown, None)
+      | Job.Unsat, Some w -> w.Portfolio.stats.Portfolio.proof
+      | _ -> None
     in
-    let verdict = Check.Certify.certify ~original ~solved:spec.Job.formula ?proof result in
+    let verdict = Check.Certify.certify ~original ~solved:spec.Job.formula ?proof outcome in
     match verdict with
     | Ok _ -> (outcome, Check.Certify.verdict_label verdict)
     | Error _ -> (Job.Unknown Job.Cert_failed, Check.Certify.verdict_label verdict)
@@ -37,7 +37,8 @@ let max_member_iterations (race : Portfolio.race_report) =
     (fun acc (m : Portfolio.member_report) -> max acc m.Portfolio.stats.Portfolio.iterations)
     0 race.Portfolio.members
 
-let process ~members (spec : Job.spec) ~enqueued_at =
+let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
+  let traced = not (Obs.Ctx.is_null obs) in
   let started = Unix.gettimeofday () in
   let queue_wait_s = started -. enqueued_at in
   let deadline = Job.deadline spec in
@@ -46,10 +47,18 @@ let process ~members (spec : Job.spec) ~enqueued_at =
      seeds while attempts and wall-clock remain *)
   let rec attempt k =
     let seed = Job.attempt_seed spec k in
-    let race =
-      Portfolio.race ~deadline ~max_iterations:spec.Job.max_iterations (members ~seed)
-        spec.Job.formula
+    let aspan =
+      if traced then
+        Obs.Span.start obs ~parent
+          ~attrs:[ ("attempt", string_of_int k) ]
+          "attempt"
+      else Obs.Span.none
     in
+    let race =
+      Portfolio.race ~deadline ~max_iterations:spec.Job.max_iterations ~obs
+        ~parent:aspan (members ~seed) spec.Job.formula
+    in
+    Obs.Span.stop aspan;
     match race.Portfolio.winner with
     | Some _ -> (race, k + 1)
     | None ->
@@ -67,7 +76,7 @@ let process ~members (spec : Job.spec) ~enqueued_at =
                converted one (the aux chain variables are an artifact) *)
             Job.Sat (project_model ~original:(Job.original_formula spec) m)
         | Cdcl.Solver.Unsat -> Job.Unsat
-        | Cdcl.Solver.Unknown -> assert false (* winners are decisive *))
+        | Cdcl.Solver.Unknown _ -> assert false (* winners are decisive *))
     | None -> Job.Unknown (if Deadline.expired deadline then Job.Timeout else Job.Budget)
   in
   let outcome, verified = certify_outcome spec race outcome in
@@ -97,15 +106,48 @@ let process ~members (spec : Job.spec) ~enqueued_at =
   in
   { spec; outcome; record; race }
 
-let run ?(workers = 1) ~members jobs =
+let run ?(workers = 1) ?(obs = Obs.Ctx.null) ~members jobs =
   let workers = max 1 (min 64 workers) in (* same clamp as Pool.create *)
+  let traced = not (Obs.Ctx.is_null obs) in
+  let batch_span =
+    if traced then
+      Obs.Span.start obs
+        ~attrs:
+          [
+            ("jobs", string_of_int (List.length jobs));
+            ("workers", string_of_int workers);
+          ]
+        "batch"
+    else Obs.Span.none
+  in
   let t0 = Unix.gettimeofday () in
   let pool =
-    Pool.create ~workers (fun ~worker:_ (spec, enqueued_at) ->
-        process ~members spec ~enqueued_at)
+    Pool.create ~workers (fun ~worker (spec, enqueued_at) ->
+        let jspan =
+          if traced then
+            Obs.Span.start obs ~parent:batch_span
+              ~attrs:
+                [
+                  ("id", string_of_int spec.Job.id);
+                  ("name", spec.Job.name);
+                  ("worker", string_of_int worker);
+                ]
+              "job"
+          else Obs.Span.none
+        in
+        let r = process ~members ~obs ~parent:jspan spec ~enqueued_at in
+        if traced then begin
+          Obs.Span.add_attr jspan "outcome" (Job.outcome_label r.outcome);
+          Obs.Span.stop jspan;
+          Obs.Metrics.incr obs
+            (Obs.Metrics.labelled "jobs_total"
+               [ ("outcome", Job.outcome_label r.outcome) ])
+        end;
+        r)
   in
   List.iter (fun spec -> Pool.submit pool (spec, Unix.gettimeofday ())) jobs;
   let results = Pool.drain pool in
+  Obs.Span.stop batch_span;
   let wall_time_s = Unix.gettimeofday () -. t0 in
   let results =
     Array.to_list results

@@ -16,11 +16,18 @@ type job_result = {
 
 val run :
   ?workers:int ->
+  ?obs:Obs.Ctx.t ->
   members:(seed:int -> Portfolio.member list) ->
   Job.spec list ->
   Telemetry.summary * job_result list
 (** [run ~workers ~members jobs] solves every job and returns the
     aggregated summary plus per-job results in input order.
+
+    With a live [obs] the batch emits one ["batch"] root span containing a
+    ["job"] span per job (attrs [id], [name], [worker], [outcome]), each
+    containing one ["attempt"] span per portfolio race (so retries are
+    visible), which in turn parents the race/member/solve spans.  The
+    [jobs_total{outcome=...}] counters aggregate final outcomes.
 
     [members ~seed] builds the portfolio for one attempt; retries call it
     again with {!Job.attempt_seed} so every attempt searches differently.

@@ -10,8 +10,17 @@ type spec = {
   seed : int;
 }
 
+let default_seed ~id =
+  (* per-job base seeds must not collide *across jobs* once attempt
+     reseeding (+7919·k) is applied: a shared constant made job i attempt
+     k+1 equal job j attempt k.  1_000_003 is prime and not a multiple of
+     7919, so two jobs' attempt sequences only meet when their ids differ
+     by a multiple of 7919 — beyond any realistic retry count. *)
+  20230225 + (1_000_003 * id)
+
 let make ?name ?original ?(certify = false) ?timeout_s ?(max_iterations = max_int)
-    ?(retries = 0) ?(seed = 20230225) ~id formula =
+    ?(retries = 0) ?seed ~id formula =
+  let seed = match seed with Some s -> s | None -> default_seed ~id in
   let name = match name with Some n -> n | None -> Printf.sprintf "job-%d" id in
   if retries < 0 then invalid_arg "Job.make: retries < 0";
   (match original with
@@ -29,14 +38,15 @@ let deadline spec =
    with the +1/+2 seed conventions used elsewhere in the suite *)
 let attempt_seed spec k = spec.seed + (7919 * k)
 
-type unknown_reason = Timeout | Budget | Cancelled | Cert_failed
+type unknown_reason = Sat.Answer.reason =
+  | Timeout
+  | Budget
+  | Cancelled
+  | Cert_failed
 
-type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
+type outcome = Sat.Answer.t =
+  | Sat of bool array
+  | Unsat
+  | Unknown of unknown_reason
 
-let outcome_label = function
-  | Sat _ -> "sat"
-  | Unsat -> "unsat"
-  | Unknown Timeout -> "unknown:timeout"
-  | Unknown Budget -> "unknown:budget"
-  | Unknown Cancelled -> "unknown:cancelled"
-  | Unknown Cert_failed -> "unknown:cert-failed"
+let outcome_label = Sat.Answer.label

@@ -40,7 +40,10 @@ val make :
   spec
 (** Defaults: [name] = ["job-<id>"], no original (the formula is solved
     as-is), [certify] = [false], no timeout, [max_iterations] = [max_int],
-    [retries] = 0, [seed] = 20230225. *)
+    [retries] = 0.  The default [seed] is derived from [id] so that two
+    jobs in the same batch never share an attempt-seed sequence (a shared
+    constant default made job [i] attempt [k+1] collide with job [i+1]
+    attempt [k]). *)
 
 val original_formula : spec -> Sat.Cnf.t
 (** The formula answers are reported against: [original] if present,
@@ -53,12 +56,23 @@ val deadline : spec -> Deadline.t
 val attempt_seed : spec -> int -> int
 (** [attempt_seed spec k] is the reseeded base for attempt [k] (0-based). *)
 
-(** Why a job ended without a definite answer.  [Cert_failed] means a
-    solver claimed Sat/Unsat but the certification check rejected the
-    claim — the answer is withheld rather than reported wrong. *)
-type unknown_reason = Timeout | Budget | Cancelled | Cert_failed
+(** Why a job ended without a definite answer (= {!Sat.Answer.reason}).
+    [Cert_failed] means a solver claimed Sat/Unsat but the certification
+    check rejected the claim — the answer is withheld rather than
+    reported wrong. *)
+type unknown_reason = Sat.Answer.reason =
+  | Timeout
+  | Budget
+  | Cancelled
+  | Cert_failed
 
-type outcome = Sat of bool array | Unsat | Unknown of unknown_reason
+(** = {!Sat.Answer.t}: job outcomes share their constructors with
+    [Cdcl.Solver.result], so batch code moves solver answers into
+    outcomes without conversion. *)
+type outcome = Sat.Answer.t =
+  | Sat of bool array
+  | Unsat
+  | Unknown of unknown_reason
 
 val outcome_label : outcome -> string
 (** ["sat"], ["unsat"], ["unknown:timeout"], ["unknown:budget"],

@@ -8,7 +8,13 @@ type solve_stats = {
 
 type member = {
   name : string;
-  run : should_stop:(unit -> bool) -> max_iterations:int -> Sat.Cnf.t -> solve_stats;
+  run :
+    obs:Obs.Ctx.t ->
+    parent:Obs.Span.t ->
+    should_stop:(unit -> bool) ->
+    max_iterations:int ->
+    Sat.Cnf.t ->
+    solve_stats;
 }
 
 type member_report = {
@@ -40,43 +46,49 @@ let hybrid_member ~name ~base ~grid ~seed ~log_proof =
   {
     name;
     run =
-      (fun ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent ~should_stop ~max_iterations f ->
         let cdcl = base.Hyqsat.Hybrid_solver.cdcl in
         let config =
-          {
-            base with
-            Hyqsat.Hybrid_solver.graph =
+          Hyqsat.Hybrid_solver.make_config ~base
+            ~graph:
               (if grid = 16 then base.Hyqsat.Hybrid_solver.graph
-               else Chimera.Graph.create ~rows:grid ~cols:grid);
-            cdcl = (if log_proof then Cdcl.Config.with_proof_logging cdcl else cdcl);
-            seed;
-          }
+               else Chimera.Graph.create ~rows:grid ~cols:grid)
+            ~cdcl:(if log_proof then Cdcl.Config.with_proof_logging cdcl else cdcl)
+            ~seed ()
         in
-        stats_of_report (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop f));
+        stats_of_report
+          (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop ~obs
+             ~parent f));
   }
 
 let classic_member ~name ~base ~seed ~log_proof =
   {
     name;
     run =
-      (fun ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent ~should_stop ~max_iterations f ->
         let config = Cdcl.Config.with_seed seed base in
         let config = if log_proof then Cdcl.Config.with_proof_logging config else config in
         stats_of_report
-          (Hyqsat.Hybrid_solver.solve_classic ~config ~max_iterations ~should_stop f));
+          (Hyqsat.Hybrid_solver.solve_classic ~config ~max_iterations ~should_stop
+             ~obs ~parent f));
   }
 
 let walksat_member ~seed =
   {
     name = "walksat";
     run =
-      (fun ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent:_ ~should_stop ~max_iterations f ->
         let rng = Stats.Rng.create ~seed in
         (* one flip ≈ one iteration; split the budget over a few restarts *)
         let max_flips = max 1_000 (min 200_000 (max_iterations / 4)) in
         let model, st = Cdcl.Walksat.solve ~max_flips ~restarts:64 ~should_stop rng f in
+        Obs.Metrics.count obs "walksat_flips_total" st.Cdcl.Walksat.flips;
         let result =
-          match model with Some m -> Cdcl.Solver.Sat m | None -> Cdcl.Solver.Unknown
+          match model with
+          | Some m -> Cdcl.Solver.Sat m
+          | None ->
+              Cdcl.Solver.Unknown
+                (if should_stop () then Sat.Answer.Cancelled else Sat.Answer.Budget)
         in
         {
           result;
@@ -106,31 +118,50 @@ let members_named ?grid ?log_proof ~seed names =
 
 let default_members ?grid ?log_proof ~seed () = members_named ?grid ?log_proof ~seed member_names
 
-let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown -> false
+let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown _ -> false
 
-let race ?(deadline = Deadline.none) ?(max_iterations = max_int) members f =
+let race ?(deadline = Deadline.none) ?(max_iterations = max_int)
+    ?(obs = Obs.Ctx.null) ?(parent = Obs.Span.none) members f =
   if members = [] then invalid_arg "Portfolio.race: no members";
+  let traced = not (Obs.Ctx.is_null obs) in
+  let race_span =
+    if traced then Obs.Span.start obs ~parent "race" else Obs.Span.none
+  in
   let t_start = Unix.gettimeofday () in
   let cancel = Atomic.make false in
   let winner_idx = Atomic.make (-1) in
   let should_stop () = Atomic.get cancel || Deadline.expired deadline in
   let run_one i m =
+    let span =
+      if traced then
+        Obs.Span.start obs ~parent:race_span ~attrs:[ ("name", m.name) ] "member"
+      else Obs.Span.none
+    in
     let t0 = Unix.gettimeofday () in
     (* a raising member must not poison the race: without the handler the
        exception would resurface from Domain.join, losing every sibling
        report and any winner already found *)
-    match m.run ~should_stop ~max_iterations f with
+    match m.run ~obs ~parent:span ~should_stop ~max_iterations f with
     | stats ->
         let time_s = Unix.gettimeofday () -. t0 in
         if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
           Atomic.set cancel true;
         let cancelled = (not (is_decisive stats.result)) && Atomic.get cancel in
+        if traced then begin
+          Obs.Span.add_attr span "result" (Sat.Answer.label stats.result);
+          if cancelled then Obs.Span.add_attr span "cancelled" "true";
+          Obs.Span.stop span
+        end;
         { member = m.name; stats; time_s; cancelled; error = None }
     | exception e ->
         let time_s = Unix.gettimeofday () -. t0 in
+        if traced then begin
+          Obs.Span.add_attr span "error" (Printexc.to_string e);
+          Obs.Span.stop span
+        end;
         let stats =
           {
-            result = Cdcl.Solver.Unknown;
+            result = Cdcl.Solver.Unknown Sat.Answer.Budget;
             iterations = 0;
             qa_calls = 0;
             strategy_uses = Array.make 4 0;
@@ -151,4 +182,10 @@ let race ?(deadline = Deadline.none) ?(max_iterations = max_int) members f =
   let winner =
     match Atomic.get winner_idx with -1 -> None | i -> Some (List.nth reports i)
   in
+  if traced then begin
+    (match winner with
+    | Some w -> Obs.Span.add_attr race_span "winner" w.member
+    | None -> ());
+    Obs.Span.stop race_span
+  end;
   { winner; members = reports; wall_time_s = Unix.gettimeofday () -. t_start }

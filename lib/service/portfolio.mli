@@ -8,7 +8,7 @@
     solver steps of the flag flipping. *)
 
 type solve_stats = {
-  result : Cdcl.Solver.result;
+  result : Cdcl.Solver.result;  (** = {!Sat.Answer.t} (shared constructors) *)
   iterations : int;
   qa_calls : int;
   strategy_uses : int array;  (** length 4; zeros for classical members *)
@@ -19,7 +19,16 @@ type solve_stats = {
 
 type member = {
   name : string;
-  run : should_stop:(unit -> bool) -> max_iterations:int -> Sat.Cnf.t -> solve_stats;
+  run :
+    obs:Obs.Ctx.t ->
+    parent:Obs.Span.t ->
+    should_stop:(unit -> bool) ->
+    max_iterations:int ->
+    Sat.Cnf.t ->
+    solve_stats;
+      (** [obs]/[parent] thread the race's observability context into the
+          member's solve (pass {!Obs.Ctx.null} / {!Obs.Span.none} when
+          untraced — the race does this automatically) *)
 }
 
 type member_report = {
@@ -53,11 +62,23 @@ val members_named : ?grid:int -> ?log_proof:bool -> seed:int -> string list -> m
     @raise Invalid_argument on an unknown name. *)
 
 val race :
-  ?deadline:Deadline.t -> ?max_iterations:int -> member list -> Sat.Cnf.t -> race_report
+  ?deadline:Deadline.t ->
+  ?max_iterations:int ->
+  ?obs:Obs.Ctx.t ->
+  ?parent:Obs.Span.t ->
+  member list ->
+  Sat.Cnf.t ->
+  race_report
 (** Race the members on [f]: one domain per member (run inline when there
     is exactly one), first Sat/Unsat answer cancels the rest.  All members
     are joined before returning, so the report is complete.  A member that
     raises is reported with [error = Some _] and result [Unknown] instead
     of propagating from [Domain.join] — sibling reports and a winner found
     by another member survive.
+
+    With a live [obs], the race emits a ["race"] span (attr [winner]) with
+    one ["member"] child per member — attrs [name], [result], and
+    [cancelled]/[error] as applicable — each passed down as the parent of
+    that member's own solve spans.  {!Obs.Ctx.t} is domain-safe, so
+    members emit concurrently.
     @raise Invalid_argument on an empty member list. *)

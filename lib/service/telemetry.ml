@@ -295,9 +295,18 @@ let json_of_summary s =
       ("throughput_jps", Num s.throughput_jps);
     ]
 
+(* bumped whenever the document shape changes; version 1 documents had no
+   [schema_version] field, so the parser treats absence as 1 *)
+let schema_version = 2
+
 let to_json_string summary records =
   json_to_string
-    (Obj [ ("summary", json_of_summary summary); ("jobs", Arr (List.map json_of_record records)) ])
+    (Obj
+       [
+         ("schema_version", Int schema_version);
+         ("summary", json_of_summary summary);
+         ("jobs", Arr (List.map json_of_record records));
+       ])
 
 let field kvs k =
   match List.assoc_opt k kvs with
@@ -354,6 +363,15 @@ let of_json_string s =
   | j -> (
       match
         let kvs = as_obj j in
+        (match List.assoc_opt "schema_version" kvs with
+        | None -> () (* version 1: predates the field *)
+        | Some v ->
+            let v = as_int v in
+            if v < 1 || v > schema_version then
+              raise
+                (Parse_error
+                   (Printf.sprintf "unsupported schema_version %d (supported: 1..%d)" v
+                      schema_version)));
         (summary_of_json (field kvs "summary"), List.map record_of_json (as_arr (field kvs "jobs")))
       with
       | pair -> Ok pair

@@ -41,12 +41,21 @@ val summarize : workers:int -> wall_time_s:float -> record list -> summary
 
 (** {2 JSON} *)
 
+val schema_version : int
+(** Version of the emitted document shape (currently 2).  Version 1
+    documents predate the [schema_version] field. *)
+
 val to_json_string : summary -> record list -> string
-(** One JSON object [{"summary": {...}, "jobs": [...]}].  Floats are
-    printed with enough digits to round-trip exactly. *)
+(** One JSON object
+    [{"schema_version": N, "summary": {...}, "jobs": [...]}] with that
+    fixed field order.  Floats are printed with enough digits to
+    round-trip exactly. *)
 
 val of_json_string : string -> (summary * record list, string) result
-(** Inverse of {!to_json_string}; [Error msg] on malformed input. *)
+(** Inverse of {!to_json_string}; [Error msg] on malformed input.
+    Accepts documents without [schema_version] (version 1) as well as any
+    version up to {!schema_version}; newer versions are rejected rather
+    than misread. *)
 
 (** {2 Pretty-printing} *)
 

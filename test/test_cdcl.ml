@@ -124,7 +124,7 @@ let agrees_with_brute config name =
       match solve_with config f with
       | Solver.Sat m -> expected && Testutil.check_model f m
       | Solver.Unsat -> not expected
-      | Solver.Unknown -> false)
+      | Solver.Unknown _ -> false)
 
 let budget_returns_unknown () =
   let r = Testutil.rng 7 in
@@ -132,12 +132,12 @@ let budget_returns_unknown () =
   let f = Testutil.random_cnf r ~n:60 ~m:256 ~k:3 in
   let s = Solver.create f in
   match Solver.solve ~max_conflicts:1 s with
-  | Solver.Unknown | Solver.Sat _ | Solver.Unsat -> (
+  | Solver.Unknown _ | Solver.Sat _ | Solver.Unsat -> (
       (* resume must reach a definite answer *)
       match Solver.solve s with
       | Solver.Sat m -> Alcotest.(check bool) "model" true (Testutil.check_model f m)
       | Solver.Unsat -> ()
-      | Solver.Unknown -> Alcotest.fail "unbudgeted resume returned Unknown")
+      | Solver.Unknown _ -> Alcotest.fail "unbudgeted resume returned Unknown")
 
 let step_equivalent_to_solve () =
   let r = Testutil.rng 11 in
@@ -154,7 +154,7 @@ let step_equivalent_to_solve () =
         Alcotest.(check bool) "step model" true (Testutil.check_model f m);
         Alcotest.(check bool) "step sat agrees" true expected
     | Solver.Unsat -> Alcotest.(check bool) "step unsat agrees" false expected
-    | Solver.Unknown -> Alcotest.fail "step cannot be unknown");
+    | Solver.Unknown _ -> Alcotest.fail "step cannot be unknown");
     (* after a decision, further steps keep returning the same answer *)
     match (Solver.step s, via_step) with
     | `Sat _, Solver.Sat _ | `Unsat, Solver.Unsat -> ()
@@ -312,13 +312,13 @@ let dpll_agrees_with_brute =
       match Cdcl.Dpll.solve f with
       | Cdcl.Solver.Sat m, _ -> expected && Testutil.check_model f m
       | Cdcl.Solver.Unsat, _ -> not expected
-      | Cdcl.Solver.Unknown, _ -> false)
+      | Cdcl.Solver.Unknown _, _ -> false)
 
 let dpll_budget () =
   let r = Testutil.rng 301 in
   let f = Testutil.random_cnf r ~n:40 ~m:170 ~k:3 in
   match Cdcl.Dpll.solve ~max_decisions:1 f with
-  | Cdcl.Solver.Unknown, st -> Alcotest.(check bool) "counted" true (st.Cdcl.Dpll.decisions >= 1)
+  | Cdcl.Solver.Unknown _, st -> Alcotest.(check bool) "counted" true (st.Cdcl.Dpll.decisions >= 1)
   | (Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat), _ -> () (* solved by propagation alone *)
 
 let cdcl_beats_dpll_on_structure () =

@@ -151,14 +151,14 @@ let certify_rejects_wrong_model () =
 let failing_member name =
   {
     Portfolio.name;
-    run = (fun ~should_stop:_ ~max_iterations:_ _f -> failwith (name ^ " exploded"));
+    run = (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f -> failwith (name ^ " exploded"));
   }
 
 let honest_member model =
   {
     Portfolio.name = "honest";
     run =
-      (fun ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
@@ -181,7 +181,7 @@ let race_survives_raising_member () =
       Alcotest.(check bool) "error carries the exception" true (contains ~needle:"exploded" e)
   | None -> Alcotest.fail "raising member must carry an error");
   match failed.Portfolio.stats.Portfolio.result with
-  | Cdcl.Solver.Unknown -> ()
+  | Cdcl.Solver.Unknown _ -> ()
   | _ -> Alcotest.fail "raising member reports Unknown"
 
 let race_all_members_raising () =
@@ -200,7 +200,7 @@ let lying_sat_member () =
   {
     Portfolio.name = "liar";
     run =
-      (fun ~should_stop:_ ~max_iterations:_ f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ f ->
         {
           (* a model of all-false: falsifies any positive clause *)
           Portfolio.result = Cdcl.Solver.Sat (Array.make (Sat.Cnf.num_vars f) false);
@@ -215,7 +215,7 @@ let lying_unsat_member () =
   {
     Portfolio.name = "liar-unsat";
     run =
-      (fun ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Unsat;
           iterations = 1;

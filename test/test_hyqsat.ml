@@ -210,9 +210,7 @@ let hybrid_agrees_with_classic () =
 let hybrid_agrees_under_noise () =
   (* soundness under heavy noise: hints may be garbage, answers must not *)
   let rng = Testutil.rng 213 in
-  let config =
-    { Hybrid.default_config with Hybrid.noise = Anneal.Noise.bit_flip_only 0.4 }
-  in
+  let config = Hybrid.make_config ~noise:(Anneal.Noise.bit_flip_only 0.4) () in
   for _ = 1 to 4 do
     let f = Workload.Uniform.generate rng ~num_vars:20 ~num_clauses:85 in
     let classic = Hybrid.solve_classic f in

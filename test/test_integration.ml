@@ -32,7 +32,7 @@ let hybrid_solves_every_family () =
       match hybrid.Hybrid.result with
       | Cdcl.Solver.Sat m ->
           Alcotest.(check bool) (name ^ ": model valid") true (Testutil.check_model f m)
-      | Cdcl.Solver.Unsat | Cdcl.Solver.Unknown -> ())
+      | Cdcl.Solver.Unsat | Cdcl.Solver.Unknown _ -> ())
     tiny_instances
 
 let simplify_then_solve_agrees () =
@@ -76,10 +76,9 @@ let extreme_noise_soundness () =
   (* failure injection: an adversarially noisy annealer cannot change any
      answer, only slow the search down *)
   let config =
-    {
-      Hybrid.default_config with
-      Hybrid.noise = { Anneal.Noise.coeff_sigma = 1.0; readout_flip = 0.5; shallow_anneal = true };
-    }
+    Hybrid.make_config
+      ~noise:{ Anneal.Noise.coeff_sigma = 1.0; readout_flip = 0.5; shallow_anneal = true }
+      ()
   in
   List.iter
     (fun (name, gen) ->

@@ -15,7 +15,7 @@ let instant_member model =
   {
     Portfolio.name = "instant";
     run =
-      (fun ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
@@ -31,14 +31,14 @@ let spin_member () =
   {
     Portfolio.name = "spin";
     run =
-      (fun ~should_stop ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop ~max_iterations:_ _f ->
         let spins = ref 0 in
         while (not (should_stop ())) && !spins < 2_000_000_000 do
           incr spins;
           if !spins land 1023 = 0 then Domain.cpu_relax ()
         done;
         {
-          Portfolio.result = Cdcl.Solver.Unknown;
+          Portfolio.result = Cdcl.Solver.Unknown Sat.Answer.Budget;
           iterations = !spins;
           qa_calls = 0;
           strategy_uses = Array.make 4 0;
@@ -146,7 +146,7 @@ let cdcl_terminate_hook () =
   let solver = Cdcl.Solver.create f in
   Cdcl.Solver.set_terminate solver (fun () -> true);
   (match Cdcl.Solver.solve solver with
-  | Cdcl.Solver.Unknown -> ()
+  | Cdcl.Solver.Unknown _ -> ()
   | _ -> Alcotest.fail "terminate should force Unknown");
   (* the solver stays usable once the flag clears *)
   Cdcl.Solver.set_terminate solver (fun () -> false);
@@ -216,6 +216,28 @@ let telemetry_json_roundtrip () =
         (fun a b -> Alcotest.(check bool) "record round-trips" true (a = b))
         records records'
 
+let telemetry_schema_versioning () =
+  let summary = Telemetry.summarize ~workers:1 ~wall_time_s:0.5 [] in
+  let doc = Telemetry.to_json_string summary [] in
+  (* new documents lead with the version field *)
+  let header = "{\"schema_version\":2," in
+  let hlen = String.length header in
+  Alcotest.(check string) "version field first" header (String.sub doc 0 hlen);
+  (match Telemetry.of_json_string doc with
+  | Ok (s, r) ->
+      Alcotest.(check bool) "current version parses" true (s = summary && r = [])
+  | Error e -> Alcotest.fail ("current version rejected: " ^ e));
+  (* version-1 documents predate the field entirely; they must keep parsing *)
+  let v1 = "{" ^ String.sub doc hlen (String.length doc - hlen) in
+  (match Telemetry.of_json_string v1 with
+  | Ok (s, _) -> Alcotest.(check bool) "v1 document parses" true (s = summary)
+  | Error e -> Alcotest.fail ("v1 document rejected: " ^ e));
+  (* documents from a future writer are refused, not misread *)
+  let future = "{\"schema_version\":99," ^ String.sub doc hlen (String.length doc - hlen) in
+  match Telemetry.of_json_string future with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future schema_version must be rejected"
+
 let telemetry_json_rejects_garbage () =
   (match Telemetry.of_json_string "{" with
   | Error _ -> ()
@@ -248,6 +270,7 @@ let suite =
         Alcotest.test_case "walksat stops on cancel" `Quick walksat_stops_on_cancel;
         Alcotest.test_case "portfolio race finds answer" `Quick portfolio_race_finds_answer;
         Alcotest.test_case "telemetry JSON round-trip" `Quick telemetry_json_roundtrip;
+        Alcotest.test_case "telemetry schema versioning" `Quick telemetry_schema_versioning;
         Alcotest.test_case "telemetry JSON rejects garbage" `Quick
           telemetry_json_rejects_garbage;
         Alcotest.test_case "deadline basics" `Quick deadline_basics;

@@ -115,7 +115,7 @@ let solver_proofs_check =
           match Cdcl.Solver.proof s with
           | Some proof -> Drat.check f proof = Ok ()
           | None -> false)
-      | Cdcl.Solver.Unknown -> false)
+      | Cdcl.Solver.Unknown _ -> false)
 
 let solver_proof_on_pigeonhole () =
   (* a structured UNSAT family with clause deletions in play *)

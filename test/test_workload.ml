@@ -17,13 +17,13 @@ let expect_sat name f =
   | Cdcl.Solver.Sat m ->
       Alcotest.(check bool) (name ^ " model valid") true (Testutil.check_model f m)
   | Cdcl.Solver.Unsat -> Alcotest.fail (name ^ " unexpectedly UNSAT")
-  | Cdcl.Solver.Unknown -> Alcotest.fail (name ^ " unknown")
+  | Cdcl.Solver.Unknown _ -> Alcotest.fail (name ^ " unknown")
 
 let expect_unsat name f =
   match solve f with
   | Cdcl.Solver.Unsat -> ()
   | Cdcl.Solver.Sat _ -> Alcotest.fail (name ^ " unexpectedly SAT")
-  | Cdcl.Solver.Unknown -> Alcotest.fail (name ^ " unknown")
+  | Cdcl.Solver.Unknown _ -> Alcotest.fail (name ^ " unknown")
 
 (* ---- circuit substrate ---- *)
 
