@@ -20,6 +20,7 @@ let experiments =
     ("table3", Exp_table3.run);
     ("ablation", Exp_ablation.run);
     ("batch", Exp_batch.run);
+    ("anneal", Exp_anneal.run);
   ]
 
 let run_selected names scale seed problems trace =

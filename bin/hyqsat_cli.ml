@@ -64,7 +64,7 @@ let write_proof path (r : Service.Batch.job_result) =
   | None -> ()
 
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out certify proof_file trace_file metrics =
+    max_iterations json_out certify proof_file trace_file metrics qa_reads qa_domains =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
@@ -83,7 +83,8 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
       paths
   in
   let members ~seed =
-    if portfolio then Service.Portfolio.default_members ~grid ~log_proof ~seed ()
+    if portfolio then
+      Service.Portfolio.default_members ~grid ~log_proof ~qa_reads ~qa_domains ~seed ()
     else
       let name =
         match (solver_kind, noisy) with
@@ -92,7 +93,7 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
         | `Minisat, _ -> "minisat"
         | `Kissat, _ -> "kissat"
       in
-      Service.Batch.solo ~grid ~log_proof name ~seed
+      Service.Batch.solo ~grid ~log_proof ~qa_reads ~qa_domains name ~seed
   in
   let obs =
     if trace_file = None && not metrics then Obs.Ctx.null
@@ -233,6 +234,23 @@ let metrics_arg =
           "Dump run metrics (counters, gauges, histograms) in Prometheus text format on stdout \
            after the results.")
 
+let qa_reads_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "qa-reads" ] ~docv:"K"
+        ~doc:
+          "Annealer samples per QA call (best-of-$(docv) by energy, the multi-sample device \
+           mode); 1 = the paper's single-shot protocol.")
+
+let qa_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "qa-domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains fanning the $(b,--qa-reads) samples of one QA call.  The answer is \
+           deterministic in the seed whatever $(docv) is; mind the multiplication with \
+           $(b,--jobs) and $(b,--portfolio) domains.")
+
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
   Cmd.v
@@ -240,6 +258,6 @@ let cmd =
     Term.(
       const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
       $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg)
+      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,155 @@
+(* Incremental-field Metropolis kernel.
+
+   Invariant maintained across every accepted flip:
+
+     deltas.(i) = -2 · spins.(i) · (h_i + Σ_k J_ik · spins.(k))
+
+   i.e. the energy delta of flipping spin i, kept materialised so an
+   attempted flip is one float load and a sign test — the branch resolves
+   as fast as the load, which matters as much as the op count because
+   accept/reject is data-random and mispredicts pay the full chain.  Only
+   an *accepted* flip pays the O(deg) CSR walk: flipping i negates its own
+   delta exactly and shifts each neighbour's by 4·J_ij·s_j·s_i' (the 4·J
+   products are precomputed; scaling by 4 is exact).  The reference sweep
+   pays an O(deg) field summation on every attempt instead.
+
+   The second saving is the acceptance-threshold table: the Metropolis test
+   "u < exp(-β·δ)" is bracketed by a precomputed table of exp values over a
+   z = β·δ grid, so the transcendental only runs on draws that land inside
+   one table cell.  The table lives in z-space, which makes it independent
+   of β — the per-sweep rebuild a δ-space table would need degenerates to
+   one multiply per attempted flip.  The brackets carry a relative margin
+   (1e-9, orders of magnitude above libm's exp error) so a fast-path
+   decision can never disagree with the exact fallback — the kernel stays
+   RNG-for-RNG and decision-for-decision equivalent to the reference loop. *)
+
+let buckets = 2048
+
+(* exp(-40) ≈ 4e-18: a uniform draw from [0,1) essentially never lands
+   below it, so everything past z_cap resolves by the reject fast path *)
+let z_cap = 40.0
+let margin = 1e-9
+let zstep = z_cap /. float_of_int buckets
+
+(* shared between kernels: the table depends on nothing *)
+let hi_table =
+  Array.init (buckets + 1) (fun q ->
+      exp (-.(float_of_int q *. zstep)) *. (1. +. margin))
+
+let lo_table =
+  Array.init (buckets + 1) (fun q ->
+      if q = buckets then 0. (* last bucket is open-ended: no fast accept *)
+      else exp (-.(float_of_int (q + 1) *. zstep)) *. (1. -. margin))
+
+type t = {
+  ising : Sparse_ising.t;
+  spins : int array;  (* updated in place; owned by the caller *)
+  fspins : float array;  (* float mirror of [spins] — keeps int→float
+                            conversion out of the push loop *)
+  deltas : float array;  (* flip delta of every spin, kept current *)
+  cpl4 : float array;  (* 4 · cpl, CSR layout — the push constants *)
+  mutable accepted : int;
+}
+
+let init ising spins =
+  let n = ising.Sparse_ising.n in
+  if Array.length spins <> n then invalid_arg "Kernel.init: spins length";
+  (* same expression and rounding as the reference loop's first attempt *)
+  let deltas =
+    Array.init n (fun i ->
+        -2.0 *. float_of_int spins.(i) *. Sparse_ising.local_field ising spins i)
+  in
+  let fspins = Array.map float_of_int spins in
+  let cpl4 = Array.map (fun j -> 4.0 *. j) ising.Sparse_ising.cpl in
+  { ising; spins; fspins; deltas; cpl4; accepted = 0 }
+
+let spins t = t.spins
+let delta t i = t.deltas.(i)
+
+(* fields aren't stored, but deltas determine them: F_i = -δ_i / (2·s_i),
+   and 1/s = s for spins in {-1, +1} *)
+let field t i = -0.5 *. t.deltas.(i) *. float_of_int t.spins.(i)
+let accepted t = t.accepted
+
+(* accepted flip of spin [i]: negate it (δ_i flips sign exactly) and push
+   Δδ_j = -2·s_j·ΔF_j = -4·J_ij·s_j·s_i' onto the CSR neighbourhood *)
+let flip t i =
+  let spins = t.spins and fspins = t.fspins and deltas = t.deltas in
+  let s' = -spins.(i) in
+  let fs' = -.fspins.(i) in
+  spins.(i) <- s';
+  fspins.(i) <- fs';
+  deltas.(i) <- -.deltas.(i);
+  let off = t.ising.Sparse_ising.off and nbr = t.ising.Sparse_ising.nbr in
+  let cpl4 = t.cpl4 in
+  for k = off.(i) to off.(i + 1) - 1 do
+    let j = nbr.(k) in
+    deltas.(j) <- deltas.(j) -. (cpl4.(k) *. fs' *. fspins.(j))
+  done;
+  t.accepted <- t.accepted + 1
+
+let zstep_inv = 1. /. zstep
+
+(* The sweep is the whole cost of an anneal, so it drops to unsafe array
+   accesses: [i] ranges over [0, n), [off] has n+1 entries, CSR indices are
+   validated by [Sparse_ising.build], and the bucket index is clamped into
+   [0, buckets] (the [< 0] arm absorbs the unspecified [int_of_float] result
+   of a z beyond integer range — it resolves through the exact-exp fallback
+   like the rest of the open-ended last bucket). *)
+let sweep t ~beta rng =
+  let ising = t.ising in
+  let n = ising.Sparse_ising.n in
+  let spins = t.spins and fspins = t.fspins and deltas = t.deltas in
+  let off = ising.Sparse_ising.off
+  and nbr = ising.Sparse_ising.nbr
+  and cpl4 = t.cpl4 in
+  let accepted = ref t.accepted in
+  (* [%accept] would be a closure over seven arrays, and the hot phase runs
+     it on most attempts — each call re-reading the environment.  The body
+     is written out at the three accept sites instead (the compiler has no
+     flambda to do it for us). *)
+  let[@inline always] accept i =
+    Array.unsafe_set spins i (-Array.unsafe_get spins i);
+    let fs' = -.Array.unsafe_get fspins i in
+    Array.unsafe_set fspins i fs';
+    Array.unsafe_set deltas i (-.Array.unsafe_get deltas i);
+    for k = Array.unsafe_get off i to Array.unsafe_get off (i + 1) - 1 do
+      let j = Array.unsafe_get nbr k in
+      Array.unsafe_set deltas j
+        (Array.unsafe_get deltas j
+        -. (Array.unsafe_get cpl4 k *. fs' *. Array.unsafe_get fspins j))
+    done;
+    incr accepted
+  in
+  (* one multiply gets from δ to the bucket index; the bucket only has to
+     be approximately right — the table margins absorb the rounding
+     difference between [δ·(β·zstep_inv)] and [(β·δ)·zstep_inv] — and the
+     exact fallback recomputes β·δ itself.  Deltas past [dcap] (z beyond
+     the table) resolve on two register compares without touching the
+     table: exp(-z) is below [hi_table.(buckets)] there, so [u] at or above
+     that is a sure reject and anything else takes the exact fallback.
+     That also guarantees the table path's bucket index is in range — no
+     clamp in the loop. *)
+  let bz = beta *. zstep_inv in
+  let dcap = z_cap /. beta in
+  let tail_hi = Array.unsafe_get hi_table buckets in
+  for i = 0 to n - 1 do
+    let delta = Array.unsafe_get deltas i in
+    (* RNG discipline matches the reference loop exactly: downhill moves
+       consume no randomness *)
+    if delta <= 0.0 then accept i
+    else begin
+      let u = Stats.Rng.float rng 1.0 in
+      if delta >= dcap then begin
+        if u >= tail_hi then () (* reject, exp-free: the frozen fast path *)
+        else if u < exp (-.(beta *. delta)) then accept i
+      end
+      else begin
+        let q = int_of_float (delta *. bz) in
+        if u >= Array.unsafe_get hi_table q then () (* reject, exp-free *)
+        else if u < Array.unsafe_get lo_table q then accept i (* accept, exp-free *)
+        else if u < exp (-.(beta *. delta)) then accept i
+      end
+    end
+  done;
+  t.accepted <- !accepted

@@ -1,0 +1,50 @@
+(** Incremental-field Metropolis kernel — the annealer's hot loop.
+
+    Maintains the invariant [field i = h_i + Σ_k J_ik·spins.(k)] across
+    flips, so an attempted flip reads its energy delta in O(1) and only an
+    {e accepted} flip walks the CSR neighbourhood to update fields.  A
+    precomputed acceptance-threshold table (exp values over a β·δ grid with
+    a conservative margin) keeps [exp] out of the inner loop: a uniform
+    draw outside the bracket decides immediately, and only draws inside a
+    table cell fall back to the exact test.
+
+    The kernel is decision-for-decision and RNG-draw-for-RNG-draw
+    equivalent to {!Sampler}'s reference sweep: downhill moves consume no
+    randomness, uphill moves consume exactly one draw, and the fast paths
+    can never disagree with the exact Metropolis test.  (Field values are
+    accumulated incrementally, so they may differ from a fresh summation
+    by floating-point rounding — ~1e-16 relative, far below anything the
+    acceptance test resolves.)
+
+    Used through [Sampler.sample ~kernel:`Incremental] (the default); the
+    reference loop survives for differential testing. *)
+
+type t
+
+val init : Sparse_ising.t -> int array -> t
+(** [init ising spins] builds the field array for the given configuration.
+    [spins] is {e borrowed and mutated in place} by {!sweep} — callers
+    wanting an untouched copy must copy first.
+    @raise Invalid_argument if [Array.length spins <> ising.n]. *)
+
+val sweep : t -> beta:float -> Stats.Rng.t -> unit
+(** One Metropolis sweep over all spins at inverse temperature [beta]. *)
+
+val flip : t -> int -> unit
+(** Unconditionally flip spin [i] and push the field change onto its
+    neighbours — the accepted-move primitive, exposed so tests can stress
+    the field invariant directly. *)
+
+val spins : t -> int array
+(** The (live, caller-owned) spin array. *)
+
+val delta : t -> int -> float
+(** Current incremental flip delta of spin [i] — the materialised
+    [-2·s_i·field i] the sweep's Metropolis test reads. *)
+
+val field : t -> int -> float
+(** Current incremental local field of spin [i] — matches
+    {!Sparse_ising.local_field} up to accumulated rounding. *)
+
+val accepted : t -> int
+(** Total flips accepted since {!init}. *)

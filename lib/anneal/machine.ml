@@ -74,7 +74,8 @@ let greedy_descent objective lookup =
 
 let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
     ?(chain_strength = 2.0) ?(postprocess = true)
-    ?(timing = Timing.d_wave_2000q) rng job =
+    ?(timing = Timing.d_wave_2000q) ?(reads = 1) ?(domains = 1) rng job =
+  if reads < 1 then invalid_arg "Machine.run: reads";
   let schedule =
     match schedule with
     | Some s -> s
@@ -153,7 +154,11 @@ let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
       let s = if Stats.Rng.bool rng then 1 else -1 in
       List.iter (fun q -> init.(Hashtbl.find phys_of_qubit q) <- s) (chain_of job node))
     nodes;
-  let spins = Sampler.sample ~obs ~schedule ~init:(Array.sub init 0 n_phys) rng programmed in
+  let spins =
+    let init = Array.sub init 0 n_phys in
+    if reads = 1 then Sampler.sample ~obs ~schedule ~init rng programmed
+    else Sampler.sample_best_of ~obs ~schedule ~init ~domains rng programmed reads
+  in
   let spins = Noise.apply_readout noise rng spins in
   (* unembed by majority vote *)
   let chain_breaks = ref 0 in
@@ -212,7 +217,10 @@ let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
   end;
   let assignment = List.map (fun (node, _) -> (node, Hashtbl.find lookup node)) assignment in
   let energy = Qubo.Pbq.eval job.objective (Hashtbl.find lookup) in
-  let time_us = Timing.single_sample_us timing in
+  let time_us =
+    if reads = 1 then Timing.single_sample_us timing
+    else Timing.multi_sample_us timing ~samples:reads
+  in
   if not (Obs.Ctx.is_null obs) then begin
     Obs.Metrics.count obs "anneal_chain_breaks_total" !chain_breaks;
     Obs.Metrics.observe obs "anneal_time_us" time_us

@@ -34,10 +34,17 @@ val run :
   ?chain_strength:float ->
   ?postprocess:bool ->
   ?timing:Timing.t ->
+  ?reads:int ->
+  ?domains:int ->
   Stats.Rng.t ->
   job ->
   outcome
-(** One annealing cycle.  With a live [obs] the call adds chain breaks to
+(** One annealing cycle.  [reads] (default 1) runs the multi-sample device
+    mode: the best of [reads] independent anneals by physical energy, fanned
+    over [domains] (default 1) OCaml domains via
+    {!Sampler.sample_best_of} — the result is deterministic in the seed
+    whatever [domains] is, and [time_us] switches to the
+    {!Timing.multi_sample_us} formula.  With a live [obs] the call adds chain breaks to
     [anneal_chain_breaks_total], records the modelled [time_us] into the
     [anneal_time_us] histogram and threads [obs] through both sampler runs
     (main anneal and post-processing).

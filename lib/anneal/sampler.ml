@@ -3,52 +3,130 @@ type schedule = { sweeps : int; beta_min : float; beta_max : float }
 let default_schedule = { sweeps = 256; beta_min = 0.1; beta_max = 16.0 }
 let quick_schedule = { sweeps = 96; beta_min = 0.1; beta_max = 8.0 }
 
-let sample ?(obs = Obs.Ctx.null) ?(schedule = default_schedule) ?init rng
-    (ising : Sparse_ising.t) =
+type kernel = [ `Reference | `Incremental ]
+
+let beta_ratio schedule =
+  if schedule.sweeps <= 1 then 1.0
+  else (schedule.beta_max /. schedule.beta_min) ** (1.0 /. float_of_int (schedule.sweeps - 1))
+
+(* Anneal [spins] in place over the schedule; returns the accepted-flip
+   count.  The reference loop recomputes the O(deg) local field on every
+   attempt and calls [exp] on every uphill move — it is kept verbatim as
+   the differential-testing baseline for the incremental kernel. *)
+let anneal_in_place ~kernel ~schedule rng (ising : Sparse_ising.t) spins =
+  let n = ising.Sparse_ising.n in
+  let accepted = ref 0 in
+  if n > 0 then begin
+    let ratio = beta_ratio schedule in
+    let beta = ref schedule.beta_min in
+    (match kernel with
+    | `Reference ->
+        for _ = 1 to schedule.sweeps do
+          for i = 0 to n - 1 do
+            let field = Sparse_ising.local_field ising spins i in
+            let delta = -2.0 *. float_of_int spins.(i) *. field in
+            (* delta = E(flipped) - E(current) *)
+            if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then begin
+              spins.(i) <- -spins.(i);
+              incr accepted
+            end
+          done;
+          beta := !beta *. ratio
+        done
+    | `Incremental ->
+        let k = Kernel.init ising spins in
+        for _ = 1 to schedule.sweeps do
+          Kernel.sweep k ~beta:!beta rng;
+          beta := !beta *. ratio
+        done;
+        accepted := Kernel.accepted k)
+  end;
+  !accepted
+
+let random_spins_into rng spins =
+  for i = 0 to Array.length spins - 1 do
+    spins.(i) <- (if Stats.Rng.bool rng then 1 else -1)
+  done
+
+let checked_init n s =
+  if Array.length s <> n then invalid_arg "Sampler.sample: init length"
+
+let count_obs obs ~sweeps ~accepted =
+  if not (Obs.Ctx.is_null obs) then begin
+    Obs.Metrics.count obs "anneal_sweeps_total" sweeps;
+    Obs.Metrics.count obs "anneal_accepted_flips_total" accepted
+  end
+
+let sample ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
+    ?(kernel = `Incremental) ?init rng (ising : Sparse_ising.t) =
   let n = ising.Sparse_ising.n in
   let spins =
     match init with
     | Some s ->
-        if Array.length s <> n then invalid_arg "Sampler.sample: init length";
+        checked_init n s;
         Array.copy s
     | None -> Array.init n (fun _ -> if Stats.Rng.bool rng then 1 else -1)
   in
-  let accepted = ref 0 in
-  if n > 0 then begin
-    let ratio =
-      if schedule.sweeps <= 1 then 1.0
-      else (schedule.beta_max /. schedule.beta_min) ** (1.0 /. float_of_int (schedule.sweeps - 1))
-    in
-    let beta = ref schedule.beta_min in
-    for _ = 1 to schedule.sweeps do
-      for i = 0 to n - 1 do
-        let field = Sparse_ising.local_field ising spins i in
-        let delta = -2.0 *. float_of_int spins.(i) *. field in
-        (* delta = E(flipped) - E(current) *)
-        if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then begin
-          spins.(i) <- -spins.(i);
-          incr accepted
-        end
-      done;
-      beta := !beta *. ratio
-    done
-  end;
-  if not (Obs.Ctx.is_null obs) then begin
-    Obs.Metrics.count obs "anneal_sweeps_total" schedule.sweeps;
-    Obs.Metrics.count obs "anneal_accepted_flips_total" !accepted
-  end;
+  let accepted = anneal_in_place ~kernel ~schedule rng ising spins in
+  count_obs obs ~sweeps:schedule.sweeps ~accepted;
   spins
 
-let sample_best_of ?schedule rng ising k =
+let sample_best_of ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
+    ?(kernel = `Incremental) ?init ?(domains = 1) rng (ising : Sparse_ising.t) k =
   if k < 1 then invalid_arg "Sampler.sample_best_of";
-  let best = ref (sample ?schedule rng ising) in
-  let best_e = ref (Sparse_ising.energy ising !best) in
-  for _ = 2 to k do
-    let s = sample ?schedule rng ising in
-    let e = Sparse_ising.energy ising s in
-    if e < !best_e then begin
-      best := s;
-      best_e := e
+  let n = ising.Sparse_ising.n in
+  Option.iter (checked_init n) init;
+  (* every read gets its own RNG stream, split off the caller's generator
+     up front — the spin outcome is a pure function of (rng state, k) and
+     cannot depend on how many domains execute the reads *)
+  let streams = Stats.Rng.split_n rng k in
+  let seed_spins buf stream =
+    match init with
+    | Some s -> Array.blit s 0 buf 0 n
+    | None -> random_spins_into stream buf
+  in
+  let best, _best_e, total_accepted =
+    if domains <= 1 || k = 1 then begin
+      (* serial path: one scratch buffer + one best buffer, reused across
+         all k reads — no per-read allocation *)
+      let scratch = Array.make n 0 and best = Array.make n 0 in
+      let best_e = ref infinity and total = ref 0 in
+      Array.iter
+        (fun stream ->
+          seed_spins scratch stream;
+          total := !total + anneal_in_place ~kernel ~schedule stream ising scratch;
+          let e = Sparse_ising.energy ising scratch in
+          if e < !best_e then begin
+            best_e := e;
+            Array.blit scratch 0 best 0 n
+          end)
+        streams;
+      (best, !best_e, !total)
     end
-  done;
-  !best
+    else begin
+      let results =
+        Parallel.Pool.map ~workers:domains
+          (fun ~worker:_ stream ->
+            let spins = Array.make n 0 in
+            seed_spins spins stream;
+            let accepted = anneal_in_place ~kernel ~schedule stream ising spins in
+            (spins, Sparse_ising.energy ising spins, accepted))
+          (Array.to_list streams)
+      in
+      (* results come back in submission (= read) order; strict < keeps the
+         winner the lowest-index minimal-energy read, as in the serial path *)
+      List.fold_left
+        (fun (best, best_e, total) r ->
+          match r with
+          | Error e -> raise e
+          | Ok (spins, e, accepted) ->
+              if e < best_e then (spins, e, total + accepted)
+              else (best, best_e, total + accepted))
+        (Array.make n 0, infinity, 0)
+        results
+    end
+  in
+  (* counters aggregated once, after the join — workers never touch [obs] *)
+  count_obs obs ~sweeps:(k * schedule.sweeps) ~accepted:total_accepted;
+  if not (Obs.Ctx.is_null obs) then Obs.Metrics.count obs "anneal_reads_total" k;
+  best

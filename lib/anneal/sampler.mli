@@ -14,9 +14,18 @@ val quick_schedule : schedule
 (** 96 sweeps: a deliberately shallow anneal that leaves residual thermal
     excitation, used to emulate a noisy single-shot device. *)
 
+type kernel = [ `Reference | `Incremental ]
+(** Sweep implementation.  [`Incremental] (the default) is {!Kernel}: O(1)
+    flip deltas from a maintained local-field array plus a precomputed
+    acceptance-threshold table.  [`Reference] is the original
+    field-recomputing loop, kept for differential testing — both consume
+    the RNG identically and make identical accept decisions, so they
+    produce identical spins for identical seeds. *)
+
 val sample :
   ?obs:Obs.Ctx.t ->
   ?schedule:schedule ->
+  ?kernel:kernel ->
   ?init:int array ->
   Stats.Rng.t ->
   Sparse_ising.t ->
@@ -26,5 +35,23 @@ val sample :
     [obs] the call adds to the [anneal_sweeps_total] and
     [anneal_accepted_flips_total] counters. *)
 
-val sample_best_of : ?schedule:schedule -> Stats.Rng.t -> Sparse_ising.t -> int -> int array
-(** Best of [k] independent samples by energy (multi-sample device mode). *)
+val sample_best_of :
+  ?obs:Obs.Ctx.t ->
+  ?schedule:schedule ->
+  ?kernel:kernel ->
+  ?init:int array ->
+  ?domains:int ->
+  Stats.Rng.t ->
+  Sparse_ising.t ->
+  int ->
+  int array
+(** Best of [k] independent samples by energy (multi-sample device mode).
+    Each read runs on its own RNG stream split off the caller's generator
+    ({!Stats.Rng.split_n}), so for a given generator state the result is
+    identical whatever [domains] (default 1) says: [domains = 1] runs the
+    reads serially reusing one spin buffer; [domains > 1] fans them across
+    a {!Parallel.Pool} of that many OCaml domains.  Energy ties go to the
+    lowest-numbered read.  [init] seeds every read.  Obs counters
+    ([anneal_sweeps_total], [anneal_accepted_flips_total],
+    [anneal_reads_total]) are aggregated once after the parallel join —
+    worker domains never touch [obs]. *)

@@ -9,20 +9,22 @@ type t = {
 
 let build ~n ~h ~couplings ~offset =
   if Array.length h <> n then invalid_arg "Sparse_ising.build: h length";
-  (* accumulate duplicates *)
+  (* accumulate duplicates; an int key [i * n + j] (i < j) avoids the tuple
+     boxing a pair key would allocate per lookup on this hot construction
+     path (one build per annealer call) *)
   let tbl = Hashtbl.create (List.length couplings) in
   List.iter
     (fun ((i, j), c) ->
       if i = j || i < 0 || j < 0 || i >= n || j >= n then
         invalid_arg "Sparse_ising.build: bad coupling";
-      let key = if i < j then (i, j) else (j, i) in
+      let key = if i < j then (i * n) + j else (j * n) + i in
       Hashtbl.replace tbl key (c +. Option.value ~default:0. (Hashtbl.find_opt tbl key)))
     couplings;
   let deg = Array.make n 0 in
   Hashtbl.iter
-    (fun (i, j) _ ->
-      deg.(i) <- deg.(i) + 1;
-      deg.(j) <- deg.(j) + 1)
+    (fun key _ ->
+      deg.(key / n) <- deg.(key / n) + 1;
+      deg.(key mod n) <- deg.(key mod n) + 1)
     tbl;
   let off = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
@@ -32,7 +34,8 @@ let build ~n ~h ~couplings ~offset =
   let nbr = Array.make (max total 1) 0 and cpl = Array.make (max total 1) 0. in
   let cursor = Array.copy off in
   Hashtbl.iter
-    (fun (i, j) c ->
+    (fun key c ->
+      let i = key / n and j = key mod n in
       nbr.(cursor.(i)) <- j;
       cpl.(cursor.(i)) <- c;
       cursor.(i) <- cursor.(i) + 1;

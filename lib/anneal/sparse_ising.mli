@@ -13,7 +13,9 @@ type t = {
 }
 
 val build : n:int -> h:float array -> couplings:((int * int) * float) list -> offset:float -> t
-(** [couplings] keys need not be deduplicated; repeated pairs accumulate. *)
+(** [couplings] keys need not be deduplicated; repeated pairs accumulate
+    (internally on an unboxed [i*n + j] key — one build runs per annealer
+    call, so construction allocation matters). *)
 
 val energy : t -> int array -> float
 (** Energy of a ±1 spin configuration. *)

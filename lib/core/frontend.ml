@@ -9,7 +9,53 @@ type prepared = {
   embed_time_s : float;
 }
 
-let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity =
+(* The embedding of a clause queue depends only on the hardware graph and
+   the queue's *structure*: which variables each clause touches, in queue
+   order, over which variable universe (auxiliary ids are numbered
+   num_vars + position-of-3-lit-clause).  Literal signs only shape the QUBO
+   coefficients, which are re-encoded on every call — so two queues with
+   the same canonical structure share one Chimera placement. *)
+type cache_key = int * Sat.Lit.var list list
+
+type cache = {
+  graph : Chimera.Graph.t;  (* embeddings are only valid on this graph *)
+  capacity : int;
+  table : (cache_key, Embed.Hyqsat_scheme.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache ?(capacity = 64) graph =
+  if capacity < 1 then invalid_arg "Frontend.create_cache: capacity";
+  { graph; capacity; table = Hashtbl.create capacity; hits = 0; misses = 0 }
+
+let cache_stats c = (c.hits, c.misses)
+
+let embed_via_cache obs cache graph f clauses enc =
+  match cache with
+  | None -> Embed.Hyqsat_scheme.embed graph enc
+  | Some c ->
+      if not (c.graph == graph) then
+        invalid_arg "Frontend.prepare: cache built for a different graph";
+      let key = (Sat.Cnf.num_vars f, List.map Sat.Clause.vars clauses) in
+      (match Hashtbl.find_opt c.table key with
+      | Some res ->
+          c.hits <- c.hits + 1;
+          Obs.Metrics.incr obs "embed_cache_hits_total";
+          res
+      | None ->
+          let res = Embed.Hyqsat_scheme.embed graph enc in
+          c.misses <- c.misses + 1;
+          Obs.Metrics.incr obs "embed_cache_misses_total";
+          (* a full table drops wholesale: the working set of a solve is a
+             handful of conflict-hot queues, so an overflow means the keys
+             stopped repeating and LRU bookkeeping would buy nothing *)
+          if Hashtbl.length c.table >= c.capacity then Hashtbl.reset c.table;
+          Hashtbl.add c.table key res;
+          res)
+
+let prepare ?(obs = Obs.Ctx.null) ?cache ?(queue_mode = Activity_bfs)
+    ?(adjust = true) rng graph f ~activity =
   let t0 = Sys.time () in
   let limit = Embed.Hyqsat_scheme.capacity_estimate graph in
   let var_budget = Chimera.Graph.num_vertical_lines graph in
@@ -23,7 +69,7 @@ let prepare ?(queue_mode = Activity_bfs) ?(adjust = true) rng graph f ~activity 
     let clauses = List.map (Sat.Cnf.clause f) queue in
     let enc = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) clauses in
     let t_embed = Sys.time () in
-    let res = Embed.Hyqsat_scheme.embed graph enc in
+    let res = embed_via_cache obs cache graph f clauses enc in
     let embed_time_s = Sys.time () -. t_embed in
     let embedded = res.Embed.Hyqsat_scheme.embedded_clauses in
     if embedded = 0 then None

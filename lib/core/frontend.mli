@@ -20,7 +20,25 @@ type prepared = {
           queue generation + encoding *)
 }
 
+type cache
+(** Embedding cache.  Keys are the {e canonical structure} of a clause
+    queue — the per-clause variable lists in queue order plus the variable
+    universe size — which fully determines the Chimera placement on a fixed
+    graph (literal signs only shape QUBO coefficients, re-encoded every
+    call).  Warm-up iterations revisiting the same conflict-hot clauses
+    reuse the placement instead of re-running place/route. *)
+
+val create_cache : ?capacity:int -> Chimera.Graph.t -> cache
+(** A cache bound to one hardware graph ([prepare] rejects any other).
+    [capacity] (default 64) bounds retained placements; overflow drops the
+    whole table.  Not domain-safe — use one cache per solving domain. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation. *)
+
 val prepare :
+  ?obs:Obs.Ctx.t ->
+  ?cache:cache ->
   ?queue_mode:queue_mode ->
   ?adjust:bool ->
   Stats.Rng.t ->
@@ -29,4 +47,8 @@ val prepare :
   activity:(int -> float) ->
   prepared option
 (** [None] when nothing could be embedded (e.g. empty formula).  [adjust]
-    (default [true]) applies the noise-optimising coefficient adjustment. *)
+    (default [true]) applies the noise-optimising coefficient adjustment.
+    With a [cache], a structurally repeated queue reuses its embedding
+    (the cached {!Embed.Embedding.t} is shared, not copied — treat
+    embeddings as immutable); with a live [obs] the lookup bumps
+    [embed_cache_hits_total] / [embed_cache_misses_total]. *)

@@ -9,6 +9,8 @@ type config = {
   strategies : Backend.enabled;
   qa_period : int;
   warmup_fraction : float;
+  qa_reads : int;
+  qa_domains : int;
   seed : int;
 }
 
@@ -24,12 +26,14 @@ let default_config =
     strategies = Backend.all_enabled;
     qa_period = 1;
     warmup_fraction = 1.0;
+    qa_reads = 1;
+    qa_domains = 1;
     seed = 20230225;
   }
 
 let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibration
-    ?queue_mode ?adjust_coefficients ?strategies ?qa_period ?warmup_fraction ?seed
-    () =
+    ?queue_mode ?adjust_coefficients ?strategies ?qa_period ?warmup_fraction
+    ?qa_reads ?qa_domains ?seed () =
   let v d o = Option.value ~default:d o in
   {
     cdcl = v base.cdcl cdcl;
@@ -42,6 +46,8 @@ let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibratio
     strategies = v base.strategies strategies;
     qa_period = v base.qa_period qa_period;
     warmup_fraction = v base.warmup_fraction warmup_fraction;
+    qa_reads = v base.qa_reads qa_reads;
+    qa_domains = v base.qa_domains qa_domains;
     seed = v base.seed seed;
   }
 
@@ -105,6 +111,7 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     else Obs.Span.none
   in
   let rng = Stats.Rng.create ~seed:config.seed in
+  let embed_cache = Frontend.create_cache config.graph in
   let solver = Cdcl.Solver.create ~config:config.cdcl f in
   Cdcl.Solver.set_obs solver obs;
   let warmup =
@@ -137,8 +144,8 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
       in
       let span_frontend = Obs.Span.start obs ~parent:span_iter "frontend" in
       (match
-         Frontend.prepare ~queue_mode:config.queue_mode ~adjust:config.adjust_coefficients
-           rng config.graph f
+         Frontend.prepare ~obs ~cache:embed_cache ~queue_mode:config.queue_mode
+           ~adjust:config.adjust_coefficients rng config.graph f
            ~activity:(Cdcl.Solver.clause_activity solver)
        with
       | None -> Obs.Span.stop span_frontend
@@ -151,7 +158,8 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
             ~dur_s:prepared.Frontend.embed_time_s "embed";
           Obs.Span.stop ~dur_s:prepared.Frontend.cpu_time_s span_frontend;
           let outcome =
-            Anneal.Machine.run ~obs ~noise:config.noise ~timing:config.timing rng
+            Anneal.Machine.run ~obs ~noise:config.noise ~timing:config.timing
+              ~reads:config.qa_reads ~domains:config.qa_domains rng
               prepared.Frontend.job
           in
           incr qa_calls;

@@ -18,6 +18,12 @@ type config = {
   qa_period : int;  (** run the annealer every [qa_period] warm-up iterations *)
   warmup_fraction : float;
       (** warm-up length = [warmup_fraction × √K_est]; 1.0 = the paper *)
+  qa_reads : int;
+      (** annealer samples per QA call (best-of by energy, the multi-sample
+          device mode); 1 = the paper's single-shot protocol *)
+  qa_domains : int;
+      (** OCaml domains fanning the [qa_reads] samples; the answer is
+          deterministic in the seed whatever this is set to *)
   seed : int;
 }
 
@@ -36,6 +42,8 @@ val make_config :
   ?strategies:Backend.enabled ->
   ?qa_period:int ->
   ?warmup_fraction:float ->
+  ?qa_reads:int ->
+  ?qa_domains:int ->
   ?seed:int ->
   unit ->
   config
@@ -101,7 +109,10 @@ val solve :
     the frontend/anneal/backend/cdcl span durations of one solve sum
     exactly to {!end_to_end_time_s}.  Counters: [qa_calls_total],
     [strategy_uses_total{strategy=...}], the annealer's and the CDCL
-    engine's own metrics. *)
+    engine's own metrics, and the per-solve embedding cache's
+    [embed_cache_hits_total] / [embed_cache_misses_total] (each solve owns
+    one {!Frontend.cache}, so repeated conflict-hot queues skip
+    place/route). *)
 
 val solve_classic :
   ?config:Cdcl.Config.t ->

@@ -1,0 +1,78 @@
+type ('a, 'b) t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (int * 'a) Queue.t;
+  results : (int, ('b, exn) result) Hashtbl.t;
+  mutable submitted : int;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let workers t = Array.length t.domains
+
+let worker_loop t f wid =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.closed do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* closed and empty: exit *)
+    else begin
+      let i, x = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      let r = try Ok (f ~worker:wid x) with e -> Error e in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.results i r;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers f =
+  let workers = max 1 (min 64 workers) in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      results = Hashtbl.create 64;
+      submitted = 0;
+      closed = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun wid -> Domain.spawn (fun () -> worker_loop t f wid));
+  t
+
+let submit t x =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool already drained"
+  end;
+  Queue.push (t.submitted, x) t.jobs;
+  t.submitted <- t.submitted + 1;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let drain t =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.drain: pool already drained"
+  end;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  (* workers exit once the queue is empty; joining them is the barrier *)
+  Array.iter Domain.join t.domains;
+  Array.init t.submitted (fun i ->
+      match Hashtbl.find_opt t.results i with
+      | Some r -> r
+      | None -> Error (Failure "Pool: result missing (worker died?)"))
+
+let map ~workers f items =
+  let t = create ~workers f in
+  List.iter (submit t) items;
+  Array.to_list (drain t)

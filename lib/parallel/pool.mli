@@ -1,0 +1,31 @@
+(** Fixed-size Domain worker pool with a Mutex/Condition job queue.
+
+    [create] spawns N OCaml 5 domains that block on a shared FIFO queue;
+    [submit] enqueues work; [drain] closes the queue, joins the workers and
+    returns every result in submission order.  Worker exceptions are
+    captured per item ([Error exn]), never torn down the pool.
+
+    The pool is generic — the batch layer feeds it jobs, the benchmark
+    feeds it closures.  Note domains multiply: a pool of W workers each
+    racing a P-member portfolio holds W×P+1 domains; keep the product
+    around the core count. *)
+
+type ('a, 'b) t
+
+val create : workers:int -> (worker:int -> 'a -> 'b) -> ('a, 'b) t
+(** Spawn [workers] domains (clamped to [1, 64]).  [worker] is the 0-based
+    index of the domain executing the item — useful for per-worker RNGs. *)
+
+val workers : ('a, 'b) t -> int
+
+val submit : ('a, 'b) t -> 'a -> unit
+(** Enqueue an item.  @raise Invalid_argument after {!drain}. *)
+
+val drain : ('a, 'b) t -> ('b, exn) result array
+(** Close the queue, wait for every submitted item, join the worker
+    domains, and return results indexed by submission order.  Idempotent
+    calls after the first raise [Invalid_argument]. *)
+
+val map : workers:int -> (worker:int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map ~workers f items] = create / submit each / drain, results in input
+    order. *)

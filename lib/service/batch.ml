@@ -5,7 +5,8 @@ type job_result = {
   race : Portfolio.race_report;
 }
 
-let solo ?grid ?log_proof name ~seed = Portfolio.members_named ?grid ?log_proof ~seed [ name ]
+let solo ?grid ?log_proof ?qa_reads ?qa_domains name ~seed =
+  Portfolio.members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed [ name ]
 
 (* 3-SAT conversion keeps original variables first, so projecting a model of
    the converted formula is a prefix restriction *)

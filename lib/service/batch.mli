@@ -43,6 +43,8 @@ val run :
     the checker rejects comes back as [Unknown Cert_failed] with the
     reason in the record's [verified] field. *)
 
-val solo : ?grid:int -> ?log_proof:bool -> string -> seed:int -> Portfolio.member list
+val solo :
+  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> string -> seed:int ->
+  Portfolio.member list
 (** [solo name] is a 1-member portfolio — the degenerate race used for
     plain batch solving ([--jobs] without [--portfolio]). *)

@@ -42,7 +42,7 @@ let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
     proof = r.Hyqsat.Hybrid_solver.proof;
   }
 
-let hybrid_member ~name ~base ~grid ~seed ~log_proof =
+let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa_reads ~qa_domains =
   {
     name;
     run =
@@ -54,7 +54,7 @@ let hybrid_member ~name ~base ~grid ~seed ~log_proof =
               (if grid = 16 then base.Hyqsat.Hybrid_solver.graph
                else Chimera.Graph.create ~rows:grid ~cols:grid)
             ~cdcl:(if log_proof then Cdcl.Config.with_proof_logging cdcl else cdcl)
-            ~seed ()
+            ~qa_reads ~qa_domains ~seed ()
         in
         stats_of_report
           (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop ~obs
@@ -99,13 +99,14 @@ let walksat_member ~seed =
         });
   }
 
-let make_member ?(grid = 16) ?(log_proof = false) ~seed = function
+let make_member ?(grid = 16) ?(log_proof = false) ?(qa_reads = 1) ?(qa_domains = 1)
+    ~seed = function
   | "hybrid" ->
       hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
-        ~log_proof
+        ~log_proof ~qa_reads ~qa_domains
   | "hybrid-noisy" ->
       hybrid_member ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config ~grid
-        ~seed:(seed + 1) ~log_proof
+        ~seed:(seed + 1) ~log_proof ~qa_reads ~qa_domains
   | "minisat" ->
       classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2) ~log_proof
   | "kissat" ->
@@ -113,10 +114,11 @@ let make_member ?(grid = 16) ?(log_proof = false) ~seed = function
   | "walksat" -> walksat_member ~seed:(seed + 4)
   | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
 
-let members_named ?grid ?log_proof ~seed names =
-  List.map (make_member ?grid ?log_proof ~seed) names
+let members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed names =
+  List.map (make_member ?grid ?log_proof ?qa_reads ?qa_domains ~seed) names
 
-let default_members ?grid ?log_proof ~seed () = members_named ?grid ?log_proof ~seed member_names
+let default_members ?grid ?log_proof ?qa_reads ?qa_domains ~seed () =
+  members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed member_names
 
 let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown _ -> false
 

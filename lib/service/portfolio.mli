@@ -51,13 +51,18 @@ val member_names : string list
 (** The stock portfolio: ["hybrid"; "hybrid-noisy"; "minisat"; "kissat";
     "walksat"]. *)
 
-val default_members : ?grid:int -> ?log_proof:bool -> seed:int -> unit -> member list
+val default_members :
+  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> seed:int -> unit -> member list
 (** All stock members, solver RNGs derived from [seed].  [grid] sizes the
     simulated Chimera topology for the hybrid members (default 16 =
     D-Wave 2000Q).  [log_proof] (default [false]) makes the CDCL-backed
-    members record DRAT derivations so Unsat answers are checkable. *)
+    members record DRAT derivations so Unsat answers are checkable.
+    [qa_reads]/[qa_domains] (defaults 1/1) run the hybrid members'
+    annealer in best-of-k multi-sample mode, fanned over that many
+    domains — mind the domain product with the pool and race layers. *)
 
-val members_named : ?grid:int -> ?log_proof:bool -> seed:int -> string list -> member list
+val members_named :
+  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> seed:int -> string list -> member list
 (** Subset of the stock portfolio by name.
     @raise Invalid_argument on an unknown name. *)
 

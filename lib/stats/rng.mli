@@ -12,6 +12,13 @@ val create : seed:int -> t
 val split : t -> t
 (** Child generator; advancing the child does not affect the parent. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent child generators, derived from [t]
+    with a sequential draw of seed material plus a per-index salt.  The
+    children depend only on [t]'s state and [n]-independent draw order, so
+    fanning work over them gives results that do not depend on how many
+    domains execute the fan-out (the annealer's best-of-k reads). *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform over [0 .. bound-1].  [bound] must be > 0. *)
 

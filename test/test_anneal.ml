@@ -183,6 +183,101 @@ let sampler_init_length_checked () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- incremental kernel ---- *)
+
+(* irregular connected instances: a coupled chain plus random extra edges,
+   Gaussian coefficients *)
+let random_ising r =
+  let n = 5 + Stats.Rng.int r 56 in
+  let h = Array.init n (fun _ -> Stats.Rng.gaussian r ~mu:0. ~sigma:1.) in
+  let chain = List.init (n - 1) (fun i -> ((i, i + 1), Stats.Rng.gaussian r ~mu:0. ~sigma:1.)) in
+  let extra =
+    List.init n (fun _ ->
+        ((Stats.Rng.int r n, Stats.Rng.int r n), Stats.Rng.gaussian r ~mu:0. ~sigma:1.))
+    |> List.filter (fun ((i, j), _) -> i <> j)
+  in
+  SI.build ~n ~h ~couplings:(chain @ extra) ~offset:0.
+
+(* the incremental kernel must be a pure optimisation: identical spins to
+   the reference loop for identical seeds, across instances and schedules *)
+let kernel_matches_reference () =
+  let r = Testutil.rng 29 in
+  for case = 1 to 20 do
+    let ising = random_ising r in
+    let schedule = if case mod 2 = 0 then Sampler.default_schedule else Sampler.quick_schedule in
+    let seed = 1000 + case in
+    let s_ref = Sampler.sample ~schedule ~kernel:`Reference (Testutil.rng seed) ising in
+    let s_inc = Sampler.sample ~schedule ~kernel:`Incremental (Testutil.rng seed) ising in
+    Alcotest.(check (array int))
+      (Printf.sprintf "case %d (n=%d)" case ising.SI.n)
+      s_ref s_inc
+  done
+
+(* the field invariant survives a long random flip sequence *)
+let kernel_field_invariant () =
+  let r = Testutil.rng 31 in
+  let ising = random_ising r in
+  let n = ising.SI.n in
+  let spins = Array.init n (fun _ -> if Stats.Rng.bool r then 1 else -1) in
+  let k = Anneal.Kernel.init ising spins in
+  for _ = 1 to 1000 do
+    Anneal.Kernel.flip k (Stats.Rng.int r n)
+  done;
+  Alcotest.(check int) "accepted counts flips" 1000 (Anneal.Kernel.accepted k);
+  let spins = Anneal.Kernel.spins k in
+  for i = 0 to n - 1 do
+    let fresh = SI.local_field ising spins i in
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "field %d" i) fresh (Anneal.Kernel.field k i);
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "delta %d" i)
+      (-2.0 *. float_of_int spins.(i) *. fresh)
+      (Anneal.Kernel.delta k i)
+  done
+
+(* best-of-k is a pure function of (rng seed, k): any domain count returns
+   the same spins *)
+let best_of_deterministic_across_domains () =
+  let ising = random_ising (Testutil.rng 37) in
+  let run domains =
+    Sampler.sample_best_of ~schedule:Sampler.quick_schedule ~domains (Testutil.rng 41) ising 8
+  in
+  let serial = run 1 in
+  Alcotest.(check (array int)) "2 domains" serial (run 2);
+  Alcotest.(check (array int)) "4 domains" serial (run 4);
+  Alcotest.(check (float 1e-9)) "energy agrees" (SI.energy ising serial)
+    (SI.energy ising (run 4))
+
+let counter ctx name =
+  match List.assoc_opt name (Obs.Ctx.snapshot ctx) with
+  | Some (Obs.Ctx.Counter { count }) -> int_of_float count
+  | _ -> Alcotest.failf "missing counter %s" name
+
+let best_of_threads_obs_and_init () =
+  let ising = random_ising (Testutil.rng 43) in
+  let n = ising.SI.n in
+  (* a zero-sweep schedule returns the init untouched, whichever read wins *)
+  let init = Array.init n (fun i -> if i mod 2 = 0 then 1 else -1) in
+  let frozen = { Sampler.sweeps = 0; beta_min = 1.0; beta_max = 1.0 } in
+  let spins = Sampler.sample_best_of ~schedule:frozen ~init (Testutil.rng 47) ising 3 in
+  Alcotest.(check (array int)) "init passes through" init spins;
+  (* counters aggregate across reads *)
+  let ctx = Obs.Ctx.create () in
+  let sched = { Sampler.quick_schedule with Sampler.sweeps = 3 } in
+  ignore (Sampler.sample_best_of ~obs:ctx ~schedule:sched ~domains:2 (Testutil.rng 53) ising 4);
+  Alcotest.(check int) "sweeps = k * schedule" 12 (counter ctx "anneal_sweeps_total");
+  Alcotest.(check int) "reads counted" 4 (counter ctx "anneal_reads_total");
+  Alcotest.(check bool) "accepted flips counted" true
+    (counter ctx "anneal_accepted_flips_total" > 0);
+  Obs.Ctx.close ctx
+
+let best_of_rejects_bad_k () =
+  let ising = random_ising (Testutil.rng 59) in
+  Alcotest.(check bool) "k = 0 rejected" true
+    (try
+       ignore (Sampler.sample_best_of (Testutil.rng 1) ising 0);
+       false
+     with Invalid_argument _ -> true)
+
 let machine_postprocess_off_keeps_soundness () =
   (* postprocess off: energies may be worse, never negative-impossible, and
      the assignment is still a real assignment of the objective *)
@@ -226,6 +321,15 @@ let suite =
       [
         Alcotest.test_case "coefficients" `Quick noise_perturbs_coefficients;
         Alcotest.test_case "readout" `Quick noise_readout_flips;
+      ] );
+    ( "anneal.kernel",
+      [
+        Alcotest.test_case "matches reference per seed" `Quick kernel_matches_reference;
+        Alcotest.test_case "field invariant after 1k flips" `Quick kernel_field_invariant;
+        Alcotest.test_case "best-of deterministic across domains" `Quick
+          best_of_deterministic_across_domains;
+        Alcotest.test_case "best-of threads obs and init" `Quick best_of_threads_obs_and_init;
+        Alcotest.test_case "best-of rejects k=0" `Quick best_of_rejects_bad_k;
       ] );
     ("anneal.timing", [ Alcotest.test_case "formulas" `Quick timing_formulas ]);
     ( "anneal.machine",

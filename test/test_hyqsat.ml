@@ -127,6 +127,46 @@ let frontend_small_formula_fully_embeds () =
   | None -> Alcotest.fail "nothing prepared"
   | Some p -> Alcotest.(check bool) "fully embedded" true p.Frontend.all_clauses_embedded
 
+let frontend_cache_hits_share_embedding () =
+  let g = Chimera.Graph.standard_2000q () in
+  let f = Workload.Uniform.uf (Testutil.rng 210) 80 in
+  let cache = Hyqsat.Frontend.create_cache g in
+  let ctx = Obs.Ctx.create () in
+  let prep seed = Frontend.prepare ~obs:ctx ~cache (Testutil.rng seed) g f ~activity:flat_activity in
+  (* the same rng seed regenerates the same clause queue: second call hits *)
+  (match (prep 211, prep 211) with
+  | Some a, Some b ->
+      Alcotest.(check (list int)) "same queue" a.Frontend.clause_indices b.Frontend.clause_indices;
+      (* the Chimera placement is shared, not recomputed or copied *)
+      Alcotest.(check bool) "embedding physically shared" true
+        (a.Frontend.job.Anneal.Machine.embedding == b.Frontend.job.Anneal.Machine.embedding)
+  | _ -> Alcotest.fail "prepare produced nothing");
+  Alcotest.(check (pair int int)) "one miss then one hit" (1, 1)
+    (Hyqsat.Frontend.cache_stats cache);
+  let metric name =
+    match List.assoc_opt name (Obs.Ctx.snapshot ctx) with
+    | Some (Obs.Ctx.Counter { count }) -> int_of_float count
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "hit counter" 1 (metric "embed_cache_hits_total");
+  Alcotest.(check int) "miss counter" 1 (metric "embed_cache_misses_total");
+  Obs.Ctx.close ctx;
+  (* a different seed draws a different conflict-hot queue: a miss *)
+  ignore (prep 212);
+  Alcotest.(check (pair int int)) "new structure misses" (1, 2)
+    (Hyqsat.Frontend.cache_stats cache)
+
+let frontend_cache_bound_to_graph () =
+  let g1 = Chimera.Graph.create ~rows:4 ~cols:4 in
+  let g2 = Chimera.Graph.create ~rows:4 ~cols:4 in
+  let cache = Hyqsat.Frontend.create_cache g1 in
+  let f = Workload.Uniform.generate (Testutil.rng 213) ~num_vars:10 ~num_clauses:15 in
+  Alcotest.(check bool) "other graph rejected" true
+    (try
+       ignore (Frontend.prepare ~cache (Testutil.rng 1) g2 f ~activity:flat_activity);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---- backend ---- *)
 
 let backend_classification () =
@@ -328,6 +368,8 @@ let suite =
       [
         Alcotest.test_case "prepares valid jobs" `Quick frontend_prepares;
         Alcotest.test_case "small formula fully embeds" `Quick frontend_small_formula_fully_embeds;
+        Alcotest.test_case "cache hits share embedding" `Quick frontend_cache_hits_share_embedding;
+        Alcotest.test_case "cache bound to its graph" `Quick frontend_cache_bound_to_graph;
       ] );
     ( "hyqsat.backend",
       [
