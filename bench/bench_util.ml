@@ -5,9 +5,10 @@ type ctx = {
   seed : int;
   problems : int; (* instances per benchmark *)
   trace : string option; (* JSONL trace output for experiments that support it *)
+  fault_rate : float; (* QA fault-injection rate for experiments that support it *)
 }
 
-let default_ctx = { scale = `Small; seed = 1; problems = 3; trace = None }
+let default_ctx = { scale = `Small; seed = 1; problems = 3; trace = None; fault_rate = 0. }
 
 let rng_of ctx salt = Stats.Rng.create ~seed:(ctx.seed + (salt * 7919))
 

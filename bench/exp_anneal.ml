@@ -35,13 +35,14 @@ let chimera_instance seed =
    observation to the true cost and the ratio between kernels stays stable
    run to run. *)
 let time_kernel ~kernel ~schedule ~repeats ising seed =
+  let params = Sampler.make_params ~schedule ~kernel () in
   (* warmup run: page in the CSR arrays and settle the branch predictors so
      whichever kernel runs first isn't billed for the cold caches *)
-  ignore (Sampler.sample ~schedule ~kernel (Stats.Rng.create ~seed:(seed + 7)) ising);
+  ignore (Sampler.sample ~params (Stats.Rng.create ~seed:(seed + 7)) ising);
   let rng = Stats.Rng.create ~seed in
   let best = ref infinity in
   for _ = 1 to repeats do
-    let (), wall = Bench_util.wall (fun () -> ignore (Sampler.sample ~schedule ~kernel rng ising)) in
+    let (), wall = Bench_util.wall (fun () -> ignore (Sampler.sample ~params rng ising)) in
     if wall < !best then best := wall
   done;
   let flips = float_of_int (schedule.Sampler.sweeps * ising.SI.n) in
@@ -56,11 +57,12 @@ let time_kernel ~kernel ~schedule ~repeats ising seed =
 let time_regime ~kernel ~beta ~trials ising seed =
   let sweeps = 512 in
   let schedule = { Sampler.sweeps; beta_min = beta; beta_max = beta } in
+  let params = Sampler.make_params ~schedule ~kernel () in
   let best = ref infinity in
   for trial = 0 to trials do
     let rng = Stats.Rng.create ~seed:(seed + trial) in
     let (), wall =
-      Bench_util.wall (fun () -> ignore (Sampler.sample ~schedule ~kernel rng ising))
+      Bench_util.wall (fun () -> ignore (Sampler.sample ~params rng ising))
     in
     (* trial 0 is the warmup *)
     if trial > 0 && wall < !best then best := wall
@@ -68,10 +70,11 @@ let time_regime ~kernel ~beta ~trials ising seed =
   float_of_int (sweeps * ising.SI.n) /. Float.max !best 1e-9
 
 let time_best_of ~domains ~schedule ~reads ising seed =
+  let params = Sampler.make_params ~schedule ~reads () in
   let rng = Stats.Rng.create ~seed in
   let spins = ref [||] in
   let (), wall =
-    Bench_util.wall (fun () -> spins := Sampler.sample_best_of ~schedule ~domains rng ising reads)
+    Bench_util.wall (fun () -> spins := Sampler.sample ~params ~domains rng ising)
   in
   (wall, SI.energy ising !spins)
 

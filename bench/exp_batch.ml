@@ -41,7 +41,7 @@ let run (ctx : Bench_util.ctx) =
   let base_wall = ref None in
   List.iter
     (fun workers ->
-      let members ~seed = Service.Batch.solo "minisat" ~seed in
+      let members = Service.Batch.solo "minisat" in
       let summary, _ = Service.Batch.run ~workers ~obs ~members jobs in
       let wall = summary.Service.Telemetry.wall_time_s in
       if !base_wall = None then base_wall := Some wall;
@@ -71,4 +71,71 @@ let run (ctx : Bench_util.ctx) =
         m.Service.Portfolio.stats.Service.Portfolio.iterations
         (if m.Service.Portfolio.cancelled then "(cancelled)" else ""))
     report.Service.Portfolio.members;
+  (* fault-injection resilience smoke (CI runs this at --qa-fault-rate 0.3):
+     certified hybrid jobs against a faulty supervised backend must still
+     return only certified-correct answers — failed QA calls degrade the
+     warm-up to pure CDCL, they never corrupt the answer *)
+  if ctx.fault_rate > 0. then begin
+    Printf.printf "\nfault-injection smoke: rate=%.2f, certified hybrid on uf30\n"
+      ctx.fault_rate;
+    let smoke_obs = if Obs.Ctx.is_null obs then Obs.Ctx.create () else obs in
+    let rng = Bench_util.rng_of ctx 89 in
+    let qa =
+      {
+        Service.Job.default_qa with
+        Service.Job.backend =
+          {
+            Anneal.Backend.default_spec with
+            Anneal.Backend.faults =
+              {
+                Anneal.Backend.default_faults with
+                Anneal.Backend.fail_rate = ctx.fault_rate;
+                fault_seed = ctx.seed + 13;
+              };
+          };
+      }
+    in
+    let smoke_jobs =
+      List.init
+        (max 4 ctx.problems)
+        (fun i ->
+          let f = Workload.Uniform.uf rng 30 in
+          Service.Job.make ~name:(Printf.sprintf "fault-uf30-%02d" i) ~certify:true ~qa
+            ~seed:(ctx.seed + (211 * i)) ~id:i f)
+    in
+    let members = Service.Batch.solo ~log_proof:true "hybrid" in
+    let summary, results = Service.Batch.run ~workers:2 ~obs:smoke_obs ~members smoke_jobs in
+    let records = List.map (fun r -> r.Service.Batch.record) results in
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+    let failures = sum (fun r -> r.Service.Telemetry.qa_failures) in
+    let degraded = sum (fun r -> r.Service.Telemetry.degraded) in
+    let withheld =
+      List.filter (fun r -> r.Service.Telemetry.outcome = "unknown:cert-failed") records
+    in
+    Printf.printf "  jobs %d: sat %d / unsat %d / unknown %d · qa_failures %d · degraded %d\n"
+      summary.Service.Telemetry.jobs summary.Service.Telemetry.sat
+      summary.Service.Telemetry.unsat summary.Service.Telemetry.unknown failures degraded;
+    let fail msg =
+      Printf.printf "FAULT SMOKE FAILED: %s\n%!" msg;
+      exit 1
+    in
+    if withheld <> [] then
+      fail (Printf.sprintf "%d answers failed certification under faults" (List.length withheld));
+    if summary.Service.Telemetry.unknown > 0 then
+      fail "faults turned decidable jobs into unknowns";
+    if failures = 0 then fail "fault injector never fired (rate > 0)";
+    (* the supervision counters must be visible in the Prometheus export
+       (and hence in the JSONL trace, whose sinks see the same metrics) *)
+    let prom = Obs.Export.prometheus_string (Obs.Ctx.snapshot smoke_obs) in
+    let contains sub =
+      let n = String.length prom and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub prom i m = sub || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun metric -> if not (contains metric) then fail (metric ^ " missing from metrics"))
+      [ "qa_backend_calls_total"; "qa_failures_total"; "qa_degraded_total" ];
+    Printf.printf "  ok: every answer certified; supervision counters exported\n";
+    if Obs.Ctx.is_null obs then Obs.Ctx.close smoke_obs
+  end;
   Obs.Ctx.close obs

@@ -23,8 +23,8 @@ let experiments =
     ("anneal", Exp_anneal.run);
   ]
 
-let run_selected names scale seed problems trace =
-  let ctx = { Bench_util.scale; seed; problems; trace } in
+let run_selected names scale seed problems trace fault_rate =
+  let ctx = { Bench_util.scale; seed; problems; trace; fault_rate } in
   let selected =
     match names with
     | [] -> experiments
@@ -71,9 +71,19 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a JSONL observability trace to $(docv) (currently used by $(b,batch)).")
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "qa-fault-rate" ] ~docv:"P"
+        ~doc:
+          "QA backend fault-injection rate for the $(b,batch) experiment's resilience smoke \
+           (0 disables it).")
+
 let cmd =
   let doc = "regenerate the HyQSAT paper's tables and figures" in
   Cmd.v (Cmd.info "hyqsat-bench" ~doc)
-    Term.(const run_selected $ names_arg $ scale_arg $ seed_arg $ problems_arg $ trace_arg)
+    Term.(
+      const run_selected $ names_arg $ scale_arg $ seed_arg $ problems_arg $ trace_arg
+      $ fault_rate_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -64,7 +64,8 @@ let write_proof path (r : Service.Batch.job_result) =
   | None -> ()
 
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out certify proof_file trace_file metrics qa_reads qa_domains =
+    max_iterations json_out certify proof_file trace_file metrics qa_reads qa_domains
+    qa_backend qa_fault_rate qa_timeout_us qa_retries =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
@@ -73,18 +74,40 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
     Printf.eprintf "hyqsat: --proof takes a single input file\n";
     exit 2
   end;
+  if qa_fault_rate < 0. || qa_fault_rate > 1. then begin
+    Printf.eprintf "hyqsat: --qa-fault-rate must be in [0,1]\n";
+    exit 2
+  end;
   let log_proof = certify || proof_file <> None in
+  let qa =
+    {
+      Service.Job.backend =
+        {
+          Anneal.Backend.flavor = qa_backend;
+          faults =
+            {
+              Anneal.Backend.default_faults with
+              Anneal.Backend.fail_rate = qa_fault_rate;
+              fault_seed = seed + 13;
+            };
+        };
+      supervision =
+        Anneal.Supervisor.make_policy ?timeout_us:qa_timeout_us ~retries:(max 0 qa_retries) ();
+      reads = qa_reads;
+      domains = qa_domains;
+    }
+  in
   let specs =
     List.mapi
       (fun i path ->
         let formula, original = load_formula path in
         Service.Job.make ~name:path ?original ~certify ?timeout_s:timeout ~max_iterations
-          ~retries:(max 0 retries) ~seed:(seed + (101 * i)) ~id:i formula)
+          ~retries:(max 0 retries) ~qa ~seed:(seed + (101 * i)) ~id:i formula)
       paths
   in
-  let members ~seed =
-    if portfolio then
-      Service.Portfolio.default_members ~grid ~log_proof ~qa_reads ~qa_domains ~seed ()
+  let members ~spec ~seed =
+    let qa = spec.Service.Job.qa in
+    if portfolio then Service.Portfolio.default_members ~grid ~log_proof ~qa ~seed ()
     else
       let name =
         match (solver_kind, noisy) with
@@ -93,7 +116,7 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
         | `Minisat, _ -> "minisat"
         | `Kissat, _ -> "kissat"
       in
-      Service.Batch.solo ~grid ~log_proof ~qa_reads ~qa_domains name ~seed
+      Service.Batch.solo ~grid ~log_proof name ~spec ~seed
   in
   let obs =
     if trace_file = None && not metrics then Obs.Ctx.null
@@ -251,6 +274,48 @@ let qa_domains_arg =
            deterministic in the seed whatever $(docv) is; mind the multiplication with \
            $(b,--jobs) and $(b,--portfolio) domains.")
 
+let qa_backend_arg =
+  let flavors =
+    [ ("incremental", `Incremental); ("reference", `Reference); ("best-of", `Best_of) ]
+  in
+  Arg.(
+    value
+    & opt (enum flavors) `Best_of
+    & info [ "qa-backend" ] ~docv:"KIND"
+        ~doc:
+          "Annealer backend for hybrid solves: $(b,incremental) (O(1)-delta kernel, serial \
+           reads), $(b,reference) (field-recomputing kernel, serial reads) or $(b,best-of) \
+           (honours $(b,--qa-reads)/$(b,--qa-domains)).  All three return identical answers \
+           for a given seed; they differ only in speed.")
+
+let qa_fault_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "qa-fault-rate" ] ~docv:"P"
+        ~doc:
+          "Wrap the QA backend in the deterministic fault injector: each call fails with \
+           probability $(docv) (timeout / unavailable / readout-corrupt / chain-break-storm, \
+           equally weighted).  Failed calls are retried and circuit-broken by the supervisor; \
+           when they exhaust, the warm-up iteration degrades to pure CDCL — answers are never \
+           lost, only slower.")
+
+let qa_timeout_us_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "qa-timeout-us" ] ~docv:"US"
+        ~doc:
+          "Per-QA-call deadline on the modelled device time, in microseconds; a call past it \
+           is discarded as a timeout.  Default: no deadline.")
+
+let qa_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "qa-retries" ] ~docv:"K"
+        ~doc:
+          "Extra attempts after a failed QA call (deterministic exponential backoff with \
+           jitter) before the warm-up iteration degrades to pure CDCL.")
+
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
   Cmd.v
@@ -258,6 +323,7 @@ let cmd =
     Term.(
       const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
       $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg)
+      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg
+      $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg $ qa_retries_arg)
 
 let () = exit (Cmd.eval' cmd)

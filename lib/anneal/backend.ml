@@ -1,0 +1,167 @@
+type request = {
+  ising : Sparse_ising.t;
+  params : Sampler.params;
+  init : int array option;
+  domains : int;
+  timing : Timing.t;
+}
+
+type response = { spins : int array; energy : float; time_us : float }
+
+type failure =
+  | Timeout
+  | Unavailable
+  | Readout_corrupt
+  | Chain_break_storm
+  | Breaker_open
+
+let failure_label = function
+  | Timeout -> "timeout"
+  | Unavailable -> "unavailable"
+  | Readout_corrupt -> "readout_corrupt"
+  | Chain_break_storm -> "chain_break_storm"
+  | Breaker_open -> "breaker_open"
+
+type capabilities = {
+  forced_kernel : Sampler.kernel option;
+  parallel_reads : bool;
+  fallible : bool;
+}
+
+module type S = sig
+  val name : string
+  val capabilities : capabilities
+  val sample : ?obs:Obs.Ctx.t -> Stats.Rng.t -> request -> (response, failure) result
+end
+
+type t = (module S)
+
+let name (module B : S) = B.name
+let capabilities (module B : S) = B.capabilities
+let sample ?obs (module B : S) rng req = B.sample ?obs rng req
+
+let of_fn ~name:n ?(capabilities = { forced_kernel = None; parallel_reads = false; fallible = true })
+    fn : t =
+  (module struct
+    let name = n
+    let capabilities = capabilities
+    let sample ?obs rng req = fn ?obs rng req
+  end)
+
+(* modelled device wall-clock of one call, from the request's timing model *)
+let model_time_us req =
+  if req.params.Sampler.reads <= 1 then Timing.single_sample_us req.timing
+  else Timing.multi_sample_us req.timing ~samples:req.params.Sampler.reads
+
+(* All three simulator backends make identical RNG draws and accept
+   decisions (the two kernels are decision-equivalent, reads are stream-
+   split), so for a given seed they return identical spins — swapping
+   backends never changes an answer, only wall-clock. *)
+let simulator ~name:n ~forced_kernel ~parallel_reads : t =
+  (module struct
+    let name = n
+    let capabilities = { forced_kernel; parallel_reads; fallible = false }
+
+    let sample ?obs rng req =
+      let params =
+        match forced_kernel with
+        | None -> req.params
+        | Some k -> { req.params with Sampler.kernel = k }
+      in
+      let domains = if parallel_reads then max 1 req.domains else 1 in
+      let spins = Sampler.sample ?obs ~params ?init:req.init ~domains rng req.ising in
+      Ok { spins; energy = Sparse_ising.energy req.ising spins; time_us = model_time_us req }
+  end)
+
+let incremental =
+  simulator ~name:"incremental" ~forced_kernel:(Some `Incremental) ~parallel_reads:false
+
+let reference =
+  simulator ~name:"reference" ~forced_kernel:(Some `Reference) ~parallel_reads:false
+
+let best_of = simulator ~name:"best-of" ~forced_kernel:None ~parallel_reads:true
+
+(* ------------------------------------------------------------------ *)
+(* fault injection *)
+
+type fault_profile = {
+  fail_rate : float;
+  latency_us : float;
+  fault_seed : int;
+  mix : (failure * float) list;
+}
+
+let default_mix =
+  [ (Timeout, 1.0); (Unavailable, 1.0); (Readout_corrupt, 1.0); (Chain_break_storm, 1.0) ]
+
+let default_faults = { fail_rate = 0.0; latency_us = 0.0; fault_seed = 7; mix = default_mix }
+
+let pick_weighted rng mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. Float.max 0. w) 0. mix in
+  if total <= 0. then Unavailable
+  else begin
+    let u = Stats.Rng.float rng total in
+    let rec go acc = function
+      | [] -> Unavailable
+      | (f, w) :: rest ->
+          let acc = acc +. Float.max 0. w in
+          if u < acc then f else go acc rest
+    in
+    go 0. mix
+  end
+
+let with_faults profile (module Inner : S) : t =
+  (module struct
+    let name = Inner.name ^ "+faults"
+    let capabilities = { Inner.capabilities with fallible = true }
+
+    (* the fault stream is private to the wrapper: deciding whether a call
+       fails (and which latency it gets) never touches the caller's RNG, so
+       a zero-rate injector is bit-identical to the inner backend, and a
+       failed call leaves the caller's stream exactly where it was — the
+       retry reproduces what the original call would have returned *)
+    let frng = Stats.Rng.create ~seed:profile.fault_seed
+
+    let sample ?obs rng req =
+      if profile.fail_rate > 0. && Stats.Rng.float frng 1.0 < profile.fail_rate then
+        Error (pick_weighted frng profile.mix)
+      else
+        match Inner.sample ?obs rng req with
+        | Error _ as e -> e
+        | Ok resp ->
+            if profile.latency_us <= 0. then Ok resp
+            else
+              (* uniform on [0, 2·mean): mean extra latency = latency_us *)
+              Ok { resp with time_us = resp.time_us +. Stats.Rng.float frng (2. *. profile.latency_us) }
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* named specs, for configs / job policies / the CLI *)
+
+type flavor = [ `Incremental | `Reference | `Best_of ]
+
+type spec = { flavor : flavor; faults : fault_profile }
+
+let default_spec = { flavor = `Best_of; faults = default_faults }
+
+let flavor_names = [ "incremental"; "reference"; "best-of" ]
+
+let flavor_label = function
+  | `Incremental -> "incremental"
+  | `Reference -> "reference"
+  | `Best_of -> "best-of"
+
+let flavor_of_string = function
+  | "incremental" -> Some `Incremental
+  | "reference" -> Some `Reference
+  | "best-of" | "best_of" | "bestof" -> Some `Best_of
+  | _ -> None
+
+let of_flavor = function
+  | `Incremental -> incremental
+  | `Reference -> reference
+  | `Best_of -> best_of
+
+let of_spec s =
+  let b = of_flavor s.flavor in
+  if s.faults.fail_rate > 0. || s.faults.latency_us > 0. then with_faults s.faults b else b

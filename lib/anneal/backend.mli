@@ -1,0 +1,128 @@
+(** Pluggable annealer backends.
+
+    HyQSAT treats the annealer as a remote, noisy accelerator.  This module
+    makes that boundary explicit: a backend takes one {!request} (an Ising
+    problem plus sampling parameters) and either returns a {!response} or
+    fails with a typed {!failure}.  The solver core never calls a sampler
+    directly any more — it goes through a {!t}, usually wrapped in a
+    {!Supervisor} that adds deadlines, retries and a circuit breaker.
+
+    All built-in backends are deterministic: spins are a pure function of
+    the caller's RNG state, failures and latency of the fault profile's
+    private stream.  No wall-clock randomness anywhere. *)
+
+type request = {
+  ising : Sparse_ising.t;  (** the physical problem, noise-free *)
+  params : Sampler.params;  (** schedule / kernel / noise / reads *)
+  init : int array option;  (** per-read initial spins (chain-coherent) *)
+  domains : int;  (** parallelism hint; result-invariant *)
+  timing : Timing.t;  (** device timing model for [time_us] *)
+}
+
+type response = {
+  spins : int array;  (** annealed physical spins, ±1 entries *)
+  energy : float;  (** energy of [spins] on the {e clean} request Ising *)
+  time_us : float;  (** modelled device wall-clock for the call *)
+}
+
+type failure =
+  | Timeout  (** the call's modelled time exceeded the deadline *)
+  | Unavailable  (** device rejected or dropped the call *)
+  | Readout_corrupt  (** readout failed integrity checks *)
+  | Chain_break_storm  (** too many broken chains to unembed *)
+  | Breaker_open  (** supervisor fast-fail; never raised by a device *)
+
+val failure_label : failure -> string
+(** Stable lower-snake label, used as the [reason] metric label. *)
+
+type capabilities = {
+  forced_kernel : Sampler.kernel option;
+      (** [Some k] if the backend ignores [params.kernel] *)
+  parallel_reads : bool;  (** honours [request.domains] *)
+  fallible : bool;  (** can return [Error _] *)
+}
+
+module type S = sig
+  val name : string
+  val capabilities : capabilities
+  val sample : ?obs:Obs.Ctx.t -> Stats.Rng.t -> request -> (response, failure) result
+end
+
+type t = (module S)
+
+val name : t -> string
+val capabilities : t -> capabilities
+val sample : ?obs:Obs.Ctx.t -> t -> Stats.Rng.t -> request -> (response, failure) result
+
+val of_fn :
+  name:string ->
+  ?capabilities:capabilities ->
+  (?obs:Obs.Ctx.t -> Stats.Rng.t -> request -> (response, failure) result) ->
+  t
+(** Wrap a function as a backend — the test suite scripts failing devices
+    with this.  Default capabilities: no forced kernel, serial, fallible. *)
+
+val model_time_us : request -> float
+(** Modelled device time of one call under the request's {!Timing} model:
+    [single_sample_us] for one read, [multi_sample_us] otherwise.  The
+    supervisor compares this (plus injected latency) against deadlines. *)
+
+(** {1 Simulator backends}
+
+    The three simulators make identical RNG draws and accept decisions
+    (the kernels are decision-equivalent, reads are stream-split), so for
+    a given seed they return identical spins — switching backends never
+    changes an answer, only speed. *)
+
+val incremental : t
+(** Forces the O(1)-delta {!Kernel} sweep; serial reads. *)
+
+val reference : t
+(** Forces the field-recomputing reference sweep; serial reads. *)
+
+val best_of : t
+(** Honours [params.kernel] and fans reads across [request.domains]. *)
+
+(** {1 Fault injection} *)
+
+type fault_profile = {
+  fail_rate : float;  (** per-call failure probability in [0,1] *)
+  latency_us : float;  (** mean extra latency on success (uniform on
+                           [[0, 2·latency_us)]) *)
+  fault_seed : int;  (** seed of the injector's private RNG *)
+  mix : (failure * float) list;  (** failure kinds with relative weights *)
+}
+
+val default_mix : (failure * float) list
+(** Equal weights over the four device failures (never [Breaker_open]). *)
+
+val default_faults : fault_profile
+(** Rate 0, latency 0 — wrapping with this profile is a no-op. *)
+
+val with_faults : fault_profile -> t -> t
+(** [with_faults p b] decides failure/latency from a private RNG seeded
+    with [p.fault_seed], so the caller's stream is untouched: a zero-rate
+    wrapper is bit-identical to [b], and a failed call leaves the caller's
+    RNG where it was — a retry reproduces what the original call would
+    have returned.  Failures follow the weighted [p.mix]. *)
+
+(** {1 Named specs}
+
+    A serialisable description of a backend, carried by job policies and
+    built from CLI flags. *)
+
+type flavor = [ `Incremental | `Reference | `Best_of ]
+
+type spec = { flavor : flavor; faults : fault_profile }
+
+val default_spec : spec
+(** [`Best_of] with {!default_faults}. *)
+
+val flavor_names : string list
+val flavor_label : flavor -> string
+val flavor_of_string : string -> flavor option
+val of_flavor : flavor -> t
+
+val of_spec : spec -> t
+(** Instantiates the flavor and wraps it in {!with_faults} when the
+    profile injects anything. *)

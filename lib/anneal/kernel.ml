@@ -23,6 +23,18 @@
    decision can never disagree with the exact fallback — the kernel stays
    RNG-for-RNG and decision-for-decision equivalent to the reference loop. *)
 
+(* Degenerate-flip tie guard.  A mathematically-zero delta (a balanced
+   spin — structurally common in QUBO-derived embedded isings) can round
+   to exactly 0.0 under one summation order and to ±1 ulp under another;
+   the incremental accumulation and the reference loop's fresh field
+   summation are two such orders.  Since "delta <= 0" also decides whether
+   a uniform is drawn, a tie that straddles zero would desynchronise the
+   two kernels' RNG streams with probability ~1.  Both loops therefore
+   treat any delta at or below [tie_eps] as downhill: genuine uphill
+   deltas are bounded below by the coefficient granularity of the problem
+   (orders of magnitude above 1e-12 after hardware-range normalisation),
+   and Metropolis acceptance at such a delta is ≈ 1 anyway. *)
+let tie_eps = 1e-12
 let buckets = 2048
 
 (* exp(-40) ≈ 4e-18: a uniform draw from [0,1) essentially never lands
@@ -136,8 +148,8 @@ let sweep t ~beta rng =
   for i = 0 to n - 1 do
     let delta = Array.unsafe_get deltas i in
     (* RNG discipline matches the reference loop exactly: downhill moves
-       consume no randomness *)
-    if delta <= 0.0 then accept i
+       (and ties within [tie_eps]) consume no randomness *)
+    if delta <= tie_eps then accept i
     else begin
       let u = Stats.Rng.float rng 1.0 in
       if delta >= dcap then begin

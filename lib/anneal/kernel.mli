@@ -11,15 +11,22 @@
     The kernel is decision-for-decision and RNG-draw-for-RNG-draw
     equivalent to {!Sampler}'s reference sweep: downhill moves consume no
     randomness, uphill moves consume exactly one draw, and the fast paths
-    can never disagree with the exact Metropolis test.  (Field values are
+    can never disagree with the exact Metropolis test.  Field values are
     accumulated incrementally, so they may differ from a fresh summation
-    by floating-point rounding — ~1e-16 relative, far below anything the
-    acceptance test resolves.)
+    by floating-point rounding; both loops classify deltas at or below
+    {!tie_eps} as downhill so a mathematically-zero flip whose rounding
+    residue straddles zero cannot desynchronise the two RNG streams.
 
     Used through [Sampler.sample ~kernel:`Incremental] (the default); the
     reference loop survives for differential testing. *)
 
 type t
+
+val tie_eps : float
+(** Deltas at or below this are classified downhill (accepted draw-free)
+    by {e both} kernels — the guard that keeps degenerate zero-delta flips
+    from desynchronising their RNG streams when rounding leaves a ±1 ulp
+    residue in one summation order but not the other. *)
 
 val init : Sparse_ising.t -> int array -> t
 (** [init ising spins] builds the field array for the given configuration.

@@ -72,9 +72,9 @@ let greedy_descent objective lookup =
       vars
   done
 
-let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
+let run_via ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
     ?(chain_strength = 2.0) ?(postprocess = true)
-    ?(timing = Timing.d_wave_2000q) ?(reads = 1) ?(domains = 1) rng job =
+    ?(timing = Timing.d_wave_2000q) ?(reads = 1) ?(domains = 1) ~sample rng job =
   if reads < 1 then invalid_arg "Machine.run: reads";
   let schedule =
     match schedule with
@@ -144,91 +144,106 @@ let run ?(obs = Obs.Ctx.null) ?(noise = Noise.noise_free) ?schedule
     Sparse_ising.build ~n:n_phys ~h:(Array.sub h 0 n_phys) ~couplings:!couplings
       ~offset:logical.Qubo.Ising.offset
   in
-  (* program (with control noise), anneal, read out (with readout noise);
-     the anneal starts from chain-coherent spins, mirroring how physical
-     chains freeze out as single logical degrees of freedom *)
-  let programmed = Noise.apply_coeff noise rng ising in
+  (* chain-coherent initial spins, mirroring how physical chains freeze out
+     as single logical degrees of freedom; drawn before the device call so
+     a failed call consumes exactly one draw block either way *)
   let init = Array.make (max n_phys 1) 1 in
   List.iter
     (fun node ->
       let s = if Stats.Rng.bool rng then 1 else -1 in
       List.iter (fun q -> init.(Hashtbl.find phys_of_qubit q) <- s) (chain_of job node))
     nodes;
-  let spins =
-    let init = Array.sub init 0 n_phys in
-    if reads = 1 then Sampler.sample ~obs ~schedule ~init rng programmed
-    else Sampler.sample_best_of ~obs ~schedule ~init ~domains rng programmed reads
+  let request =
+    {
+      Backend.ising;
+      params = Sampler.make_params ~schedule ~noise ~reads ();
+      init = Some (Array.sub init 0 n_phys);
+      domains;
+      timing;
+    }
   in
-  let spins = Noise.apply_readout noise rng spins in
-  (* unembed by majority vote *)
-  let chain_breaks = ref 0 in
-  let assignment =
-    List.map
-      (fun node ->
-        let chain = chain_of job node in
-        let up =
-          List.fold_left
-            (fun acc q -> if spins.(Hashtbl.find phys_of_qubit q) = 1 then acc + 1 else acc)
-            0 chain
+  match (sample rng request : (Backend.response, Backend.failure) result) with
+  | Error _ as e -> e
+  | Ok resp ->
+      let spins = resp.Backend.spins in
+      (* unembed by majority vote *)
+      let chain_breaks = ref 0 in
+      let assignment =
+        List.map
+          (fun node ->
+            let chain = chain_of job node in
+            let up =
+              List.fold_left
+                (fun acc q -> if spins.(Hashtbl.find phys_of_qubit q) = 1 then acc + 1 else acc)
+                0 chain
+            in
+            let len = List.length chain in
+            if up > 0 && up < len then incr chain_breaks;
+            let value =
+              if 2 * up > len then true
+              else if 2 * up < len then false
+              else Stats.Rng.bool rng
+            in
+            (node, value))
+          nodes
+      in
+      let lookup = Hashtbl.create (List.length assignment) in
+      List.iter (fun (node, v) -> Hashtbl.replace lookup node v) assignment;
+      List.iter
+        (fun v -> if not (Hashtbl.mem lookup v) then fail "objective var %d not in embedding" v)
+        (Qubo.Pbq.vars job.objective);
+      if postprocess then begin
+        (* D-Wave-style optimisation post-processing: a short logical-level
+           anneal seeded from the unembedded sample, then steepest descent.
+           This runs host-side, so it never goes through the backend — it is
+           available even when the device is down.  It removes the energy
+           residue long chains leave behind; a genuinely unsatisfiable
+           clause set keeps its positive floor *)
+        let logical_sparse =
+          Sparse_ising.build ~n:logical.Qubo.Ising.num_spins
+            ~h:(Array.sub logical.Qubo.Ising.h 0 logical.Qubo.Ising.num_spins)
+            ~couplings:logical.Qubo.Ising.j ~offset:logical.Qubo.Ising.offset
         in
-        let len = List.length chain in
-        if up > 0 && up < len then incr chain_breaks;
-        let value =
-          if 2 * up > len then true
-          else if 2 * up < len then false
-          else Stats.Rng.bool rng
+        let init =
+          Array.init logical.Qubo.Ising.num_spins (fun i ->
+              if Hashtbl.find lookup logical.Qubo.Ising.var_of_spin.(i) then 1 else -1)
         in
-        (node, value))
-      nodes
-  in
-  let lookup = Hashtbl.create (List.length assignment) in
-  List.iter (fun (node, v) -> Hashtbl.replace lookup node v) assignment;
-  List.iter
-    (fun v -> if not (Hashtbl.mem lookup v) then fail "objective var %d not in embedding" v)
-    (Qubo.Pbq.vars job.objective);
-  if postprocess then begin
-    (* D-Wave-style optimisation post-processing: a short logical-level
-       anneal seeded from the unembedded sample, then steepest descent.
-       This removes the energy residue long chains leave behind; a genuinely
-       unsatisfiable clause set keeps its positive floor *)
-    let logical_sparse =
-      Sparse_ising.build ~n:logical.Qubo.Ising.num_spins
-        ~h:(Array.sub logical.Qubo.Ising.h 0 logical.Qubo.Ising.num_spins)
-        ~couplings:logical.Qubo.Ising.j ~offset:logical.Qubo.Ising.offset
-    in
-    let init =
-      Array.init logical.Qubo.Ising.num_spins (fun i ->
-          if Hashtbl.find lookup logical.Qubo.Ising.var_of_spin.(i) then 1 else -1)
-    in
-    (* depth scales with the logical problem: the paper's noise-free
-       reference runs dwave-neal "with a long timeout" [19] *)
-    let post_schedule =
-      {
-        Sampler.sweeps = max 128 (8 * logical.Qubo.Ising.num_spins);
-        beta_min = 0.3;
-        beta_max = 12.;
-      }
-    in
-    let spins' = Sampler.sample ~obs ~schedule:post_schedule ~init rng logical_sparse in
-    Array.iteri
-      (fun i s -> Hashtbl.replace lookup logical.Qubo.Ising.var_of_spin.(i) (s = 1))
-      spins';
-    greedy_descent job.objective lookup
-  end;
-  let assignment = List.map (fun (node, _) -> (node, Hashtbl.find lookup node)) assignment in
-  let energy = Qubo.Pbq.eval job.objective (Hashtbl.find lookup) in
-  let time_us =
-    if reads = 1 then Timing.single_sample_us timing
-    else Timing.multi_sample_us timing ~samples:reads
-  in
-  if not (Obs.Ctx.is_null obs) then begin
-    Obs.Metrics.count obs "anneal_chain_breaks_total" !chain_breaks;
-    Obs.Metrics.observe obs "anneal_time_us" time_us
-  end;
-  {
-    assignment;
-    energy;
-    physical_energy = Sparse_ising.energy programmed spins;
-    chain_breaks = !chain_breaks;
-    time_us;
-  }
+        (* depth scales with the logical problem: the paper's noise-free
+           reference runs dwave-neal "with a long timeout" [19] *)
+        let post_schedule =
+          {
+            Sampler.sweeps = max 128 (8 * logical.Qubo.Ising.num_spins);
+            beta_min = 0.3;
+            beta_max = 12.;
+          }
+        in
+        let params = Sampler.make_params ~schedule:post_schedule () in
+        let spins' = Sampler.sample ~obs ~params ~init rng logical_sparse in
+        Array.iteri
+          (fun i s -> Hashtbl.replace lookup logical.Qubo.Ising.var_of_spin.(i) (s = 1))
+          spins';
+        greedy_descent job.objective lookup
+      end;
+      let assignment = List.map (fun (node, _) -> (node, Hashtbl.find lookup node)) assignment in
+      let energy = Qubo.Pbq.eval job.objective (Hashtbl.find lookup) in
+      if not (Obs.Ctx.is_null obs) then begin
+        Obs.Metrics.count obs "anneal_chain_breaks_total" !chain_breaks;
+        Obs.Metrics.observe obs "anneal_time_us" resp.Backend.time_us
+      end;
+      Ok
+        {
+          assignment;
+          energy;
+          physical_energy = resp.Backend.energy;
+          chain_breaks = !chain_breaks;
+          time_us = resp.Backend.time_us;
+        }
+
+let run ?obs ?noise ?schedule ?chain_strength ?postprocess ?timing ?reads ?domains rng job =
+  let sample rng req = Backend.sample ?obs Backend.best_of rng req in
+  match
+    run_via ?obs ?noise ?schedule ?chain_strength ?postprocess ?timing ?reads ?domains ~sample
+      rng job
+  with
+  | Ok outcome -> outcome
+  | Error _ -> assert false (* the simulator backends are infallible *)

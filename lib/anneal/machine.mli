@@ -1,9 +1,11 @@
 (** The quantum-annealer facade: program an embedded problem, run one
-    annealing cycle, read out a logical assignment and its energy.
+    annealing cycle through a {!Backend}, read out a logical assignment and
+    its energy.
 
     This is the component a real deployment would replace with the D-Wave
     API; everything above it (HyQSAT frontend/backend) is agnostic to
-    whether the sample came from hardware or from the simulator. *)
+    whether the sample came from hardware or from the simulator, and — via
+    {!run_via} — to whether the device call succeeded at all. *)
 
 type job = {
   embedding : Embed.Embedding.t;
@@ -18,14 +20,54 @@ type outcome = {
   energy : float;
       (** the unnormalised logical objective evaluated at [assignment] — the
           "energy" the HyQSAT backend interprets *)
-  physical_energy : float;  (** programmed (noisy, normalised) Ising energy *)
+  physical_energy : float;
+      (** the returned spins' energy on the clean (pre-noise) physical
+          Ising, as reported by the backend *)
   chain_breaks : int;  (** chains whose qubits disagreed at readout *)
-  time_us : float;  (** modelled wall-clock of this call *)
+  time_us : float;
+      (** modelled wall-clock of the device call, including any supervisor
+          retries/backoff when one is in the path *)
 }
 
 exception Unembedded_term of string
 (** An objective term touches a node without a chain or an edge without a
     realisable coupler. *)
+
+val run_via :
+  ?obs:Obs.Ctx.t ->
+  ?noise:Noise.t ->
+  ?schedule:Sampler.schedule ->
+  ?chain_strength:float ->
+  ?postprocess:bool ->
+  ?timing:Timing.t ->
+  ?reads:int ->
+  ?domains:int ->
+  sample:(Stats.Rng.t -> Backend.request -> (Backend.response, Backend.failure) result) ->
+  Stats.Rng.t ->
+  job ->
+  (outcome, Backend.failure) result
+(** One annealing cycle through an arbitrary device call — pass
+    [Supervisor.sample sup] for a supervised backend, or
+    [Backend.sample b] for a bare one.  The machine builds the physical
+    Ising, draws chain-coherent initial spins (before the device call, so
+    a failing call always consumes the same caller-RNG prefix as a
+    succeeding one), issues exactly one [sample], and on [Ok] unembeds by
+    majority vote.  [Error f] is returned untouched for the caller to
+    degrade on.
+
+    [reads] (default 1) requests the multi-sample device mode (best of
+    [reads] anneals, fanned over [domains] when the backend supports it);
+    [noise] rides inside the request's {!Sampler.params}.  [postprocess]
+    (default [true]) runs the machine-side sample repair — a logical-level
+    anneal plus greedy descent — {e host-side}, never through the backend;
+    it cannot turn an unsatisfiable clause set's energy to zero, only
+    remove thermal/chain-break residue.  With a live [obs] the call adds
+    chain breaks to [anneal_chain_breaks_total] and records the response's
+    modelled [time_us] into the [anneal_time_us] histogram.
+    Defaults: noise-free, {!Sampler.default_schedule} (or
+    {!Sampler.quick_schedule} when the noise model says so), chain strength
+    2.0 (relative to the normalised coefficient range), D-Wave 2000Q
+    timing. *)
 
 val run :
   ?obs:Obs.Ctx.t ->
@@ -39,19 +81,6 @@ val run :
   Stats.Rng.t ->
   job ->
   outcome
-(** One annealing cycle.  [reads] (default 1) runs the multi-sample device
-    mode: the best of [reads] independent anneals by physical energy, fanned
-    over [domains] (default 1) OCaml domains via
-    {!Sampler.sample_best_of} — the result is deterministic in the seed
-    whatever [domains] is, and [time_us] switches to the
-    {!Timing.multi_sample_us} formula.  With a live [obs] the call adds chain breaks to
-    [anneal_chain_breaks_total], records the modelled [time_us] into the
-    [anneal_time_us] histogram and threads [obs] through both sampler runs
-    (main anneal and post-processing).
-    Defaults: noise-free, {!Sampler.default_schedule}
-    (or {!Sampler.quick_schedule} when the noise model says so), chain
-    strength 2.0 (relative to the normalised coefficient range), D-Wave
-    2000Q timing.  [postprocess] (default [true]) runs the machine-side
-    greedy-descent sample repair on the logical assignment, as the D-Wave
-    post-processing pipeline does; it cannot turn an unsatisfiable clause
-    set's energy to zero, only remove thermal/chain-break residue. *)
+(** {!run_via} over the infallible {!Backend.best_of} simulator — the
+    historical direct-call entry, kept for callers (calibration, MaxSAT)
+    that never need fault handling. *)

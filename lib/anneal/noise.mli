@@ -3,7 +3,22 @@
 
     Coefficient noise perturbs the programmed fields/couplings (integrated
     control-error model); readout noise flips measured spins independently.
-    Thermal noise is modelled by running a shallower annealing schedule. *)
+    Thermal noise is modelled by running a shallower annealing schedule.
+
+    {b Draw-order contract.}  Both [apply_*] functions draw from the
+    {e caller's} RNG, in call-site order, with a fixed per-call shape:
+    [apply_coeff] makes one Gaussian draw per field then one per coupling,
+    in CSR row order of the input; [apply_readout] makes exactly one
+    uniform draw per spin.  When the corresponding rate is zero the
+    function makes {e zero} draws (and returns its input, shared, for
+    [apply_coeff]) — so a noise-free configuration is bit-identical to
+    code that never calls these functions at all.  {!Sampler.sample}
+    relies on this to keep one documented consumption sequence
+    (coeff → init → sweeps → readout); anything layered around a sample
+    call — fault injection, latency models — must draw from its own
+    private stream ({!Backend.with_faults} does), or seeds stop
+    reproducing across backends.  [test_supervisor.ml] pins this contract
+    down with a rate-0-wrapper bit-identity test. *)
 
 type t = {
   coeff_sigma : float;  (** Gaussian σ added to each h and J, relative scale *)

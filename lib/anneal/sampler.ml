@@ -5,6 +5,25 @@ let quick_schedule = { sweeps = 96; beta_min = 0.1; beta_max = 8.0 }
 
 type kernel = [ `Reference | `Incremental ]
 
+type params = {
+  schedule : schedule;
+  kernel : kernel;
+  noise : Noise.t;
+  reads : int;
+}
+
+let default_params =
+  { schedule = default_schedule; kernel = `Incremental; noise = Noise.noise_free; reads = 1 }
+
+let make_params ?(base = default_params) ?schedule ?kernel ?noise ?reads () =
+  let v d o = Option.value ~default:d o in
+  {
+    schedule = v base.schedule schedule;
+    kernel = v base.kernel kernel;
+    noise = v base.noise noise;
+    reads = v base.reads reads;
+  }
+
 let beta_ratio schedule =
   if schedule.sweeps <= 1 then 1.0
   else (schedule.beta_max /. schedule.beta_min) ** (1.0 /. float_of_int (schedule.sweeps - 1))
@@ -25,8 +44,12 @@ let anneal_in_place ~kernel ~schedule rng (ising : Sparse_ising.t) spins =
           for i = 0 to n - 1 do
             let field = Sparse_ising.local_field ising spins i in
             let delta = -2.0 *. float_of_int spins.(i) *. field in
-            (* delta = E(flipped) - E(current) *)
-            if delta <= 0.0 || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta) then begin
+            (* delta = E(flipped) - E(current); ties within [Kernel.tie_eps]
+               are downhill so both kernels draw identically on degenerate
+               (mathematically-zero) flips whose rounding differs between
+               fresh summation and incremental accumulation *)
+            if delta <= Kernel.tie_eps || Stats.Rng.float rng 1.0 < exp (-. !beta *. delta)
+            then begin
               spins.(i) <- -spins.(i);
               incr accepted
             end
@@ -57,8 +80,9 @@ let count_obs obs ~sweeps ~accepted =
     Obs.Metrics.count obs "anneal_accepted_flips_total" accepted
   end
 
-let sample ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
-    ?(kernel = `Incremental) ?init rng (ising : Sparse_ising.t) =
+(* one read, drawing directly from [rng] — the historical single-shot draw
+   sequence, kept bit-identical so noise-free seeds reproduce across PRs *)
+let sample_single ~obs ~schedule ~kernel ?init rng (ising : Sparse_ising.t) =
   let n = ising.Sparse_ising.n in
   let spins =
     match init with
@@ -71,9 +95,7 @@ let sample ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
   count_obs obs ~sweeps:schedule.sweeps ~accepted;
   spins
 
-let sample_best_of ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
-    ?(kernel = `Incremental) ?init ?(domains = 1) rng (ising : Sparse_ising.t) k =
-  if k < 1 then invalid_arg "Sampler.sample_best_of";
+let sample_multi ~obs ~schedule ~kernel ?init ~domains rng (ising : Sparse_ising.t) k =
   let n = ising.Sparse_ising.n in
   Option.iter (checked_init n) init;
   (* every read gets its own RNG stream, split off the caller's generator
@@ -130,3 +152,25 @@ let sample_best_of ?(obs = Obs.Ctx.null) ?(schedule = default_schedule)
   count_obs obs ~sweeps:(k * schedule.sweeps) ~accepted:total_accepted;
   if not (Obs.Ctx.is_null obs) then Obs.Metrics.count obs "anneal_reads_total" k;
   best
+
+(* Draw-order contract (see Noise): for one [sample] call the caller's RNG
+   is consumed in exactly this sequence —
+     1. [Noise.apply_coeff]   (programming noise; zero draws when σ = 0)
+     2. init spins, when [init] is [None]
+     3. the Metropolis sweeps (or, for [reads > 1], one [split_n] block
+        after which each read drains its own private stream)
+     4. [Noise.apply_readout] (readout flips; zero draws when p = 0)
+   Anything injected around the call (faults, latency) must use a separate
+   stream or the sequence — and with it bit-reproducibility — breaks. *)
+let sample ?(obs = Obs.Ctx.null) ?(params = default_params) ?init ?(domains = 1) rng
+    (ising : Sparse_ising.t) =
+  if params.reads < 1 then invalid_arg "Sampler.sample: reads";
+  let programmed = Noise.apply_coeff params.noise rng ising in
+  let spins =
+    if params.reads = 1 then
+      sample_single ~obs ~schedule:params.schedule ~kernel:params.kernel ?init rng programmed
+    else
+      sample_multi ~obs ~schedule:params.schedule ~kernel:params.kernel ?init ~domains rng
+        programmed params.reads
+  in
+  Noise.apply_readout params.noise rng spins

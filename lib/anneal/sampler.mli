@@ -2,7 +2,10 @@
     real QA hardware — see DESIGN.md §2).
 
     Runs Metropolis sweeps over a geometric inverse-temperature schedule.
-    One [sample] models one annealing cycle of the physical machine. *)
+    One [sample] models one annealing cycle of the physical machine:
+    program (with control noise), anneal [reads] times, read out (with
+    readout noise).  All knobs live in one {!params} record so every
+    {!Backend} implementation shares a single request shape. *)
 
 type schedule = { sweeps : int; beta_min : float; beta_max : float }
 
@@ -22,36 +25,58 @@ type kernel = [ `Reference | `Incremental ]
     the RNG identically and make identical accept decisions, so they
     produce identical spins for identical seeds. *)
 
+type params = {
+  schedule : schedule;
+  kernel : kernel;
+  noise : Noise.t;  (** applied inside [sample]: coefficients before the
+                        anneal, readout flips after *)
+  reads : int;  (** independent anneals per call, best-of by energy;
+                    1 = the paper's single-shot protocol *)
+}
+(** One device-call request.  This record replaced the growing
+    optional-argument list of [sample] so backends ({!Backend.S}) and the
+    machine facade exchange a single value. *)
+
+val default_params : params
+(** [default_schedule], [`Incremental], {!Noise.noise_free}, 1 read. *)
+
+val make_params :
+  ?base:params ->
+  ?schedule:schedule ->
+  ?kernel:kernel ->
+  ?noise:Noise.t ->
+  ?reads:int ->
+  unit ->
+  params
+(** Labelled constructor; every field defaults to [base] (itself
+    defaulting to {!default_params}), so adding a field never breaks
+    callers. *)
+
 val sample :
   ?obs:Obs.Ctx.t ->
-  ?schedule:schedule ->
-  ?kernel:kernel ->
-  ?init:int array ->
-  Stats.Rng.t ->
-  Sparse_ising.t ->
-  int array
-(** One annealed spin configuration (±1 entries).  [init] seeds the sweep
-    (e.g. chain-coherent spins); default is uniform random.  With a live
-    [obs] the call adds to the [anneal_sweeps_total] and
-    [anneal_accepted_flips_total] counters. *)
-
-val sample_best_of :
-  ?obs:Obs.Ctx.t ->
-  ?schedule:schedule ->
-  ?kernel:kernel ->
+  ?params:params ->
   ?init:int array ->
   ?domains:int ->
   Stats.Rng.t ->
   Sparse_ising.t ->
-  int ->
   int array
-(** Best of [k] independent samples by energy (multi-sample device mode).
-    Each read runs on its own RNG stream split off the caller's generator
-    ({!Stats.Rng.split_n}), so for a given generator state the result is
-    identical whatever [domains] (default 1) says: [domains = 1] runs the
-    reads serially reusing one spin buffer; [domains > 1] fans them across
-    a {!Parallel.Pool} of that many OCaml domains.  Energy ties go to the
-    lowest-numbered read.  [init] seeds every read.  Obs counters
-    ([anneal_sweeps_total], [anneal_accepted_flips_total],
-    [anneal_reads_total]) are aggregated once after the parallel join —
+(** One annealed spin configuration (±1 entries).  [init] seeds every read
+    (e.g. chain-coherent spins); default is uniform random per read.
+    [domains] (default 1) fans [params.reads] independent anneals across a
+    {!Parallel.Pool} of that many OCaml domains; each read runs on its own
+    RNG stream split off the caller's generator ({!Stats.Rng.split_n}), so
+    the result is identical whatever [domains] says.  Energy ties go to
+    the lowest-numbered read.
+
+    Draw-order contract — the caller's RNG is consumed in exactly this
+    call-site order: {!Noise.apply_coeff} (programming noise), then init
+    spins (when [init] is [None]), then the Metropolis sweeps, then
+    {!Noise.apply_readout}.  Zero-rate noise draws nothing, so noise-free
+    seeds reproduce results from before noise moved into the sampler.
+    Fault injection layered around a sample call must draw from its own
+    stream ({!Backend.with_faults} does) to keep this sequence intact.
+
+    With a live [obs] the call adds to the [anneal_sweeps_total] and
+    [anneal_accepted_flips_total] counters, and [anneal_reads_total] when
+    [params.reads > 1]; counters are aggregated after the parallel join —
     worker domains never touch [obs]. *)

@@ -1,0 +1,86 @@
+(** Fault-tolerant supervision of a {!Backend}.
+
+    Wraps any backend with per-call deadlines, bounded retries with
+    deterministic exponential backoff + jitter, and a circuit breaker, so
+    the solver core sees either a good {!Backend.response} or one typed
+    {!Backend.failure} it can degrade on.  Everything is modelled, not
+    measured: deadlines compare against the response's modelled [time_us],
+    backoff waits are added to it rather than slept, jitter comes from a
+    private seeded RNG, and the breaker cooldown is counted in fast-failed
+    {e calls} rather than wall time — a supervised run is exactly
+    reproducible from its seeds.
+
+    Failing attempts consume nothing from the caller's RNG (built-in fault
+    injectors draw from their own stream), so a retry re-runs the exact
+    sample the failed attempt would have produced. *)
+
+type policy = {
+  timeout_us : float;  (** per-call deadline on modelled device time;
+                           [infinity] disables it *)
+  retries : int;  (** extra attempts after the first (so at most
+                      [retries + 1] backend calls per [sample]) *)
+  backoff_base_us : float;  (** wait before retry 1 *)
+  backoff_mult : float;  (** multiplier per further retry *)
+  backoff_max_us : float;  (** backoff cap, pre-jitter *)
+  backoff_jitter : float;  (** relative jitter: wait × (1 ± j·u) *)
+  breaker_threshold : int;  (** consecutive failures that open the breaker *)
+  breaker_cooldown : int;  (** calls fast-failed while open before one
+                               probe is admitted *)
+  half_open_probes : int;  (** consecutive successes needed to close *)
+}
+
+val default_policy : policy
+(** No deadline, 2 retries, 200 µs × 2 backoff capped at 5 ms with 10 %
+    jitter; breaker opens after 5 consecutive failures, fast-fails 8
+    calls, closes after 1 good probe. *)
+
+val make_policy :
+  ?base:policy ->
+  ?timeout_us:float ->
+  ?retries:int ->
+  ?backoff_base_us:float ->
+  ?backoff_mult:float ->
+  ?backoff_max_us:float ->
+  ?backoff_jitter:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:int ->
+  ?half_open_probes:int ->
+  unit ->
+  policy
+(** Labelled constructor over [base] (default {!default_policy}). *)
+
+type t
+
+type state = [ `Closed | `Open | `Half_open ]
+
+type stats = {
+  calls : int;  (** [sample] invocations *)
+  successes : int;
+  failures : int;  (** failed attempts, including fast-fails *)
+  attempts : int;  (** backend calls actually made *)
+  retries : int;
+  fast_fails : int;  (** calls short-circuited with [Breaker_open] *)
+  transitions : int;  (** breaker state changes *)
+}
+
+val create : ?obs:Obs.Ctx.t -> ?policy:policy -> ?seed:int -> Backend.t -> t
+(** [seed] (default 0) seeds the private jitter RNG.  With a live [obs]
+    the supervisor maintains counter [qa_backend_calls_total], labelled
+    counters [qa_failures_total{reason=…}], [qa_retries_total] and
+    [qa_breaker_transitions_total{to=…}], and gauge [qa_breaker_state]
+    (0 closed / 1 open / 2 half-open). *)
+
+val backend : t -> Backend.t
+val policy : t -> policy
+val state : t -> state
+val stats : t -> stats
+
+val sample : t -> Stats.Rng.t -> Backend.request -> (Backend.response, Backend.failure) result
+(** One supervised call.  While the breaker is open the backend is not
+    touched and the call fast-fails with [Breaker_open].  A response whose
+    modelled time exceeds [timeout_us] is discarded as [Timeout] (deadline
+    hit mid-read) and charged the full deadline.  On success, [time_us]
+    includes the modelled time wasted on failed attempts and backoff
+    waits.  After [retries + 1] failed attempts — or as soon as a failure
+    opens the breaker — the last failure is returned and the caller is
+    expected to degrade (pure CDCL for that iteration). *)

@@ -91,11 +91,15 @@ let solve ?(config = Hyqsat.Hybrid_solver.default_config) ?max_iterations ?shoul
       ~cdcl:(Cdcl.Config.with_proof_logging config.Hyqsat.Hybrid_solver.cdcl)
       ()
   in
-  let report = Hyqsat.Hybrid_solver.solve ~config ?max_iterations ?should_stop solved in
+  let report =
+    Hyqsat.Solve.run ?max_iterations ?should_stop (Hyqsat.Solve.Hybrid config) solved
+  in
   finish ~original:f ~solved ~mapping report
 
 let solve_classic ?(config = Cdcl.Config.minisat_like) ?max_iterations ?should_stop f =
   let solved, mapping = convert_if_needed f in
   let config = Cdcl.Config.with_proof_logging config in
-  let report = Hyqsat.Hybrid_solver.solve_classic ~config ?max_iterations ?should_stop solved in
+  let report =
+    Hyqsat.Solve.run ?max_iterations ?should_stop (Hyqsat.Solve.Classic config) solved
+  in
   finish ~original:f ~solved ~mapping report

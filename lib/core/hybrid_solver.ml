@@ -11,6 +11,8 @@ type config = {
   warmup_fraction : float;
   qa_reads : int;
   qa_domains : int;
+  backend : Anneal.Backend.t;
+  supervision : Anneal.Supervisor.policy;
   seed : int;
 }
 
@@ -28,12 +30,14 @@ let default_config =
     warmup_fraction = 1.0;
     qa_reads = 1;
     qa_domains = 1;
+    backend = Anneal.Backend.best_of;
+    supervision = Anneal.Supervisor.default_policy;
     seed = 20230225;
   }
 
 let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibration
     ?queue_mode ?adjust_coefficients ?strategies ?qa_period ?warmup_fraction
-    ?qa_reads ?qa_domains ?seed () =
+    ?qa_reads ?qa_domains ?backend ?supervisor ?seed () =
   let v d o = Option.value ~default:d o in
   {
     cdcl = v base.cdcl cdcl;
@@ -48,6 +52,8 @@ let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibratio
     warmup_fraction = v base.warmup_fraction warmup_fraction;
     qa_reads = v base.qa_reads qa_reads;
     qa_domains = v base.qa_domains qa_domains;
+    backend = v base.backend backend;
+    supervision = v base.supervision supervisor;
     seed = v base.seed seed;
   }
 
@@ -58,6 +64,8 @@ type report = {
   iterations : int;
   warmup_iterations : int;
   qa_calls : int;
+  qa_failures : int;
+  qa_degraded : int;
   qa_time_us : float;
   frontend_time_s : float;
   backend_time_s : float;
@@ -111,6 +119,14 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     else Obs.Span.none
   in
   let rng = Stats.Rng.create ~seed:config.seed in
+  (* one supervisor per solve: breaker state is an instance property, and
+     the jitter seed is derived from the solve seed so runs replay exactly *)
+  let supervisor =
+    Anneal.Supervisor.create ~obs ~policy:config.supervision ~seed:(config.seed + 77)
+      config.backend
+  in
+  (* pre-register so the export shows an explicit 0 when nothing degrades *)
+  Obs.Metrics.incr ~by:0.0 obs "qa_degraded_total";
   let embed_cache = Frontend.create_cache config.graph in
   let solver = Cdcl.Solver.create ~config:config.cdcl f in
   Cdcl.Solver.set_obs solver obs;
@@ -119,6 +135,7 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
       (config.warmup_fraction *. sqrt (float_of_int (estimate_iterations f)))
   in
   let qa_calls = ref 0 in
+  let qa_degraded = ref 0 in
   let qa_time_us = ref 0. in
   let frontend_time = ref 0. in
   let backend_time = ref 0. in
@@ -157,45 +174,72 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
           Obs.Span.record obs ~parent:span_frontend
             ~dur_s:prepared.Frontend.embed_time_s "embed";
           Obs.Span.stop ~dur_s:prepared.Frontend.cpu_time_s span_frontend;
-          let outcome =
-            Anneal.Machine.run ~obs ~noise:config.noise ~timing:config.timing
-              ~reads:config.qa_reads ~domains:config.qa_domains rng
-              prepared.Frontend.job
+          let qa_result =
+            Anneal.Machine.run_via ~obs ~noise:config.noise ~timing:config.timing
+              ~reads:config.qa_reads ~domains:config.qa_domains
+              ~sample:(Anneal.Supervisor.sample supervisor)
+              rng prepared.Frontend.job
           in
-          incr qa_calls;
-          qa_time_us := !qa_time_us +. outcome.Anneal.Machine.time_us;
-          Obs.Span.record obs ~parent:span_iter
-            ~dur_s:(outcome.Anneal.Machine.time_us *. 1e-6)
-            "anneal";
-          Obs.Metrics.incr obs "qa_calls_total";
-          (* rate-limit phase hints: consecutive samples solve different
-             random subsets, and re-phasing every iteration oscillates *)
-          List.iter
-            (fun (v, b) ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt votes v) in
-              Hashtbl.replace votes v (cur + if b then 1 else -1))
-            outcome.Anneal.Machine.assignment;
-          let hint_filter v b =
-            match Hashtbl.find_opt votes v with
-            | Some margin -> if b then margin >= 4 else margin <= -4
-            | None -> false
-          in
-          let applied =
-            Backend.apply ~enabled:config.strategies ~hint_filter config.calibration solver
-              f prepared outcome
-          in
-          backend_time := !backend_time +. applied.Backend.cpu_time_s;
-          strategy_uses.(strategy_index applied.Backend.strategy) <-
-            strategy_uses.(strategy_index applied.Backend.strategy) + 1;
-          Obs.Span.record obs ~parent:span_iter ~dur_s:applied.Backend.cpu_time_s
-            "backend";
-          if traced then
-            Obs.Metrics.incr obs
-              (Obs.Metrics.labelled "strategy_uses_total"
-                 [ ("strategy", strategy_name applied.Backend.strategy) ]);
-          (match applied.Backend.solved with
-          | Some model -> solved_by_qa := Some model
-          | None -> ()));
+          (match qa_result with
+          | Error failure ->
+              (* graceful degradation: the offload is skipped for this
+                 warm-up iteration and the search falls through to the
+                 pure-CDCL step below — answers are never lost, only the
+                 quantum guidance for this round *)
+              incr qa_degraded;
+              Obs.Metrics.incr obs "qa_degraded_total";
+              if traced then
+                Obs.Span.record obs ~parent:span_iter
+                  ~attrs:
+                    [
+                      ("backend", Anneal.Backend.name config.backend);
+                      ("status", Anneal.Backend.failure_label failure);
+                    ]
+                  ~dur_s:0. "qa_call"
+          | Ok outcome ->
+              incr qa_calls;
+              qa_time_us := !qa_time_us +. outcome.Anneal.Machine.time_us;
+              Obs.Span.record obs ~parent:span_iter
+                ~dur_s:(outcome.Anneal.Machine.time_us *. 1e-6)
+                "anneal";
+              if traced then
+                Obs.Span.record obs ~parent:span_iter
+                  ~attrs:
+                    [
+                      ("backend", Anneal.Backend.name config.backend);
+                      ("status", "ok");
+                    ]
+                  ~dur_s:(outcome.Anneal.Machine.time_us *. 1e-6)
+                  "qa_call";
+              Obs.Metrics.incr obs "qa_calls_total";
+              (* rate-limit phase hints: consecutive samples solve different
+                 random subsets, and re-phasing every iteration oscillates *)
+              List.iter
+                (fun (v, b) ->
+                  let cur = Option.value ~default:0 (Hashtbl.find_opt votes v) in
+                  Hashtbl.replace votes v (cur + if b then 1 else -1))
+                outcome.Anneal.Machine.assignment;
+              let hint_filter v b =
+                match Hashtbl.find_opt votes v with
+                | Some margin -> if b then margin >= 4 else margin <= -4
+                | None -> false
+              in
+              let applied =
+                Backend.apply ~enabled:config.strategies ~hint_filter config.calibration
+                  solver f prepared outcome
+              in
+              backend_time := !backend_time +. applied.Backend.cpu_time_s;
+              strategy_uses.(strategy_index applied.Backend.strategy) <-
+                strategy_uses.(strategy_index applied.Backend.strategy) + 1;
+              Obs.Span.record obs ~parent:span_iter ~dur_s:applied.Backend.cpu_time_s
+                "backend";
+              if traced then
+                Obs.Metrics.incr obs
+                  (Obs.Metrics.labelled "strategy_uses_total"
+                     [ ("strategy", strategy_name applied.Backend.strategy) ]);
+              (match applied.Backend.solved with
+              | Some model -> solved_by_qa := Some model
+              | None -> ())));
       Obs.Span.stop span_iter
     end;
     (match !solved_by_qa with
@@ -235,6 +279,8 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     iterations = !iter;
     warmup_iterations = min warmup !iter;
     qa_calls = !qa_calls;
+    qa_failures = (Anneal.Supervisor.stats supervisor).Anneal.Supervisor.failures;
+    qa_degraded = !qa_degraded;
     qa_time_us = !qa_time_us;
     frontend_time_s = !frontend_time;
     backend_time_s = !backend_time;
@@ -269,6 +315,8 @@ let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_in
     iterations = stats.Cdcl.Solver.iterations;
     warmup_iterations = 0;
     qa_calls = 0;
+    qa_failures = 0;
+    qa_degraded = 0;
     qa_time_us = 0.;
     frontend_time_s = 0.;
     backend_time_s = 0.;

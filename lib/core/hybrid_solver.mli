@@ -24,6 +24,12 @@ type config = {
   qa_domains : int;
       (** OCaml domains fanning the [qa_reads] samples; the answer is
           deterministic in the seed whatever this is set to *)
+  backend : Anneal.Backend.t;
+      (** the annealer device every QA call goes through (default
+          {!Anneal.Backend.best_of}); wrap with
+          {!Anneal.Backend.with_faults} to exercise degradation *)
+  supervision : Anneal.Supervisor.policy;
+      (** deadline / retry / circuit-breaker policy applied to [backend] *)
   seed : int;
 }
 
@@ -44,6 +50,8 @@ val make_config :
   ?warmup_fraction:float ->
   ?qa_reads:int ->
   ?qa_domains:int ->
+  ?backend:Anneal.Backend.t ->
+  ?supervisor:Anneal.Supervisor.policy ->
   ?seed:int ->
   unit ->
   config
@@ -60,7 +68,13 @@ type report = {
   result : Cdcl.Solver.result;
   iterations : int;  (** CDCL iterations actually executed *)
   warmup_iterations : int;  (** warm-up budget used *)
-  qa_calls : int;
+  qa_calls : int;  (** successful annealer consultations *)
+  qa_failures : int;
+      (** failed supervised attempts, including breaker fast-fails (the
+          supervisor's [stats.failures]) *)
+  qa_degraded : int;
+      (** warm-up iterations that fell through to pure CDCL because the
+          supervised call failed (retries exhausted or breaker open) *)
   qa_time_us : float;  (** modelled annealer wall-clock *)
   frontend_time_s : float;  (** measured CPU *)
   backend_time_s : float;  (** measured CPU *)
@@ -101,13 +115,28 @@ val solve :
     [Atomic.get].  [max_iterations] is the step budget: the search executes
     at most that many CDCL iterations before answering [Unknown Budget].
 
+    Every QA call goes through an {!Anneal.Supervisor} built from
+    [config.backend] and [config.supervision] (jitter seed derived from
+    [config.seed], so runs replay exactly).  When a supervised call fails
+    — retries exhausted or breaker open — that warm-up iteration degrades
+    to pure CDCL: no hints are applied, [qa_degraded] is bumped, and the
+    search continues; at a 100 % failure rate the solve is bit-identical
+    to {!solve_classic} modulo reporting.
+
+    Prefer calling this through {!Solve.run}.
+
     With a live [obs] the solve emits a ["hybrid_solve"] span (under
     [parent]) containing one ["warmup_iter"] span per annealer
     consultation — each with ["frontend"] (and its ["embed"] child),
     ["anneal"] and ["backend"] children carrying the report's own stage
     times (modelled time for the anneal) — plus a final ["cdcl"] span, so
     the frontend/anneal/backend/cdcl span durations of one solve sum
-    exactly to {!end_to_end_time_s}.  Counters: [qa_calls_total],
+    exactly to {!end_to_end_time_s}.  Each annealer consultation also
+    emits a ["qa_call"] span with [backend] and [status] (["ok"] or a
+    failure label) attributes.  Counters: [qa_calls_total],
+    [qa_degraded_total] and the supervisor's [qa_backend_calls_total] /
+    [qa_failures_total{reason=…}] / [qa_retries_total] /
+    [qa_breaker_transitions_total{to=…}] family,
     [strategy_uses_total{strategy=...}], the annealer's and the CDCL
     engine's own metrics, and the per-solve embedding cache's
     [embed_cache_hits_total] / [embed_cache_misses_total] (each solve owns
@@ -125,4 +154,6 @@ val solve_classic :
 (** The classical baseline through the same reporting type (zero QA).
     [should_stop] as in {!solve}, installed via {!Cdcl.Solver.set_terminate}.
     With a live [obs], emits a ["classic_solve"] span with one ["cdcl"]
-    child and the CDCL engine's metrics. *)
+    child and the CDCL engine's metrics.
+
+    Prefer calling this through {!Solve.run}. *)

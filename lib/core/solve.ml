@@ -1,0 +1,12 @@
+type mode = Hybrid of Hybrid_solver.config | Classic of Cdcl.Config.t
+
+let hybrid ?config () = Hybrid (Option.value ~default:Hybrid_solver.default_config config)
+let classic ?config () = Classic (Option.value ~default:Cdcl.Config.minisat_like config)
+
+let mode_label = function Hybrid _ -> "hybrid" | Classic _ -> "classic"
+
+let run ?max_iterations ?should_stop ?obs ?parent mode f =
+  match mode with
+  | Hybrid config -> Hybrid_solver.solve ~config ?max_iterations ?should_stop ?obs ?parent f
+  | Classic config ->
+      Hybrid_solver.solve_classic ~config ?max_iterations ?should_stop ?obs ?parent f

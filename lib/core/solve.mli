@@ -1,0 +1,38 @@
+(** The single solving entry point.
+
+    [Hybrid_solver.solve] and [Hybrid_solver.solve_classic] grew as two
+    parallel entries with two config types; everything above lib/core
+    (service portfolio, certification, CLI) now goes through [run] with a
+    {!mode} value instead, so adding a solving mode is a new variant, not
+    a new function to thread through every layer.  The old entries remain
+    as thin wrappers for existing callers but are deprecated — new code
+    should not call them directly. *)
+
+type mode =
+  | Hybrid of Hybrid_solver.config
+      (** CDCL with annealer-guided warm-up; QA calls go through the
+          config's supervised {!Anneal.Backend} and degrade to pure CDCL
+          on failure *)
+  | Classic of Cdcl.Config.t  (** the pure-CDCL baseline *)
+
+val hybrid : ?config:Hybrid_solver.config -> unit -> mode
+(** [Hybrid] with {!Hybrid_solver.default_config} by default. *)
+
+val classic : ?config:Cdcl.Config.t -> unit -> mode
+(** [Classic] with [Cdcl.Config.minisat_like] by default. *)
+
+val mode_label : mode -> string
+(** ["hybrid"] or ["classic"] — stable, used in member names and specs. *)
+
+val run :
+  ?max_iterations:int ->
+  ?should_stop:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
+  ?parent:Obs.Span.t ->
+  mode ->
+  Sat.Cnf.t ->
+  Hybrid_solver.report
+(** Solve [f] in the given mode.  All optional arguments behave exactly as
+    documented on {!Hybrid_solver.solve}; classic solves report zero QA
+    activity.  Both modes produce the one {!Hybrid_solver.report} type, so
+    callers never branch on the mode to read results. *)

@@ -5,8 +5,10 @@ type job_result = {
   race : Portfolio.race_report;
 }
 
-let solo ?grid ?log_proof ?qa_reads ?qa_domains name ~seed =
-  Portfolio.members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed [ name ]
+(* partially applying the name yields the [members ~spec ~seed] closure
+   shape [run] expects, with the job's own QA policy picked up per spec *)
+let solo ?grid ?log_proof name ~spec ~seed =
+  Portfolio.members_named ?grid ?log_proof ~qa:spec.Job.qa ~seed [ name ]
 
 (* 3-SAT conversion keeps original variables first, so projecting a model of
    the converted formula is a prefix restriction *)
@@ -57,7 +59,7 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
     in
     let race =
       Portfolio.race ~deadline ~max_iterations:spec.Job.max_iterations ~obs
-        ~parent:aspan (members ~seed) spec.Job.formula
+        ~parent:aspan (members ~spec ~seed) spec.Job.formula
     in
     Obs.Span.stop aspan;
     match race.Portfolio.winner with
@@ -81,14 +83,16 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
     | None -> Job.Unknown (if Deadline.expired deadline then Job.Timeout else Job.Budget)
   in
   let outcome, verified = certify_outcome spec race outcome in
-  let winner_name, iterations, qa_calls, strategy_uses =
+  let winner_name, iterations, qa_calls, qa_failures, degraded, strategy_uses =
     match race.Portfolio.winner with
     | Some w ->
         ( w.Portfolio.member,
           w.Portfolio.stats.Portfolio.iterations,
           w.Portfolio.stats.Portfolio.qa_calls,
+          w.Portfolio.stats.Portfolio.qa_failures,
+          w.Portfolio.stats.Portfolio.qa_degraded,
           Array.copy w.Portfolio.stats.Portfolio.strategy_uses )
-    | None -> ("", max_member_iterations race, 0, Array.make 4 0)
+    | None -> ("", max_member_iterations race, 0, 0, 0, Array.make 4 0)
   in
   let record =
     {
@@ -102,6 +106,8 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
       solve_time_s;
       iterations;
       qa_calls;
+      qa_failures;
+      degraded;
       strategy_uses;
     }
   in

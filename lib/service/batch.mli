@@ -17,7 +17,7 @@ type job_result = {
 val run :
   ?workers:int ->
   ?obs:Obs.Ctx.t ->
-  members:(seed:int -> Portfolio.member list) ->
+  members:(spec:Job.spec -> seed:int -> Portfolio.member list) ->
   Job.spec list ->
   Telemetry.summary * job_result list
 (** [run ~workers ~members jobs] solves every job and returns the
@@ -29,8 +29,9 @@ val run :
     visible), which in turn parents the race/member/solve spans.  The
     [jobs_total{outcome=...}] counters aggregate final outcomes.
 
-    [members ~seed] builds the portfolio for one attempt; retries call it
-    again with {!Job.attempt_seed} so every attempt searches differently.
+    [members ~spec ~seed] builds the portfolio for one attempt of [spec]
+    (so it can honour the job's {!Job.qa_policy}); retries call it again
+    with {!Job.attempt_seed} so every attempt searches differently.
     [workers] defaults to 1.  A worker exception is re-raised after the
     pool is drained (a raising portfolio member is absorbed by the race
     itself — see {!Portfolio.race}).
@@ -44,7 +45,9 @@ val run :
     reason in the record's [verified] field. *)
 
 val solo :
-  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> string -> seed:int ->
+  ?grid:int -> ?log_proof:bool -> string -> spec:Job.spec -> seed:int ->
   Portfolio.member list
 (** [solo name] is a 1-member portfolio — the degenerate race used for
-    plain batch solving ([--jobs] without [--portfolio]). *)
+    plain batch solving ([--jobs] without [--portfolio]).  Partially
+    applied ([solo "minisat"]) it has exactly the [members] closure shape
+    {!run} expects, picking up each job's QA policy from its spec. *)

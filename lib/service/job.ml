@@ -1,3 +1,18 @@
+type qa_policy = {
+  backend : Anneal.Backend.spec;
+  supervision : Anneal.Supervisor.policy;
+  reads : int;
+  domains : int;
+}
+
+let default_qa =
+  {
+    backend = Anneal.Backend.default_spec;
+    supervision = Anneal.Supervisor.default_policy;
+    reads = 1;
+    domains = 1;
+  }
+
 type spec = {
   id : int;
   name : string;
@@ -7,6 +22,7 @@ type spec = {
   timeout_s : float option;
   max_iterations : int;
   retries : int;
+  qa : qa_policy;
   seed : int;
 }
 
@@ -19,7 +35,7 @@ let default_seed ~id =
   20230225 + (1_000_003 * id)
 
 let make ?name ?original ?(certify = false) ?timeout_s ?(max_iterations = max_int)
-    ?(retries = 0) ?seed ~id formula =
+    ?(retries = 0) ?(qa = default_qa) ?seed ~id formula =
   let seed = match seed with Some s -> s | None -> default_seed ~id in
   let name = match name with Some n -> n | None -> Printf.sprintf "job-%d" id in
   if retries < 0 then invalid_arg "Job.make: retries < 0";
@@ -27,7 +43,7 @@ let make ?name ?original ?(certify = false) ?timeout_s ?(max_iterations = max_in
   | Some g when Sat.Cnf.num_vars g > Sat.Cnf.num_vars formula ->
       invalid_arg "Job.make: original has more variables than the formula solved"
   | _ -> ());
-  { id; name; formula; original; certify; timeout_s; max_iterations; retries; seed }
+  { id; name; formula; original; certify; timeout_s; max_iterations; retries; qa; seed }
 
 let original_formula spec = match spec.original with Some g -> g | None -> spec.formula
 

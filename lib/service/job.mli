@@ -12,6 +12,19 @@
     being reported, and [certify] checks answers against it (models) or
     the solved formula (DRAT proofs) before they leave the service. *)
 
+type qa_policy = {
+  backend : Anneal.Backend.spec;  (** which annealer device, with faults *)
+  supervision : Anneal.Supervisor.policy;  (** deadline/retry/breaker *)
+  reads : int;  (** annealer samples per QA call *)
+  domains : int;  (** OCaml domains fanning the reads *)
+}
+(** The annealer policy hybrid members solve the job under.  Serialisable
+    by construction (backend is a {!Anneal.Backend.spec}, not a closure)
+    so specs can travel to worker domains and into telemetry. *)
+
+val default_qa : qa_policy
+(** Fault-free best-of backend, default supervision, single-shot reads. *)
+
 type spec = {
   id : int;  (** caller-chosen, reported back in telemetry *)
   name : string;  (** display name, e.g. the CNF path *)
@@ -24,6 +37,7 @@ type spec = {
   timeout_s : float option;  (** per-job wall-clock deadline; [None] = none *)
   max_iterations : int;  (** CDCL step budget per attempt *)
   retries : int;  (** extra attempts after an [Unknown] (0 = single shot) *)
+  qa : qa_policy;  (** annealer backend/supervision for hybrid members *)
   seed : int;  (** base seed; attempt [k] reseeds with [seed + 7919·k] *)
 }
 
@@ -34,13 +48,14 @@ val make :
   ?timeout_s:float ->
   ?max_iterations:int ->
   ?retries:int ->
+  ?qa:qa_policy ->
   ?seed:int ->
   id:int ->
   Sat.Cnf.t ->
   spec
 (** Defaults: [name] = ["job-<id>"], no original (the formula is solved
     as-is), [certify] = [false], no timeout, [max_iterations] = [max_int],
-    [retries] = 0.  The default [seed] is derived from [id] so that two
+    [retries] = 0, [qa] = {!default_qa}.  The default [seed] is derived from [id] so that two
     jobs in the same batch never share an attempt-seed sequence (a shared
     constant default made job [i] attempt [k+1] collide with job [i+1]
     attempt [k]). *)

@@ -2,6 +2,8 @@ type solve_stats = {
   result : Cdcl.Solver.result;
   iterations : int;
   qa_calls : int;
+  qa_failures : int;
+  qa_degraded : int;
   strategy_uses : int array;
   proof : Sat.Drat.t option;
 }
@@ -38,11 +40,13 @@ let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
     result = r.Hyqsat.Hybrid_solver.result;
     iterations = r.Hyqsat.Hybrid_solver.iterations;
     qa_calls = r.Hyqsat.Hybrid_solver.qa_calls;
+    qa_failures = r.Hyqsat.Hybrid_solver.qa_failures;
+    qa_degraded = r.Hyqsat.Hybrid_solver.qa_degraded;
     strategy_uses = Array.copy r.Hyqsat.Hybrid_solver.strategy_uses;
     proof = r.Hyqsat.Hybrid_solver.proof;
   }
 
-let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa_reads ~qa_domains =
+let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa =
   {
     name;
     run =
@@ -54,11 +58,13 @@ let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa_reads ~qa_domains =
               (if grid = 16 then base.Hyqsat.Hybrid_solver.graph
                else Chimera.Graph.create ~rows:grid ~cols:grid)
             ~cdcl:(if log_proof then Cdcl.Config.with_proof_logging cdcl else cdcl)
-            ~qa_reads ~qa_domains ~seed ()
+            ~qa_reads:qa.Job.reads ~qa_domains:qa.Job.domains
+            ~backend:(Anneal.Backend.of_spec qa.Job.backend)
+            ~supervisor:qa.Job.supervision ~seed ()
         in
         stats_of_report
-          (Hyqsat.Hybrid_solver.solve ~config ~max_iterations ~should_stop ~obs
-             ~parent f));
+          (Hyqsat.Solve.run ~max_iterations ~should_stop ~obs ~parent
+             (Hyqsat.Solve.Hybrid config) f));
   }
 
 let classic_member ~name ~base ~seed ~log_proof =
@@ -69,8 +75,8 @@ let classic_member ~name ~base ~seed ~log_proof =
         let config = Cdcl.Config.with_seed seed base in
         let config = if log_proof then Cdcl.Config.with_proof_logging config else config in
         stats_of_report
-          (Hyqsat.Hybrid_solver.solve_classic ~config ~max_iterations ~should_stop
-             ~obs ~parent f));
+          (Hyqsat.Solve.run ~max_iterations ~should_stop ~obs ~parent
+             (Hyqsat.Solve.Classic config) f));
   }
 
 let walksat_member ~seed =
@@ -94,19 +100,20 @@ let walksat_member ~seed =
           result;
           iterations = st.Cdcl.Walksat.flips;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
   }
 
-let make_member ?(grid = 16) ?(log_proof = false) ?(qa_reads = 1) ?(qa_domains = 1)
-    ~seed = function
+let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ~seed = function
   | "hybrid" ->
       hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
-        ~log_proof ~qa_reads ~qa_domains
+        ~log_proof ~qa
   | "hybrid-noisy" ->
       hybrid_member ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config ~grid
-        ~seed:(seed + 1) ~log_proof ~qa_reads ~qa_domains
+        ~seed:(seed + 1) ~log_proof ~qa
   | "minisat" ->
       classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2) ~log_proof
   | "kissat" ->
@@ -114,11 +121,24 @@ let make_member ?(grid = 16) ?(log_proof = false) ?(qa_reads = 1) ?(qa_domains =
   | "walksat" -> walksat_member ~seed:(seed + 4)
   | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
 
-let members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed names =
-  List.map (make_member ?grid ?log_proof ?qa_reads ?qa_domains ~seed) names
+let members_named ?grid ?log_proof ?qa ~seed names =
+  List.map (make_member ?grid ?log_proof ?qa ~seed) names
 
-let default_members ?grid ?log_proof ?qa_reads ?qa_domains ~seed () =
-  members_named ?grid ?log_proof ?qa_reads ?qa_domains ~seed member_names
+let default_members ?grid ?log_proof ?qa ~seed () =
+  members_named ?grid ?log_proof ?qa ~seed member_names
+
+(* same base config, same seed, one member per backend flavor: the race is
+   across devices, not across solver randomisations — any flavor winning
+   yields the same answer, so this measures device speed under faults *)
+let backend_race_members ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ~seed () =
+  List.map
+    (fun flavor ->
+      let backend = { qa.Job.backend with Anneal.Backend.flavor } in
+      hybrid_member
+        ~name:("hybrid:" ^ Anneal.Backend.flavor_label flavor)
+        ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed ~log_proof
+        ~qa:{ qa with Job.backend })
+    [ `Incremental; `Reference; `Best_of ]
 
 let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown _ -> false
 
@@ -166,6 +186,8 @@ let race ?(deadline = Deadline.none) ?(max_iterations = max_int)
             result = Cdcl.Solver.Unknown Sat.Answer.Budget;
             iterations = 0;
             qa_calls = 0;
+            qa_failures = 0;
+            qa_degraded = 0;
             strategy_uses = Array.make 4 0;
             proof = None;
           }

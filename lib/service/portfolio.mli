@@ -11,6 +11,8 @@ type solve_stats = {
   result : Cdcl.Solver.result;  (** = {!Sat.Answer.t} (shared constructors) *)
   iterations : int;
   qa_calls : int;
+  qa_failures : int;  (** failed supervised QA attempts, incl. fast-fails *)
+  qa_degraded : int;  (** warm-up iterations degraded to pure CDCL *)
   strategy_uses : int array;  (** length 4; zeros for classical members *)
   proof : Sat.Drat.t option;
       (** DRAT derivation, present when the member ran with proof logging
@@ -52,19 +54,29 @@ val member_names : string list
     "walksat"]. *)
 
 val default_members :
-  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> seed:int -> unit -> member list
+  ?grid:int -> ?log_proof:bool -> ?qa:Job.qa_policy -> seed:int -> unit -> member list
 (** All stock members, solver RNGs derived from [seed].  [grid] sizes the
     simulated Chimera topology for the hybrid members (default 16 =
     D-Wave 2000Q).  [log_proof] (default [false]) makes the CDCL-backed
     members record DRAT derivations so Unsat answers are checkable.
-    [qa_reads]/[qa_domains] (defaults 1/1) run the hybrid members'
-    annealer in best-of-k multi-sample mode, fanned over that many
-    domains — mind the domain product with the pool and race layers. *)
+    [qa] (default {!Job.default_qa}) is the annealer policy of the hybrid
+    members: backend + faults, supervision, and best-of-k reads fanned
+    over that many domains — mind the domain product with the pool and
+    race layers. *)
 
 val members_named :
-  ?grid:int -> ?log_proof:bool -> ?qa_reads:int -> ?qa_domains:int -> seed:int -> string list -> member list
+  ?grid:int -> ?log_proof:bool -> ?qa:Job.qa_policy -> seed:int -> string list -> member list
 (** Subset of the stock portfolio by name.
     @raise Invalid_argument on an unknown name. *)
+
+val backend_race_members :
+  ?grid:int -> ?log_proof:bool -> ?qa:Job.qa_policy -> seed:int -> unit -> member list
+(** One ["hybrid:<flavor>"] member per {!Anneal.Backend.flavor}, all with
+    the {e same} base config and seed — racing the same solve instance
+    across devices rather than across randomisations.  The simulator
+    backends are answer-equivalent for a given seed, so the race measures
+    which device (under [qa.backend.faults] and [qa.supervision]) decides
+    first; the winner's answer is the answer any of them would give. *)
 
 val race :
   ?deadline:Deadline.t ->

@@ -9,6 +9,8 @@ type record = {
   solve_time_s : float;
   iterations : int;
   qa_calls : int;
+  qa_failures : int;
+  degraded : int;
   strategy_uses : int array;
 }
 
@@ -277,6 +279,8 @@ let json_of_record r =
       ("solve_time_s", Num r.solve_time_s);
       ("iterations", Int r.iterations);
       ("qa_calls", Int r.qa_calls);
+      ("qa_failures", Int r.qa_failures);
+      ("degraded", Int r.degraded);
       ("strategy_uses", Arr (Array.to_list (Array.map (fun k -> Int k) r.strategy_uses)));
     ]
 
@@ -296,8 +300,10 @@ let json_of_summary s =
     ]
 
 (* bumped whenever the document shape changes; version 1 documents had no
-   [schema_version] field, so the parser treats absence as 1 *)
-let schema_version = 2
+   [schema_version] field, so the parser treats absence as 1; version 3
+   added the [qa_failures]/[degraded] record fields (absent = 0 on read,
+   so v2 documents still parse) *)
+let schema_version = 3
 
 let to_json_string summary records =
   json_to_string
@@ -339,6 +345,8 @@ let record_of_json j =
     solve_time_s = as_num (field kvs "solve_time_s");
     iterations = as_int (field kvs "iterations");
     qa_calls = as_int (field kvs "qa_calls");
+    qa_failures = (match List.assoc_opt "qa_failures" kvs with Some v -> as_int v | None -> 0);
+    degraded = (match List.assoc_opt "degraded" kvs with Some v -> as_int v | None -> 0);
     strategy_uses = Array.of_list (List.map as_int (as_arr (field kvs "strategy_uses")));
   }
 
@@ -381,11 +389,12 @@ let of_json_string s =
 (* tables *)
 
 let pp_table fmt records =
-  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s@."
-    "id" "job" "outcome" "verified" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa";
+  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s %5s %5s@."
+    "id" "job" "outcome" "verified" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa"
+    "qafail" "degr";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d@."
+      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d %5d %5d@."
         r.job_id
         (if String.length r.job_name > 28 then String.sub r.job_name 0 28 else r.job_name)
         r.outcome
@@ -393,7 +402,7 @@ let pp_table fmt records =
         r.winner r.attempts
         (r.queue_wait_s *. 1000.)
         (r.solve_time_s *. 1000.)
-        r.iterations r.qa_calls)
+        r.iterations r.qa_calls r.qa_failures r.degraded)
     records
 
 let pp_summary fmt s =

@@ -20,7 +20,11 @@ type record = {
   queue_wait_s : float;  (** enqueue → worker pickup *)
   solve_time_s : float;  (** worker pickup → answer, all attempts *)
   iterations : int;  (** winner's CDCL iterations (max over members if none) *)
-  qa_calls : int;  (** winner's annealer calls *)
+  qa_calls : int;  (** winner's successful annealer calls *)
+  qa_failures : int;
+      (** winner's failed supervised QA attempts (incl. breaker fast-fails) *)
+  degraded : int;
+      (** winner's warm-up iterations that fell back to pure CDCL *)
   strategy_uses : int array;  (** length 4, winner's strategy-1..4 uses *)
 }
 
@@ -42,8 +46,9 @@ val summarize : workers:int -> wall_time_s:float -> record list -> summary
 (** {2 JSON} *)
 
 val schema_version : int
-(** Version of the emitted document shape (currently 2).  Version 1
-    documents predate the [schema_version] field. *)
+(** Version of the emitted document shape (currently 3: added
+    [qa_failures]/[degraded], absent = 0 on read).  Version 1 documents
+    predate the [schema_version] field. *)
 
 val to_json_string : summary -> record list -> string
 (** One JSON object

@@ -43,13 +43,14 @@ let sampler_best_of_improves () =
   in
   let ising = SI.build ~n ~h ~couplings ~offset:0. in
   let single =
+    let params = Sampler.make_params ~schedule:Sampler.quick_schedule () in
     Stats.Descriptive.mean
-      (Array.init 20 (fun _ -> SI.energy ising (Sampler.sample ~schedule:Sampler.quick_schedule r ising)))
+      (Array.init 20 (fun _ -> SI.energy ising (Sampler.sample ~params r ising)))
   in
   let best =
+    let params = Sampler.make_params ~schedule:Sampler.quick_schedule ~reads:8 () in
     Stats.Descriptive.mean
-      (Array.init 20 (fun _ ->
-           SI.energy ising (Sampler.sample_best_of ~schedule:Sampler.quick_schedule r ising 8)))
+      (Array.init 20 (fun _ -> SI.energy ising (Sampler.sample ~params r ising)))
   in
   Alcotest.(check bool) "best-of-k at least as good" true (best <= single +. 1e-9)
 
@@ -170,7 +171,8 @@ let sampler_respects_init () =
   let rng = Testutil.rng 19 in
   let spins =
     Sampler.sample
-      ~schedule:{ Sampler.sweeps = 30; beta_min = 2.0; beta_max = 20.0 }
+      ~params:
+        (Sampler.make_params ~schedule:{ Sampler.sweeps = 30; beta_min = 2.0; beta_max = 20.0 } ())
       ~init:[| 1; 1 |] rng ising
   in
   Alcotest.(check bool) "stays aligned" true (spins.(0) = spins.(1))
@@ -206,8 +208,14 @@ let kernel_matches_reference () =
     let ising = random_ising r in
     let schedule = if case mod 2 = 0 then Sampler.default_schedule else Sampler.quick_schedule in
     let seed = 1000 + case in
-    let s_ref = Sampler.sample ~schedule ~kernel:`Reference (Testutil.rng seed) ising in
-    let s_inc = Sampler.sample ~schedule ~kernel:`Incremental (Testutil.rng seed) ising in
+    let s_ref =
+      Sampler.sample ~params:(Sampler.make_params ~schedule ~kernel:`Reference ())
+        (Testutil.rng seed) ising
+    in
+    let s_inc =
+      Sampler.sample ~params:(Sampler.make_params ~schedule ~kernel:`Incremental ())
+        (Testutil.rng seed) ising
+    in
     Alcotest.(check (array int))
       (Printf.sprintf "case %d (n=%d)" case ising.SI.n)
       s_ref s_inc
@@ -239,7 +247,9 @@ let kernel_field_invariant () =
 let best_of_deterministic_across_domains () =
   let ising = random_ising (Testutil.rng 37) in
   let run domains =
-    Sampler.sample_best_of ~schedule:Sampler.quick_schedule ~domains (Testutil.rng 41) ising 8
+    Sampler.sample
+      ~params:(Sampler.make_params ~schedule:Sampler.quick_schedule ~reads:8 ())
+      ~domains (Testutil.rng 41) ising
   in
   let serial = run 1 in
   Alcotest.(check (array int)) "2 domains" serial (run 2);
@@ -258,12 +268,19 @@ let best_of_threads_obs_and_init () =
   (* a zero-sweep schedule returns the init untouched, whichever read wins *)
   let init = Array.init n (fun i -> if i mod 2 = 0 then 1 else -1) in
   let frozen = { Sampler.sweeps = 0; beta_min = 1.0; beta_max = 1.0 } in
-  let spins = Sampler.sample_best_of ~schedule:frozen ~init (Testutil.rng 47) ising 3 in
+  let spins =
+    Sampler.sample
+      ~params:(Sampler.make_params ~schedule:frozen ~reads:3 ())
+      ~init (Testutil.rng 47) ising
+  in
   Alcotest.(check (array int)) "init passes through" init spins;
   (* counters aggregate across reads *)
   let ctx = Obs.Ctx.create () in
   let sched = { Sampler.quick_schedule with Sampler.sweeps = 3 } in
-  ignore (Sampler.sample_best_of ~obs:ctx ~schedule:sched ~domains:2 (Testutil.rng 53) ising 4);
+  ignore
+    (Sampler.sample ~obs:ctx
+       ~params:(Sampler.make_params ~schedule:sched ~reads:4 ())
+       ~domains:2 (Testutil.rng 53) ising);
   Alcotest.(check int) "sweeps = k * schedule" 12 (counter ctx "anneal_sweeps_total");
   Alcotest.(check int) "reads counted" 4 (counter ctx "anneal_reads_total");
   Alcotest.(check bool) "accepted flips counted" true
@@ -272,9 +289,10 @@ let best_of_threads_obs_and_init () =
 
 let best_of_rejects_bad_k () =
   let ising = random_ising (Testutil.rng 59) in
-  Alcotest.(check bool) "k = 0 rejected" true
+  Alcotest.(check bool) "reads = 0 rejected" true
     (try
-       ignore (Sampler.sample_best_of (Testutil.rng 1) ising 0);
+       ignore
+         (Sampler.sample ~params:(Sampler.make_params ~reads:0 ()) (Testutil.rng 1) ising);
        false
      with Invalid_argument _ -> true)
 

@@ -163,6 +163,8 @@ let honest_member model =
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
@@ -206,6 +208,8 @@ let lying_sat_member () =
           Portfolio.result = Cdcl.Solver.Sat (Array.make (Sat.Cnf.num_vars f) false);
           iterations = 1;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
@@ -220,6 +224,8 @@ let lying_unsat_member () =
           Portfolio.result = Cdcl.Solver.Unsat;
           iterations = 1;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
@@ -228,7 +234,7 @@ let lying_unsat_member () =
 let batch_certifies_honest_answers () =
   let f = Workload.Uniform.uf (Testutil.rng 3) 20 in
   let jobs = [ Job.make ~certify:true ~id:0 f ] in
-  let members ~seed = Batch.solo ~log_proof:true "minisat" ~seed in
+  let members = Batch.solo ~log_proof:true "minisat" in
   let _, results = Batch.run ~members jobs in
   match results with
   | [ r ] ->
@@ -239,7 +245,7 @@ let batch_certifies_honest_answers () =
 let batch_certifies_unsat_proof () =
   let f = cnf "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n" in
   let jobs = [ Job.make ~certify:true ~id:0 f ] in
-  let members ~seed = Batch.solo ~log_proof:true "minisat" ~seed in
+  let members = Batch.solo ~log_proof:true "minisat" in
   let _, results = Batch.run ~members jobs in
   match results with
   | [ r ] ->
@@ -254,13 +260,13 @@ let batch_withholds_uncertified_claims () =
     let _, results = Batch.run ~members:members_fn jobs in
     List.hd results
   in
-  let r = run (fun ~seed:_ -> [ lying_sat_member () ]) in
+  let r = run (fun ~spec:_ ~seed:_ -> [ lying_sat_member () ]) in
   Alcotest.(check string) "bogus model withheld" "unknown:cert-failed"
     r.Batch.record.Telemetry.outcome;
   Alcotest.(check bool) "reason recorded" true
     (String.length r.Batch.record.Telemetry.verified >= 6
     && String.sub r.Batch.record.Telemetry.verified 0 6 = "failed");
-  let r = run (fun ~seed:_ -> [ lying_unsat_member () ]) in
+  let r = run (fun ~spec:_ ~seed:_ -> [ lying_unsat_member () ]) in
   Alcotest.(check string) "proofless unsat withheld" "unknown:cert-failed"
     r.Batch.record.Telemetry.outcome
 
@@ -269,7 +275,7 @@ let batch_projects_models_to_original () =
   let original = cnf "p cnf 4 2\n1 2 3 4 0\n-1 -2 0\n" in
   let converted, _map = Sat.Three_sat.convert original in
   let jobs = [ Job.make ~original ~certify:true ~id:0 converted ] in
-  let members ~seed = Batch.solo ~log_proof:true "minisat" ~seed in
+  let members = Batch.solo ~log_proof:true "minisat" in
   let _, results = Batch.run ~members jobs in
   match results with
   | [ { Batch.outcome = Job.Sat m; record; _ } ] ->

@@ -216,7 +216,7 @@ let batch_trace_end_to_end () =
         Service.Job.make ~name:(Printf.sprintf "uf20-%d" i) ~id:i
           (Workload.Uniform.uf rng 20))
   in
-  let members ~seed = Service.Batch.solo "minisat" ~seed in
+  let members = Service.Batch.solo "minisat" in
   let _summary, results = Service.Batch.run ~workers:2 ~obs:ctx ~members jobs in
   Obs.Ctx.close ctx;
   Alcotest.(check int) "both jobs solved" 2 (List.length results);

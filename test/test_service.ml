@@ -20,6 +20,8 @@ let instant_member model =
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
@@ -41,6 +43,8 @@ let spin_member () =
           Portfolio.result = Cdcl.Solver.Unknown Sat.Answer.Budget;
           iterations = !spins;
           qa_calls = 0;
+          qa_failures = 0;
+          qa_degraded = 0;
           strategy_uses = Array.make 4 0;
           proof = None;
         });
@@ -81,7 +85,7 @@ let outcomes_of results =
 
 let batch_is_worker_count_independent () =
   let seeds = List.init 8 (fun i -> 1000 + (17 * i)) in
-  let members ~seed = Batch.solo "minisat" ~seed in
+  let members = Batch.solo "minisat" in
   let _, r1 = Batch.run ~workers:1 ~members (batch_jobs seeds) in
   let _, r3 = Batch.run ~workers:3 ~members (batch_jobs seeds) in
   Alcotest.(check (list string)) "same outcomes at any worker count" (outcomes_of r1)
@@ -108,7 +112,7 @@ let deadline_expiry_returns_unknown () =
      minutes, not the ~50 ms we allow) *)
   let f = planted_cnf 7 10 in
   let jobs = [ Job.make ~timeout_s:0.05 ~retries:3 ~id:0 f ] in
-  let _, results = Batch.run ~members:(fun ~seed:_ -> [ spin_member () ]) jobs in
+  let _, results = Batch.run ~members:(fun ~spec:_ ~seed:_ -> [ spin_member () ]) jobs in
   match results with
   | [ r ] ->
       Alcotest.(check string) "timeout outcome" "unknown:timeout"
@@ -121,7 +125,7 @@ let deadline_expiry_returns_unknown () =
 let budget_exhaustion_returns_unknown () =
   let f = planted_cnf 11 50 in
   let jobs = [ Job.make ~max_iterations:1 ~id:0 f ] in
-  let members ~seed = Batch.solo "minisat" ~seed in
+  let members = Batch.solo "minisat" in
   let _, results = Batch.run ~members jobs in
   match results with
   | [ r ] ->
@@ -188,6 +192,8 @@ let telemetry_json_roundtrip () =
         solve_time_s = 0.12345678901234567;
         iterations = 1234;
         qa_calls = 7;
+        qa_failures = 2;
+        degraded = 1;
         strategy_uses = [| 1; 0; 3; 2 |];
       };
       {
@@ -201,6 +207,8 @@ let telemetry_json_roundtrip () =
         solve_time_s = 3.25;
         iterations = 0;
         qa_calls = 0;
+        qa_failures = 0;
+        degraded = 0;
         strategy_uses = [| 0; 0; 0; 0 |];
       };
     ]
@@ -220,7 +228,7 @@ let telemetry_schema_versioning () =
   let summary = Telemetry.summarize ~workers:1 ~wall_time_s:0.5 [] in
   let doc = Telemetry.to_json_string summary [] in
   (* new documents lead with the version field *)
-  let header = "{\"schema_version\":2," in
+  let header = "{\"schema_version\":3," in
   let hlen = String.length header in
   Alcotest.(check string) "version field first" header (String.sub doc 0 hlen);
   (match Telemetry.of_json_string doc with

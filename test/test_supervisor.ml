@@ -1,0 +1,355 @@
+(* Tests for the pluggable QA backend API (Anneal.Backend) and the
+   fault-tolerant supervisor (Anneal.Supervisor): breaker state machine,
+   retry/backoff determinism, deadline handling, the fault injector's
+   RNG-isolation contract, and end-to-end degradation to pure CDCL. *)
+
+module SI = Anneal.Sparse_ising
+module Sampler = Anneal.Sampler
+module Backend = Anneal.Backend
+module Sup = Anneal.Supervisor
+module Timing = Anneal.Timing
+module Job = Service.Job
+module Batch = Service.Batch
+module Portfolio = Service.Portfolio
+module Telemetry = Service.Telemetry
+
+let fcheck = Alcotest.(check (float 1e-9))
+
+let small_ising () =
+  let n = 6 in
+  let h = Array.make n 0.5 in
+  let couplings = List.init (n - 1) (fun i -> ((i, i + 1), -1.0)) in
+  SI.build ~n ~h ~couplings ~offset:0.
+
+(* a random spin glass, matching what the machine layer actually sends *)
+let glass_ising r =
+  let n = 20 + Stats.Rng.int r 20 in
+  let h = Array.init n (fun _ -> Stats.Rng.gaussian r ~mu:0. ~sigma:1.) in
+  let couplings =
+    List.init (n - 1) (fun i -> ((i, i + 1), Stats.Rng.gaussian r ~mu:0. ~sigma:1.))
+  in
+  SI.build ~n ~h ~couplings ~offset:0.
+
+let request ?(params = Sampler.default_params) ?(domains = 1) ising =
+  { Backend.ising; params; init = None; domains; timing = Timing.d_wave_2000q }
+
+let ok_response (req : Backend.request) =
+  let spins = Array.make req.Backend.ising.SI.n (-1) in
+  {
+    Backend.spins;
+    energy = SI.energy req.Backend.ising spins;
+    time_us = Backend.model_time_us req;
+  }
+
+(* a device scripted from a step list; [after] is what it does once the
+   script is spent *)
+let scripted ?(after = `Ok) script =
+  let remaining = ref script in
+  Backend.of_fn ~name:"scripted" (fun ?obs:_ _rng req ->
+      let step =
+        match !remaining with
+        | [] -> after
+        | s :: rest ->
+            remaining := rest;
+            s
+      in
+      match step with `Ok -> Ok (ok_response req) | `Fail f -> Error f)
+
+(* ------------------------------------------------------------------ *)
+(* supervisor state machine *)
+
+let retry_exhaustion_returns_last_failure () =
+  let backend = scripted ~after:(`Fail Backend.Readout_corrupt) [] in
+  let policy = Sup.make_policy ~retries:2 ~breaker_threshold:100 () in
+  let sup = Sup.create ~policy backend in
+  match Sup.sample sup (Testutil.rng 1) (request (small_ising ())) with
+  | Error Backend.Readout_corrupt ->
+      let s = Sup.stats sup in
+      Alcotest.(check int) "one call" 1 s.Sup.calls;
+      Alcotest.(check int) "retries+1 attempts" 3 s.Sup.attempts;
+      Alcotest.(check int) "all retries used" 2 s.Sup.retries;
+      Alcotest.(check int) "every attempt failed" 3 s.Sup.failures;
+      Alcotest.(check int) "no successes" 0 s.Sup.successes
+  | Ok _ -> Alcotest.fail "a permanently failing device cannot succeed"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Backend.failure_label f)
+
+let transient_failure_recovers_with_deterministic_backoff () =
+  let run seed =
+    let backend = scripted [ `Fail Backend.Unavailable; `Fail Backend.Chain_break_storm ] in
+    let sup = Sup.create ~seed ~policy:(Sup.make_policy ~retries:2 ()) backend in
+    match Sup.sample sup (Testutil.rng 3) (request (small_ising ())) with
+    | Ok r -> (r, Sup.stats sup)
+    | Error f -> Alcotest.failf "expected recovery, got %s" (Backend.failure_label f)
+  in
+  let r1, s1 = run 11 in
+  let r2, _ = run 11 in
+  let r3, _ = run 12 in
+  let clean = Backend.model_time_us (request (small_ising ())) in
+  Alcotest.(check int) "two retries" 2 s1.Sup.retries;
+  Alcotest.(check int) "one success" 1 s1.Sup.successes;
+  Alcotest.(check bool) "failed attempts and backoff are charged" true
+    (r1.Backend.time_us > clean +. 1e-9);
+  fcheck "same jitter seed, same modelled time" r1.Backend.time_us r2.Backend.time_us;
+  Alcotest.(check bool) "different jitter seed, different wait" true
+    (abs_float (r3.Backend.time_us -. r1.Backend.time_us) > 1e-9)
+
+let deadline_mid_read_times_out () =
+  (* the scripted device always answers, but its modelled 138 us exceeds the
+     50 us budget: the read is discarded as a timeout, never returned *)
+  let backend = scripted [] in
+  let policy = Sup.make_policy ~timeout_us:50.0 ~retries:1 () in
+  let sup = Sup.create ~policy backend in
+  match Sup.sample sup (Testutil.rng 1) (request (small_ising ())) with
+  | Error Backend.Timeout ->
+      let s = Sup.stats sup in
+      Alcotest.(check int) "both attempts made" 2 s.Sup.attempts;
+      Alcotest.(check int) "both charged as failures" 2 s.Sup.failures
+  | Ok _ -> Alcotest.fail "a read past the deadline must not be returned"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Backend.failure_label f)
+
+let breaker_lifecycle () =
+  let failing = ref true in
+  let backend =
+    Backend.of_fn ~name:"flaky" (fun ?obs:_ _rng req ->
+        if !failing then Error Backend.Unavailable else Ok (ok_response req))
+  in
+  let policy =
+    Sup.make_policy ~retries:0 ~breaker_threshold:2 ~breaker_cooldown:2 ~half_open_probes:1 ()
+  in
+  let sup = Sup.create ~policy backend in
+  let req = request (small_ising ()) in
+  let call () = Sup.sample sup (Testutil.rng 1) req in
+  (match call () with
+  | Error Backend.Unavailable -> ()
+  | _ -> Alcotest.fail "first failure expected");
+  Alcotest.(check bool) "still closed after one failure" true (Sup.state sup = `Closed);
+  (match call () with
+  | Error Backend.Unavailable -> ()
+  | _ -> Alcotest.fail "second failure expected");
+  Alcotest.(check bool) "threshold reached: open" true (Sup.state sup = `Open);
+  (* while open the device is not touched: the call fast-fails *)
+  (match call () with
+  | Error Backend.Breaker_open -> ()
+  | _ -> Alcotest.fail "open breaker must fast-fail");
+  Alcotest.(check int) "fast-fail counted" 1 (Sup.stats sup).Sup.fast_fails;
+  Alcotest.(check int) "fast-fail never reached the device" 2 (Sup.stats sup).Sup.attempts;
+  (* cooldown spent: next call is admitted as the half-open probe *)
+  failing := false;
+  (match call () with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "probe should succeed, got %s" (Backend.failure_label f));
+  Alcotest.(check bool) "good probe closes the breaker" true (Sup.state sup = `Closed);
+  Alcotest.(check int) "closed -> open -> half_open -> closed" 3 (Sup.stats sup).Sup.transitions;
+  (* and a closed breaker admits calls again *)
+  match call () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "closed breaker must admit calls"
+
+let probe_failure_reopens_breaker () =
+  let backend = scripted ~after:(`Fail Backend.Unavailable) [] in
+  let policy =
+    Sup.make_policy ~retries:0 ~breaker_threshold:1 ~breaker_cooldown:1 ~half_open_probes:1 ()
+  in
+  let sup = Sup.create ~policy backend in
+  let req = request (small_ising ()) in
+  ignore (Sup.sample sup (Testutil.rng 1) req);
+  Alcotest.(check bool) "open after threshold 1" true (Sup.state sup = `Open);
+  (* cooldown of 1: this very call is the probe — and it fails *)
+  ignore (Sup.sample sup (Testutil.rng 1) req);
+  Alcotest.(check bool) "failed probe reopens" true (Sup.state sup = `Open)
+
+let supervisor_metrics_exported () =
+  let obs = Obs.Ctx.create () in
+  let backend = scripted ~after:(`Fail Backend.Unavailable) [] in
+  let policy =
+    Sup.make_policy ~retries:0 ~breaker_threshold:1 ~breaker_cooldown:1 ~half_open_probes:1 ()
+  in
+  let sup = Sup.create ~obs ~policy backend in
+  let req = request (small_ising ()) in
+  ignore (Sup.sample sup (Testutil.rng 1) req);
+  ignore (Sup.sample sup (Testutil.rng 1) req);
+  let snap = Obs.Ctx.snapshot obs in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Ctx.Counter { count }) -> int_of_float count
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "calls counted" 2 (counter "qa_backend_calls_total");
+  Alcotest.(check int) "failures labelled by reason" 2
+    (counter "qa_failures_total{reason=\"unavailable\"}");
+  Alcotest.(check int) "transitions to open" 2
+    (counter "qa_breaker_transitions_total{to=\"open\"}");
+  Alcotest.(check int) "transitions to half_open" 1
+    (counter "qa_breaker_transitions_total{to=\"half_open\"}");
+  (match List.assoc_opt "qa_breaker_state" snap with
+  | Some (Obs.Ctx.Gauge { value }) -> fcheck "gauge shows open" 1.0 value
+  | _ -> Alcotest.fail "missing qa_breaker_state gauge");
+  Obs.Ctx.close obs
+
+(* ------------------------------------------------------------------ *)
+(* fault injector & backend equivalence (the Noise draw-order contract:
+   a zero-rate injector and a zero-rate noise model draw nothing, so
+   wrapping is bit-identical) *)
+
+let zero_rate_wrapper_and_flavors_agree () =
+  let ising = glass_ising (Testutil.rng 67) in
+  let params =
+    Sampler.make_params ~schedule:Sampler.quick_schedule ~noise:Anneal.Noise.default_2000q
+      ~reads:3 ()
+  in
+  let req = request ~params ~domains:2 ising in
+  let run backend seed =
+    match Backend.sample backend (Testutil.rng seed) req with
+    | Ok r -> r.Backend.spins
+    | Error f -> Alcotest.failf "simulator failed: %s" (Backend.failure_label f)
+  in
+  let base = run Backend.best_of 73 in
+  Alcotest.(check (array int)) "zero-rate fault wrapper is bit-identical" base
+    (run (Backend.with_faults Backend.default_faults Backend.best_of) 73);
+  Alcotest.(check (array int)) "incremental backend agrees" base (run Backend.incremental 73);
+  Alcotest.(check (array int)) "reference backend agrees" base (run Backend.reference 73)
+
+let failed_attempts_consume_no_caller_rng () =
+  (* the injector draws from its own stream, so a supervised call over a
+     faulty device must return exactly what the clean device returns for
+     the same caller seed — retries are exact reruns *)
+  let ising = glass_ising (Testutil.rng 61) in
+  let params = Sampler.make_params ~schedule:Sampler.quick_schedule ~reads:2 () in
+  let req = request ~params ising in
+  let faulty =
+    Backend.with_faults
+      { Backend.fail_rate = 0.5; latency_us = 0.; fault_seed = 5; mix = Backend.default_mix }
+      Backend.best_of
+  in
+  let policy = Sup.make_policy ~retries:20 ~breaker_threshold:1000 () in
+  let sup = Sup.create ~policy faulty in
+  for i = 0 to 9 do
+    let seed = 71 + i in
+    let clean =
+      match Backend.sample Backend.best_of (Testutil.rng seed) req with
+      | Ok r -> r
+      | Error _ -> Alcotest.fail "clean simulator cannot fail"
+    in
+    match Sup.sample sup (Testutil.rng seed) req with
+    | Ok r ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "call %d: supervised spins equal clean spins" i)
+          clean.Backend.spins r.Backend.spins
+    | Error f -> Alcotest.failf "retries exhausted at call %d: %s" i (Backend.failure_label f)
+  done;
+  Alcotest.(check bool) "the injector actually fired" true ((Sup.stats sup).Sup.failures > 0)
+
+let injected_latency_is_charged () =
+  let ising = small_ising () in
+  let req = request ising in
+  let clean = Backend.model_time_us req in
+  let slow =
+    Backend.with_faults
+      { Backend.fail_rate = 0.; latency_us = 500.; fault_seed = 2; mix = Backend.default_mix }
+      Backend.best_of
+  in
+  match Backend.sample slow (Testutil.rng 3) req with
+  | Ok r -> Alcotest.(check bool) "latency added to time_us" true (r.Backend.time_us > clean)
+  | Error _ -> Alcotest.fail "zero fail rate cannot fail"
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end degradation *)
+
+let full_fault_hybrid_equals_classic () =
+  let f = Workload.Uniform.uf (Testutil.rng 91) 30 in
+  let faults =
+    { Backend.fail_rate = 1.0; latency_us = 0.; fault_seed = 3; mix = Backend.default_mix }
+  in
+  let config =
+    Hyqsat.Hybrid_solver.make_config
+      ~backend:(Backend.of_spec { Backend.flavor = `Best_of; faults })
+      ()
+  in
+  Alcotest.(check string) "mode labels" "hybrid"
+    (Hyqsat.Solve.mode_label (Hyqsat.Solve.Hybrid config));
+  let hybrid = Hyqsat.Solve.run (Hyqsat.Solve.Hybrid config) f in
+  let classic = Hyqsat.Solve.run (Hyqsat.Solve.Classic config.Hyqsat.Hybrid_solver.cdcl) f in
+  Alcotest.(check int) "identical iteration count" classic.Hyqsat.Hybrid_solver.iterations
+    hybrid.Hyqsat.Hybrid_solver.iterations;
+  (match (hybrid.Hyqsat.Hybrid_solver.result, classic.Hyqsat.Hybrid_solver.result) with
+  | Cdcl.Solver.Sat a, Cdcl.Solver.Sat b ->
+      Alcotest.(check bool) "identical model" true (a = b);
+      Alcotest.(check bool) "model satisfies the formula" true (Testutil.check_model f a)
+  | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "fully-degraded hybrid must answer exactly like classic");
+  Alcotest.(check int) "no successful QA call" 0 hybrid.Hyqsat.Hybrid_solver.qa_calls;
+  Alcotest.(check bool) "degradation recorded" true (hybrid.Hyqsat.Hybrid_solver.qa_degraded > 0);
+  Alcotest.(check bool) "failures recorded" true (hybrid.Hyqsat.Hybrid_solver.qa_failures > 0);
+  Alcotest.(check int) "classic reports zero degradation" 0
+    classic.Hyqsat.Hybrid_solver.qa_degraded
+
+let backend_race_members_find_valid_answer () =
+  let f = Workload.Uniform.uf (Testutil.rng 93) 30 in
+  let members = Portfolio.backend_race_members ~seed:7 () in
+  Alcotest.(check (list string)) "one member per device flavor"
+    [ "hybrid:incremental"; "hybrid:reference"; "hybrid:best-of" ]
+    (List.map (fun m -> m.Portfolio.name) members);
+  let report = Portfolio.race members f in
+  match report.Portfolio.winner with
+  | Some w -> (
+      match w.Portfolio.stats.Portfolio.result with
+      | Cdcl.Solver.Sat m ->
+          Alcotest.(check bool) "winning model satisfies" true (Testutil.check_model f m)
+      | _ -> Alcotest.fail "planted instance must be SAT")
+  | None -> Alcotest.fail "backend race found no answer"
+
+let faulty_certified_batch_stays_sound () =
+  let rng = Testutil.rng 97 in
+  let faults = { Backend.default_faults with Backend.fail_rate = 0.3; fault_seed = 5 } in
+  let qa = { Job.default_qa with Job.backend = { Backend.default_spec with Backend.faults } } in
+  let jobs =
+    List.init 6 (fun i ->
+        Job.make
+          ~name:(Printf.sprintf "uf30-%d" i)
+          ~certify:true ~qa
+          ~seed:(1 + (211 * i))
+          ~id:i (Workload.Uniform.uf rng 30))
+  in
+  let members = Batch.solo ~log_proof:true "hybrid" in
+  let summary, results = Batch.run ~workers:2 ~members jobs in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        ("answer certified: " ^ r.Batch.record.Telemetry.job_name)
+        true
+        (r.Batch.record.Telemetry.outcome <> "unknown:cert-failed"))
+    results;
+  Alcotest.(check int) "faults never turn decidable jobs unknown" 0
+    summary.Telemetry.unknown;
+  let failures =
+    List.fold_left (fun acc r -> acc + r.Batch.record.Telemetry.qa_failures) 0 results
+  in
+  Alcotest.(check bool) "the injector actually fired" true (failures > 0)
+
+let suite =
+  [
+    ( "anneal.supervisor",
+      [
+        Alcotest.test_case "retry exhaustion" `Quick retry_exhaustion_returns_last_failure;
+        Alcotest.test_case "transient recovery, deterministic backoff" `Quick
+          transient_failure_recovers_with_deterministic_backoff;
+        Alcotest.test_case "deadline mid-read" `Quick deadline_mid_read_times_out;
+        Alcotest.test_case "breaker lifecycle" `Quick breaker_lifecycle;
+        Alcotest.test_case "failed probe reopens" `Quick probe_failure_reopens_breaker;
+        Alcotest.test_case "metrics exported" `Quick supervisor_metrics_exported;
+      ] );
+    ( "anneal.backend",
+      [
+        Alcotest.test_case "zero-rate wrapper & flavors agree" `Quick
+          zero_rate_wrapper_and_flavors_agree;
+        Alcotest.test_case "failures consume no caller RNG" `Quick
+          failed_attempts_consume_no_caller_rng;
+        Alcotest.test_case "injected latency charged" `Quick injected_latency_is_charged;
+      ] );
+    ( "anneal.degradation",
+      [
+        Alcotest.test_case "100% faults = classic" `Quick full_fault_hybrid_equals_classic;
+        Alcotest.test_case "backend race members" `Quick backend_race_members_find_valid_answer;
+        Alcotest.test_case "30% faults, certified batch" `Quick faulty_certified_batch_stays_sound;
+      ] );
+  ]
