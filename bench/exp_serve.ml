@@ -1,0 +1,129 @@
+(* Daemon throughput benchmark (no paper analogue): solve the same uf30
+   batch once in-process through Service.Batch and once over the wire
+   through a live `hyqsat serve` daemon on a Unix socket, and report the
+   protocol + scheduling overhead per job.  Writes BENCH_serve.json.
+
+   The gate is correctness, not speed: the wire run must return exactly
+   the outcomes the in-process run returned (the daemon feeds the same
+   Batch.process pipeline, so any divergence is a bug), and every job
+   must be answered. *)
+
+let instances (ctx : Bench_util.ctx) count =
+  let rng = Bench_util.rng_of ctx 91 in
+  List.init count (fun i ->
+      (Printf.sprintf "uf30-%02d" i, Workload.Uniform.uf rng 30, ctx.seed + (101 * i)))
+
+let json_out ~count ~direct_wall ~wire_wall ~outcomes =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" count);
+  Buffer.add_string b (Printf.sprintf "  \"direct_wall_s\": %.6f,\n" direct_wall);
+  Buffer.add_string b
+    (Printf.sprintf "  \"direct_jobs_per_s\": %.3f,\n" (float_of_int count /. direct_wall));
+  Buffer.add_string b (Printf.sprintf "  \"wire_wall_s\": %.6f,\n" wire_wall);
+  Buffer.add_string b
+    (Printf.sprintf "  \"wire_jobs_per_s\": %.3f,\n" (float_of_int count /. wire_wall));
+  Buffer.add_string b
+    (Printf.sprintf "  \"overhead_ms_per_job\": %.3f,\n"
+       (1000. *. (wire_wall -. direct_wall) /. float_of_int count));
+  Buffer.add_string b
+    (Printf.sprintf "  \"outcomes\": [%s]\n"
+       (String.concat ", " (List.map (fun o -> Printf.sprintf "\"%s\"" o) outcomes)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let run (ctx : Bench_util.ctx) =
+  Bench_util.header "Daemon wire-protocol throughput"
+    "no paper analogue; hyqsat serve overhead vs in-process batch on uf30";
+  let count = match ctx.scale with `Paper -> 30 | `Small -> 10 in
+  let jobs = instances ctx count in
+
+  (* in-process reference: the exact pipeline the daemon dispatches to *)
+  let specs =
+    List.mapi
+      (fun i (name, f, seed) -> ignore i; Service.Job.make ~name ~seed ~id:i f)
+      jobs
+  in
+  let members ~spec ~seed = Service.Batch.solo "hybrid" ~spec ~seed in
+  let (_, direct_results), direct_wall =
+    Bench_util.wall (fun () -> Service.Batch.run ~members specs)
+  in
+  let direct_outcomes =
+    List.map (fun r -> r.Service.Batch.record.Service.Telemetry.outcome) direct_results
+  in
+
+  (* wire run: daemon on a Unix socket, blocking client *)
+  let socket = Filename.temp_file "hyqsat-bench" ".sock" in
+  Sys.remove socket;
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        ignore
+          (Server.Daemon.run ~stop
+             ~on_ready:(fun _ -> Atomic.set ready true)
+             {
+               Server.Daemon.default_config with
+               Server.Daemon.unix_socket = Some socket;
+               dispatch =
+                 {
+                   Server.Dispatch.default_config with
+                   Server.Dispatch.workers = 1;
+                   queue_capacity = count + 2;
+                   per_client = count + 2;
+                   seed = ctx.seed;
+                 };
+             }))
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  let wire_outcomes = Array.make count "" in
+  let (), wire_wall =
+    Bench_util.wall (fun () ->
+        let t = Server.Client.connect_unix socket in
+        Server.Client.handshake ~client:"bench-serve" t;
+        List.iteri
+          (fun i (name, f, seed) ->
+            Server.Client.send t
+              (Server.Protocol.Submit
+                 (Server.Protocol.make_job_spec ~name ~seed ~id:i
+                    (Sat.Dimacs.to_string f))))
+          jobs;
+        let outstanding = ref count in
+        while !outstanding > 0 do
+          match Server.Client.recv ~timeout_s:300. t with
+          | Server.Protocol.Result { id; record; _ } ->
+              wire_outcomes.(id) <- record.Service.Telemetry.outcome;
+              decr outstanding
+          | Server.Protocol.Rejected { id; code; reason; _ } ->
+              failwith (Printf.sprintf "bench serve: job %d rejected (%s): %s" id code reason)
+          | _ -> ()
+        done;
+        Server.Client.send t Server.Protocol.Bye;
+        Server.Client.close t)
+  in
+  Atomic.set stop true;
+  Thread.join daemon;
+
+  Printf.printf "%8s %12s %12s %16s\n" "jobs" "direct(s)" "wire(s)" "overhead/job";
+  Bench_util.hr ();
+  Printf.printf "%8d %12.3f %12.3f %13.2f ms\n\n" count direct_wall wire_wall
+    (1000. *. (wire_wall -. direct_wall) /. float_of_int count);
+
+  let wire_outcomes = Array.to_list wire_outcomes in
+  let json = json_out ~count ~direct_wall ~wire_wall ~outcomes:wire_outcomes in
+  let oc = open_out "BENCH_serve.json" in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc json);
+  Printf.printf "wrote BENCH_serve.json\n";
+  if wire_outcomes <> direct_outcomes then begin
+    Printf.eprintf
+      "bench serve: ANSWER MISMATCH — wire outcomes differ from the in-process batch\n";
+    List.iteri
+      (fun i (d, w) -> if d <> w then Printf.eprintf "  job %d: direct=%s wire=%s\n" i d w)
+      (List.combine direct_outcomes wire_outcomes);
+    exit 1
+  end;
+  Printf.printf "wire outcomes match the in-process batch (%d jobs)\n" count

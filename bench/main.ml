@@ -21,6 +21,7 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("batch", Exp_batch.run);
     ("anneal", Exp_anneal.run);
+    ("serve", Exp_serve.run);
   ]
 
 let run_selected names scale seed problems trace fault_rate =

@@ -126,7 +126,22 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
       ctx
     end
   in
-  let summary, results = Service.Batch.run ~workers:jobs ~obs ~members specs in
+  (* graceful drain on SIGINT/SIGTERM: stop accepting retries, cancel
+     in-flight solves cooperatively, and still flush telemetry/trace —
+     a second signal exits immediately *)
+  let stop = Server.Drain.install_stop_handlers () in
+  let summary, results =
+    Service.Batch.run ~workers:jobs ~obs ~cancel:(fun () -> Atomic.get stop) ~members specs
+  in
+  if Atomic.get stop then begin
+    let cancelled =
+      List.length
+        (List.filter
+           (fun r -> r.Service.Batch.outcome = Service.Job.Unknown Service.Job.Cancelled)
+           results)
+    in
+    Printf.eprintf "hyqsat: interrupted — %d job(s) cancelled, telemetry flushed\n%!" cancelled
+  end;
   (* flush spans (and the trace file) before printing; metrics go to stdout
      as comment lines so the "s"/"v" output stays machine-parseable *)
   let metric_snapshot = Obs.Ctx.snapshot obs in
@@ -316,14 +331,271 @@ let qa_retries_arg =
           "Extra attempts after a failed QA call (deterministic exponential backoff with \
            jitter) before the warm-up iteration degrades to pure CDCL.")
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived daemon *)
+
+let serve_main socket port metrics_port workers queue_capacity per_client grace solver grid
+    seed trace_file json_out =
+  if socket = None && port = None then begin
+    Printf.eprintf "hyqsat serve: need --socket PATH and/or --port P\n";
+    exit 2
+  end;
+  (* a live obs context always: the /metrics endpoint and jobs_total
+     counters depend on it, trace file or not *)
+  let obs = Obs.Ctx.create () in
+  Option.iter (fun path -> Obs.Ctx.attach obs (Obs.Export.file_jsonl path)) trace_file;
+  let stop = Server.Drain.install_stop_handlers () in
+  let config =
+    {
+      Server.Daemon.unix_socket = socket;
+      tcp_port = port;
+      metrics_port;
+      dispatch =
+        {
+          Server.Dispatch.workers;
+          queue_capacity;
+          per_client;
+          grace_s = grace;
+          solver;
+          grid;
+          seed;
+        };
+      max_frame = Server.Codec.default_max_frame;
+      events_backlog_bytes = 256 * 1024;
+    }
+  in
+  let report =
+    Server.Daemon.run ~obs ~stop
+      ~on_ready:(fun r ->
+        Option.iter
+          (Printf.printf "c listening on unix socket %s\n%!")
+          r.Server.Daemon.r_unix_socket;
+        Option.iter (Printf.printf "c listening on tcp 127.0.0.1:%d\n%!") r.Server.Daemon.r_tcp_port;
+        Option.iter
+          (Printf.printf "c metrics on http://127.0.0.1:%d/metrics\n%!")
+          r.Server.Daemon.r_metrics_port)
+      config
+  in
+  Obs.Ctx.close obs;
+  if json_out then print_endline (Server.Drain.to_json_string report)
+  else print_endline (Format.asprintf "c %a" Server.Drain.pp report);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* submit: the thin client *)
+
+let submit_main paths socket port certify timeout retries max_iterations seed priority events
+    json_out verbose =
+  if paths = [] then begin
+    Printf.eprintf "hyqsat submit: no input files\n";
+    exit 2
+  end;
+  let t =
+    match (socket, port) with
+    | Some s, _ -> Server.Client.connect_unix s
+    | None, Some p -> Server.Client.connect_tcp ~port:p
+    | None, None ->
+        Printf.eprintf "hyqsat submit: need --socket PATH or --port P\n";
+        exit 2
+  in
+  let exit_err msg =
+    Printf.eprintf "hyqsat submit: %s\n" msg;
+    Server.Client.close t;
+    exit 2
+  in
+  (try Server.Client.handshake ~client:"hyqsat-submit" t
+   with Server.Client.Protocol_error m -> exit_err m);
+  if events then Server.Client.send t (Server.Protocol.Subscribe { events = true });
+  List.iteri
+    (fun i path ->
+      let dimacs = In_channel.with_open_bin path In_channel.input_all in
+      (* same per-file seed derivation as the one-shot solver, so a daemon
+         answer is reproducible against `hyqsat FILE --seed S` *)
+      let spec =
+        Server.Protocol.make_job_spec ~name:path ~certify ?timeout_s:timeout ~max_iterations
+          ~retries ~seed:(seed + (101 * i)) ~priority ~id:i dimacs
+      in
+      Server.Client.send t (Server.Protocol.Submit spec))
+    paths;
+  let n = List.length paths in
+  let results = Array.make n None in
+  let outstanding = ref n in
+  (try
+     while !outstanding > 0 do
+       match Server.Client.recv t with
+       | Server.Protocol.Result { id; record; model } when id >= 0 && id < n ->
+           results.(id) <- Some (record, model);
+           decr outstanding
+       | Server.Protocol.Rejected { id; code; reason; retry_after_s } ->
+           Printf.eprintf "hyqsat submit: %s rejected (%s): %s%s\n%!"
+             (try List.nth paths id with _ -> string_of_int id)
+             code reason
+             (match retry_after_s with
+             | Some s -> Printf.sprintf " (retry after %.1fs)" s
+             | None -> "");
+           decr outstanding
+       | Server.Protocol.Event { job; name; dur_s; attrs } ->
+           if events then
+             Printf.printf "c event%s %s %.4fs%s\n%!"
+               (match job with Some j -> Printf.sprintf " [job %d]" j | None -> "")
+               name dur_s
+               (String.concat ""
+                  (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) attrs))
+       | Server.Protocol.Drained _ -> outstanding := 0
+       | Server.Protocol.Error_msg { code; reason } ->
+           Printf.eprintf "hyqsat submit: server error (%s): %s\n%!" code reason
+       | Server.Protocol.Accepted _ | Server.Protocol.Welcome _ | Server.Protocol.Pong _ -> ()
+       | Server.Protocol.Result _ -> ()
+     done;
+     Server.Client.send t Server.Protocol.Bye
+   with Server.Client.Protocol_error m -> exit_err m);
+  Server.Client.close t;
+  let collected = Array.to_list results |> List.filter_map (fun x -> x) in
+  let records = List.map fst collected in
+  if json_out then
+    print_endline
+      (Service.Telemetry.to_json_string
+         (Service.Telemetry.summarize ~workers:0 ~wall_time_s:0. records)
+         records)
+  else begin
+    let single = n = 1 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some ((record : Service.Telemetry.record), model) ->
+            if not single then
+              Printf.printf "c ---- %s (%s)\n" record.Service.Telemetry.job_name
+                record.Service.Telemetry.outcome;
+            print_certification record;
+            let label = record.Service.Telemetry.outcome in
+            if label = "sat" then begin
+              print_endline "s SATISFIABLE";
+              match model with Some m when single -> print_model m | _ -> ()
+            end
+            else if label = "unsat" then print_endline "s UNSATISFIABLE"
+            else print_endline "s UNKNOWN")
+      results;
+    if verbose then
+      print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_table records)
+  end;
+  let outcome_of (record : Service.Telemetry.record) =
+    match record.Service.Telemetry.outcome with
+    | "sat" -> Service.Job.Sat [||]
+    | "unsat" -> Service.Job.Unsat
+    | _ -> Service.Job.Unknown Service.Job.Budget
+  in
+  if List.length collected < n then 0 (* a rejected/unanswered job is an unknown *)
+  else exit_code_of_outcomes (List.map outcome_of records)
+
+(* ------------------------------------------------------------------ *)
+(* command plumbing *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the daemon listens on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"P" ~doc:"Loopback TCP port for the wire protocol (0 = ephemeral).")
+
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"P"
+        ~doc:"Loopback HTTP port serving $(b,/metrics) (Prometheus text) and $(b,/healthz).")
+
+let queue_capacity_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:
+          "Admission queue bound; a submit beyond it is rejected with $(b,queue_full) and a \
+           retry-after hint.")
+
+let per_client_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "per-client" ] ~docv:"N" ~doc:"Max jobs one client may have in flight at once.")
+
+let grace_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "grace" ] ~docv:"SECS"
+        ~doc:
+          "Drain grace period: how long running jobs get after SIGTERM/SIGINT before being \
+           cancelled cooperatively.")
+
+let serve_solver_arg =
+  let names =
+    List.map (fun n -> (n, n)) Service.Portfolio.member_names @ [ ("portfolio", "portfolio") ]
+  in
+  Arg.(
+    value
+    & opt (enum names) "hybrid"
+    & info [ "s"; "solver" ] ~docv:"KIND"
+        ~doc:"Solver members run per job: one of the portfolio members, or $(b,portfolio) to \
+              race them all.")
+
+let priority_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "priority" ] ~docv:"N"
+        ~doc:"Admission priority (higher runs sooner; FIFO within a priority).")
+
+let events_arg =
+  Arg.(
+    value & flag
+    & info [ "events" ] ~doc:"Subscribe to progress events and print them as comment lines.")
+
+let serve_cmd =
+  let doc = "run the persistent solver daemon" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_main $ socket_arg $ port_arg $ metrics_port_arg $ jobs_arg
+      $ queue_capacity_arg $ per_client_arg $ grace_arg $ serve_solver_arg $ grid_arg
+      $ seed_arg $ trace_arg $ json_arg)
+
+let submit_cmd =
+  let doc = "submit DIMACS instances to a running daemon" in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const submit_main $ paths_arg $ socket_arg $ port_arg $ certify_arg $ timeout_arg
+      $ retries_arg $ max_iterations_arg $ seed_arg $ priority_arg $ events_arg $ json_arg
+      $ verbose_arg)
+
+let solve_term =
+  Term.(
+    const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
+    $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
+    $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg
+    $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg $ qa_retries_arg)
+
+let solve_cmd =
+  let doc = "solve DIMACS instances in-process (the default command)" in
+  Cmd.v (Cmd.info "solve" ~doc) solve_term
+
 let cmd =
   let doc = "hybrid quantum-annealer + CDCL 3-SAT solver (HyQSAT, HPCA'23)" in
-  Cmd.v
-    (Cmd.info "hyqsat" ~doc)
-    Term.(
-      const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
-      $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-      $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg
-      $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg $ qa_retries_arg)
+  Cmd.group ~default:solve_term (Cmd.info "hyqsat" ~doc) [ solve_cmd; serve_cmd; submit_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* keep `hyqsat FILE...` working: a first argument that is not a known
+   sub-command (or an option) is a CNF path for the default solve command,
+   not a command name for Cmd.group to trip over *)
+let argv =
+  let av = Sys.argv in
+  if Array.length av > 1 then
+    match av.(1) with
+    | "solve" | "serve" | "submit" -> av
+    | s when String.length s > 0 && s.[0] <> '-' ->
+        Array.append [| av.(0); "solve" |] (Array.sub av 1 (Array.length av - 1))
+    | _ -> av
+  else av
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -71,6 +71,11 @@ type t = {
   policy : policy;
   obs : Obs.Ctx.t;
   rng : Stats.Rng.t;  (* private: backoff jitter only *)
+  mutex : Mutex.t;
+      (* serialises [sample]: a supervisor shared across solver domains
+         (the server dispatcher's per-pool instance) models one shared
+         rate-limited device, so calls queue rather than race the breaker
+         state.  Per-solve supervisors never contend on it. *)
   mutable breaker : breaker;
   mutable stats : stats;
 }
@@ -82,6 +87,7 @@ let create ?(obs = Obs.Ctx.null) ?(policy = default_policy) ?(seed = 0) backend 
       policy;
       obs;
       rng = Stats.Rng.create ~seed;
+      mutex = Mutex.create ();
       breaker = Closed 0;
       stats = zero_stats;
     }
@@ -149,6 +155,8 @@ let count_failure t reason =
    modelled time: time only advances on calls, so a wall-clock cooldown
    would deadlock a deterministic replay. *)
 let sample t rng (req : Backend.request) =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
   t.stats <- { t.stats with calls = t.stats.calls + 1 };
   Obs.Metrics.incr t.obs "qa_backend_calls_total";
   let fast_fail () =

@@ -76,7 +76,10 @@ val state : t -> state
 val stats : t -> stats
 
 val sample : t -> Stats.Rng.t -> Backend.request -> (Backend.response, Backend.failure) result
-(** One supervised call.  While the breaker is open the backend is not
+(** One supervised call.  Calls are serialised on an internal mutex, so a
+    single supervisor may be shared by concurrent solver domains — it then
+    models one shared, rate-limited device whose circuit breaker protects
+    every job going through it (the server dispatcher does exactly this).  While the breaker is open the backend is not
     touched and the call fast-fails with [Breaker_open].  A response whose
     modelled time exceeds [timeout_us] is discarded as [Timeout] (deadline
     hit mid-read) and charged the full deadline.  On success, [time_us]

@@ -103,7 +103,7 @@ let strategy_name = function
   | Backend.S3_none -> "s3"
   | Backend.S4_reach_conflict -> "s4"
 
-let solve ?(config = default_config) ?(max_iterations = max_int)
+let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
     ?(should_stop = fun () -> false) ?(obs = Obs.Ctx.null)
     ?(parent = Obs.Span.none) f =
   let traced = not (Obs.Ctx.is_null obs) in
@@ -119,12 +119,19 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     else Obs.Span.none
   in
   let rng = Stats.Rng.create ~seed:config.seed in
-  (* one supervisor per solve: breaker state is an instance property, and
-     the jitter seed is derived from the solve seed so runs replay exactly *)
+  (* default: one supervisor per solve — breaker state is an instance
+     property and the jitter seed derives from the solve seed, so runs
+     replay exactly.  A caller-supplied supervisor is shared across solves
+     (the server's per-pool device): breaker state then carries over and
+     [qa_failures] is reported as this solve's delta. *)
   let supervisor =
-    Anneal.Supervisor.create ~obs ~policy:config.supervision ~seed:(config.seed + 77)
-      config.backend
+    match supervisor with
+    | Some s -> s
+    | None ->
+        Anneal.Supervisor.create ~obs ~policy:config.supervision ~seed:(config.seed + 77)
+          config.backend
   in
+  let failures_at_start = (Anneal.Supervisor.stats supervisor).Anneal.Supervisor.failures in
   (* pre-register so the export shows an explicit 0 when nothing degrades *)
   Obs.Metrics.incr ~by:0.0 obs "qa_degraded_total";
   let embed_cache = Frontend.create_cache config.graph in
@@ -279,7 +286,8 @@ let solve ?(config = default_config) ?(max_iterations = max_int)
     iterations = !iter;
     warmup_iterations = min warmup !iter;
     qa_calls = !qa_calls;
-    qa_failures = (Anneal.Supervisor.stats supervisor).Anneal.Supervisor.failures;
+    qa_failures =
+      (Anneal.Supervisor.stats supervisor).Anneal.Supervisor.failures - failures_at_start;
     qa_degraded = !qa_degraded;
     qa_time_us = !qa_time_us;
     frontend_time_s = !frontend_time;

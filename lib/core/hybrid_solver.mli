@@ -102,13 +102,22 @@ val estimate_iterations : Sat.Cnf.t -> int
 
 val solve :
   ?config:config ->
+  ?supervisor:Anneal.Supervisor.t ->
   ?max_iterations:int ->
   ?should_stop:(unit -> bool) ->
   ?obs:Obs.Ctx.t ->
   ?parent:Obs.Span.t ->
   Sat.Cnf.t ->
   report
-(** [should_stop] is a cooperative-cancellation callback polled between
+(** [supervisor] overrides the per-solve supervisor built from
+    [config.backend]/[config.supervision]: pass a shared instance to put
+    every solve behind {e one} circuit-broken device (the server
+    dispatcher's deployment shape — see {!Anneal.Supervisor.sample} on
+    domain-safety).  The report's [qa_failures] is then this solve's delta
+    of the shared failure count, which can over-attribute under concurrent
+    interleaving; exact when solves are serial.
+
+    [should_stop] is a cooperative-cancellation callback polled between
     iterations (every 128 steps); when it returns [true] the search stops
     and the report carries [Unknown Cancelled].  It must be cheap and safe
     to call from the solving domain — the service layer passes an

@@ -5,8 +5,9 @@ let classic ?config () = Classic (Option.value ~default:Cdcl.Config.minisat_like
 
 let mode_label = function Hybrid _ -> "hybrid" | Classic _ -> "classic"
 
-let run ?max_iterations ?should_stop ?obs ?parent mode f =
+let run ?supervisor ?max_iterations ?should_stop ?obs ?parent mode f =
   match mode with
-  | Hybrid config -> Hybrid_solver.solve ~config ?max_iterations ?should_stop ?obs ?parent f
+  | Hybrid config ->
+      Hybrid_solver.solve ~config ?supervisor ?max_iterations ?should_stop ?obs ?parent f
   | Classic config ->
       Hybrid_solver.solve_classic ~config ?max_iterations ?should_stop ?obs ?parent f

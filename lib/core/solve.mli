@@ -25,6 +25,7 @@ val mode_label : mode -> string
 (** ["hybrid"] or ["classic"] — stable, used in member names and specs. *)
 
 val run :
+  ?supervisor:Anneal.Supervisor.t ->
   ?max_iterations:int ->
   ?should_stop:(unit -> bool) ->
   ?obs:Obs.Ctx.t ->
@@ -33,6 +34,8 @@ val run :
   Sat.Cnf.t ->
   Hybrid_solver.report
 (** Solve [f] in the given mode.  All optional arguments behave exactly as
-    documented on {!Hybrid_solver.solve}; classic solves report zero QA
-    activity.  Both modes produce the one {!Hybrid_solver.report} type, so
-    callers never branch on the mode to read results. *)
+    documented on {!Hybrid_solver.solve} ([supervisor] shares one
+    circuit-broken device across solves; classic solves ignore it); classic
+    solves report zero QA activity.  Both modes produce the one
+    {!Hybrid_solver.report} type, so callers never branch on the mode to
+    read results. *)

@@ -34,6 +34,8 @@ type t = {
   next_span : int Atomic.t;
   metrics : (string, metric) Hashtbl.t;
   mutable sinks : sink list;
+  mutable listeners : (int * (span_record -> unit)) list;
+  next_listener : int Atomic.t;
   mutable closed : bool;
 }
 
@@ -47,6 +49,8 @@ let null =
     next_span = Atomic.make 1;
     metrics = Hashtbl.create 1;
     sinks = [];
+    listeners = [];
+    next_listener = Atomic.make 1;
     closed = true;
   }
 
@@ -63,6 +67,8 @@ let create ?(clock = Unix.gettimeofday) () =
     next_span = Atomic.make 1;
     metrics = Hashtbl.create 64;
     sinks = [];
+    listeners = [];
+    next_listener = Atomic.make 1;
     closed = false;
   }
 
@@ -86,7 +92,25 @@ let next_span_id t = Atomic.fetch_and_add t.next_span 1
 let emit_span t r =
   if not (is_null t) then
     with_lock t (fun () ->
-        if not t.closed then List.iter (fun s -> s.on_span r) t.sinks)
+        if not t.closed then begin
+          List.iter (fun s -> s.on_span r) t.sinks;
+          (* live listeners may come and go (server clients subscribe per
+             connection) and must never poison instrumented code *)
+          List.iter (fun (_, f) -> try f r with _ -> ()) t.listeners
+        end)
+
+let subscribe t f =
+  if is_null t then 0
+  else
+    with_lock t (fun () ->
+        let token = Atomic.fetch_and_add t.next_listener 1 in
+        t.listeners <- t.listeners @ [ (token, f) ];
+        token)
+
+let unsubscribe t token =
+  if not (is_null t) then
+    with_lock t (fun () ->
+        t.listeners <- List.filter (fun (id, _) -> id <> token) t.listeners)
 
 (* 1-2-5 series across decades 1e-6 .. 1e8: covers sub-microsecond
    durations up to hours, and small-integer sizes up to 1e8. *)

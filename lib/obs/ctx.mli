@@ -62,6 +62,17 @@ val create : ?clock:(unit -> float) -> unit -> t
 val attach : t -> sink -> unit
 (** Add an exporter.  No-op on {!null}. *)
 
+val subscribe : t -> (span_record -> unit) -> int
+(** Register a live span listener and return its token.  Unlike a
+    {!sink}, a listener can be removed again ({!unsubscribe}) — the
+    server uses one per event-streaming client.  Listeners run under the
+    context mutex as each span stops (keep them cheap: push to a queue,
+    don't do I/O); exceptions they raise are swallowed.  On {!null} this
+    is a no-op returning [0]. *)
+
+val unsubscribe : t -> int -> unit
+(** Remove a listener by token.  Unknown tokens are ignored. *)
+
 val close : t -> unit
 (** Snapshot the metrics, deliver them to every sink, then run the sinks'
     [on_close].  Idempotent; spans stopped after [close] are dropped. *)

@@ -192,6 +192,29 @@ let split_labels name =
 
 let prometheus_string ms =
   let buf = Buffer.create 1024 in
+  (* Group samples into metric families (base name before any inline
+     labels), then sort families by name and label sets within each
+     family.  The rendering is byte-stable whatever order the snapshot
+     arrives in, and a family's samples are never interleaved with
+     another's — raw name sorting would put "foo_bar" between "foo" and
+     "foo{...}" ('_' < '{'), splitting the foo family around it. *)
+  let families : (string, (string * Ctx.metric) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (name, m) ->
+      let base, labels = split_labels name in
+      match Hashtbl.find_opt families base with
+      | Some l -> l := (labels, m) :: !l
+      | None -> Hashtbl.replace families base (ref [ (labels, m) ]))
+    ms;
+  let sorted =
+    Hashtbl.fold
+      (fun base l acc ->
+        (base, List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !l)) :: acc)
+      families []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   let typed = Hashtbl.create 16 in
   let type_line base kind =
     if not (Hashtbl.mem typed base) then begin
@@ -205,10 +228,8 @@ let prometheus_string ms =
     | [] -> base
     | _ -> base ^ "{" ^ String.concat "," all ^ "}"
   in
-  List.iter
-    (fun (name, m) ->
-      let base, labels = split_labels name in
-      match (m : Ctx.metric) with
+  let render base (labels, m) =
+    match (m : Ctx.metric) with
       | Ctx.Counter c ->
           type_line base "counter";
           Buffer.add_string buf
@@ -241,8 +262,9 @@ let prometheus_string ms =
           Buffer.add_string buf
             (Printf.sprintf "%s %d\n"
                (with_labels (base ^ "_count") labels "")
-               h.observations))
-    ms;
+               h.observations)
+  in
+  List.iter (fun (base, samples) -> List.iter (render base) samples) sorted;
   Buffer.contents buf
 
 let prometheus oc =

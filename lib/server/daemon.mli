@@ -1,0 +1,52 @@
+(** The [hyqsat serve] event loop: accept framed-JSON clients on a Unix
+    and/or loopback TCP socket, admit jobs through {!Dispatch}, stream
+    progress events, expose Prometheus metrics over HTTP, and drain
+    gracefully when told to stop.
+
+    Single-threaded [Unix.select] loop; solver work happens in the
+    dispatcher's worker domains, which wake the loop through a self-pipe
+    when a job retires.  Progress streaming taps the {!Obs.Ctx} span
+    stream: clients that sent [Subscribe {events = true}] receive an
+    {!Protocol.server_msg.Event} per ["job"]/["attempt"]/["race"]/
+    ["member"] span, dropped (and counted in [events_dropped_total])
+    rather than buffered beyond [events_backlog_bytes] of unsent output.
+
+    Shutdown contract: when [stop] flips (SIGTERM/SIGINT in the CLI),
+    the daemon closes its listeners, rejects queued jobs as
+    [unknown:cancelled] exactly once, gives running jobs
+    [dispatch.grace_s] seconds before cancelling them cooperatively,
+    sends every client a final [Drained] message, flushes telemetry, and
+    returns the {!Drain.report}. *)
+
+type config = {
+  unix_socket : string option;  (** path; replaced if it already exists *)
+  tcp_port : int option;  (** loopback only; [Some 0] = ephemeral *)
+  metrics_port : int option;  (** loopback HTTP [/metrics]; [Some 0] = ephemeral *)
+  dispatch : Dispatch.config;
+  max_frame : int;  (** per-connection decoder limit *)
+  events_backlog_bytes : int;
+      (** per-subscriber unsent-output bound before events are dropped *)
+}
+
+val default_config : config
+(** No listeners configured (callers must set at least one),
+    {!Dispatch.default_config}, {!Codec.default_max_frame}, 256 KiB
+    event backlog. *)
+
+type ready = {
+  r_unix_socket : string option;
+  r_tcp_port : int option;  (** actual port, resolved when asked for 0 *)
+  r_metrics_port : int option;
+}
+
+val run :
+  ?obs:Obs.Ctx.t ->
+  ?stop:bool Atomic.t ->
+  ?on_ready:(ready -> unit) ->
+  config ->
+  Drain.report
+(** Serve until [stop] is true (checked continuously; default: a flag
+    nobody sets), then drain and return the report.  [on_ready] fires
+    once every listener is bound — tests use it to learn ephemeral
+    ports and to order client connects after the bind.
+    @raise Invalid_argument if no listener is configured. *)

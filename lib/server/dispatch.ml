@@ -1,0 +1,318 @@
+module Job = Service.Job
+module Batch = Service.Batch
+module Portfolio = Service.Portfolio
+module Telemetry = Service.Telemetry
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  per_client : int;
+  grace_s : float;
+  solver : string;
+  grid : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    workers = 1;
+    queue_capacity = 64;
+    per_client = 16;
+    grace_s = 2.0;
+    solver = "hybrid";
+    grid = 16;
+    seed = 42;
+  }
+
+type verdict =
+  | Accepted of { position : int; queued : int }
+  | Rejected of { code : string; reason : string; retry_after_s : float option }
+
+type completion = {
+  client : string;
+  conn : int;
+  job_id : int;
+  result : Batch.job_result;
+  error : string option;
+}
+
+type counters = {
+  accepted : int;
+  completed : int;
+  cancelled_queued : int;
+  cancelled_running : int;
+}
+
+type entry = { e_client : string; e_conn : int; e_job_id : int; spec : Job.spec; enqueued_at : float }
+
+type t = {
+  config : config;
+  obs : Obs.Ctx.t;
+  supervisor : Anneal.Supervisor.t;
+  pool : (entry, unit) Parallel.Pool.t;
+  queue : entry Jobq.t;
+  quota : Quota.t;
+  cancel : bool Atomic.t;
+  (* worker domains append here; everything else is event-loop-only *)
+  comp_mutex : Mutex.t;
+  mutable comp_queue : completion list;  (* newest first; reversed on take *)
+  mutable drained : completion list;  (* drain-cancelled queue entries, event-loop only *)
+  mutable running : int;
+  mutable draining : bool;
+  mutable counters : counters;
+}
+
+let synthesized_result (spec : Job.spec) outcome ~queue_wait_s =
+  let record =
+    {
+      Telemetry.job_id = spec.Job.id;
+      job_name = spec.Job.name;
+      outcome = Job.outcome_label outcome;
+      verified = "";
+      winner = "";
+      attempts = 0;
+      queue_wait_s;
+      solve_time_s = 0.;
+      iterations = 0;
+      qa_calls = 0;
+      qa_failures = 0;
+      degraded = 0;
+      strategy_uses = Array.make 4 0;
+    }
+  in
+  {
+    Batch.spec;
+    outcome;
+    record;
+    race = { Portfolio.winner = None; members = []; wall_time_s = 0. };
+  }
+
+let create ?(obs = Obs.Ctx.null) ?(on_complete = fun () -> ()) config =
+  let qa = Job.default_qa in
+  let supervisor =
+    Anneal.Supervisor.create ~obs ~policy:qa.Job.supervision ~seed:(config.seed + 77)
+      (Anneal.Backend.of_spec qa.Job.backend)
+  in
+  let traced = not (Obs.Ctx.is_null obs) in
+  let comp_mutex = Mutex.create () in
+  let rec t =
+    lazy
+      {
+        config;
+        obs;
+        supervisor;
+        pool =
+          Parallel.Pool.create ~workers:config.workers (fun ~worker entry ->
+              let d = Lazy.force t in
+              let members ~spec ~seed =
+                let log_proof = spec.Job.certify in
+                if config.solver = "portfolio" then
+                  Portfolio.default_members ~grid:config.grid ~log_proof ~qa:spec.Job.qa
+                    ~supervisor ~seed ()
+                else
+                  Batch.solo ~grid:config.grid ~log_proof ~supervisor config.solver ~spec
+                    ~seed
+              in
+              let jspan =
+                if traced then
+                  Obs.Span.start obs
+                    ~attrs:
+                      [
+                        ("id", string_of_int entry.spec.Job.id);
+                        ("name", entry.spec.Job.name);
+                        ("worker", string_of_int worker);
+                        ("client", entry.e_client);
+                      ]
+                    "job"
+                else Obs.Span.none
+              in
+              let cancel () = Atomic.get d.cancel in
+              let result, error =
+                match
+                  Batch.process ~cancel ~members ~obs ~parent:jspan entry.spec
+                    ~enqueued_at:entry.enqueued_at ()
+                with
+                | r -> (r, None)
+                | exception e ->
+                    ( synthesized_result entry.spec (Job.Unknown Job.Budget)
+                        ~queue_wait_s:(Unix.gettimeofday () -. entry.enqueued_at),
+                      Some (Printexc.to_string e) )
+              in
+              if traced then begin
+                Obs.Span.add_attr jspan "outcome" (Job.outcome_label result.Batch.outcome);
+                Obs.Span.stop jspan;
+                Obs.Metrics.incr obs
+                  (Obs.Metrics.labelled "jobs_total"
+                     [ ("outcome", Job.outcome_label result.Batch.outcome) ])
+              end;
+              let completion =
+                {
+                  client = entry.e_client;
+                  conn = entry.e_conn;
+                  job_id = entry.e_job_id;
+                  result;
+                  error;
+                }
+              in
+              Mutex.lock comp_mutex;
+              d.comp_queue <- completion :: d.comp_queue;
+              Mutex.unlock comp_mutex;
+              on_complete ());
+        queue = Jobq.create ~capacity:config.queue_capacity;
+        quota = Quota.create ~limit:config.per_client;
+        cancel = Atomic.make false;
+        comp_mutex;
+        comp_queue = [];
+        drained = [];
+        running = 0;
+        draining = false;
+        counters = { accepted = 0; completed = 0; cancelled_queued = 0; cancelled_running = 0 };
+      }
+  in
+  Lazy.force t
+
+let queued t = Jobq.length t.queue
+let running t = t.running
+let counters t = t.counters
+let draining t = t.draining
+
+let pump t =
+  let rec go () =
+    if t.running < t.config.workers then
+      match Jobq.pop t.queue with
+      | Some entry ->
+          t.running <- t.running + 1;
+          Parallel.Pool.submit t.pool entry;
+          go ()
+      | None -> ()
+  in
+  go ()
+
+(* a fresh slot opens roughly when one of the queued-ahead jobs finishes;
+   with no better signal, suggest one queue-drain's worth of patience *)
+let retry_hint t = Float.max 0.1 (0.5 *. float_of_int (1 + Jobq.length t.queue))
+
+let submit t ~client ~conn (js : Protocol.job_spec) =
+  if t.draining then
+    Rejected { code = "draining"; reason = "server is shutting down"; retry_after_s = None }
+  else
+    match Sat.Dimacs.parse_string js.Protocol.dimacs with
+    | exception e ->
+        Rejected
+          {
+            code = "parse";
+            reason = Printf.sprintf "DIMACS: %s" (Printexc.to_string e);
+            retry_after_s = None;
+          }
+    | formula ->
+        let formula, original =
+          if Sat.Cnf.is_3sat formula then (formula, None)
+          else
+            let g, _map = Sat.Three_sat.convert formula in
+            (g, Some formula)
+        in
+        let seed =
+          match js.Protocol.seed with
+          | Some s -> s
+          | None -> t.config.seed + (101 * js.Protocol.id)
+        in
+        let spec =
+          Job.make ~name:js.Protocol.name ?original ~certify:js.Protocol.certify
+            ?timeout_s:js.Protocol.timeout_s ~max_iterations:js.Protocol.max_iterations
+            ~retries:(max 0 js.Protocol.retries) ~seed ~id:js.Protocol.id formula
+        in
+        if not (Quota.admit t.quota client) then
+          Rejected
+            {
+              code = "quota";
+              reason =
+                Printf.sprintf "client %S already has %d job(s) in flight" client
+                  (Quota.load t.quota client);
+              retry_after_s = None;
+            }
+        else begin
+          let entry =
+            {
+              e_client = client;
+              e_conn = conn;
+              e_job_id = js.Protocol.id;
+              spec;
+              enqueued_at = Unix.gettimeofday ();
+            }
+          in
+          match Jobq.push t.queue ~priority:js.Protocol.priority entry with
+          | `Full ->
+              Quota.release t.quota client;
+              Rejected
+                {
+                  code = "queue_full";
+                  reason =
+                    Printf.sprintf "admission queue at capacity (%d)" (Jobq.capacity t.queue);
+                  retry_after_s = Some (retry_hint t);
+                }
+          | `Ok position ->
+              t.counters <- { t.counters with accepted = t.counters.accepted + 1 };
+              let queued = Jobq.length t.queue in
+              pump t;
+              Accepted { position; queued }
+        end
+
+let record_retirement t (c : completion) ~was_running =
+  Quota.release t.quota c.client;
+  let cs = t.counters in
+  t.counters <-
+    (match c.result.Batch.outcome with
+    | Job.Unknown Job.Cancelled when was_running ->
+        { cs with cancelled_running = cs.cancelled_running + 1 }
+    | Job.Unknown Job.Cancelled -> { cs with cancelled_queued = cs.cancelled_queued + 1 }
+    | _ -> { cs with completed = cs.completed + 1 })
+
+let take_completions t =
+  let dropped = List.rev t.drained in
+  t.drained <- [];
+  Mutex.lock t.comp_mutex;
+  let batch = List.rev t.comp_queue in
+  t.comp_queue <- [];
+  Mutex.unlock t.comp_mutex;
+  List.iter
+    (fun c ->
+      t.running <- t.running - 1;
+      record_retirement t c ~was_running:true)
+    batch;
+  pump t;
+  dropped @ batch
+
+let idle t =
+  Jobq.is_empty t.queue && t.running = 0 && t.drained = []
+  &&
+  (Mutex.lock t.comp_mutex;
+   let empty = t.comp_queue = [] in
+   Mutex.unlock t.comp_mutex;
+   empty)
+
+let begin_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    let now = Unix.gettimeofday () in
+    let dropped = Jobq.clear t.queue in
+    List.iter
+      (fun entry ->
+        let c =
+          {
+            client = entry.e_client;
+            conn = entry.e_conn;
+            job_id = entry.e_job_id;
+            result =
+              synthesized_result entry.spec (Job.Unknown Job.Cancelled)
+                ~queue_wait_s:(now -. entry.enqueued_at);
+            error = None;
+          }
+        in
+        record_retirement t c ~was_running:false;
+        t.drained <- c :: t.drained)
+      dropped
+  end
+
+let cancel_running t = Atomic.set t.cancel true
+
+let shutdown t = ignore (Parallel.Pool.drain t.pool)

@@ -1,0 +1,37 @@
+module T = Service.Telemetry
+
+type report = {
+  accepted : int;
+  completed : int;
+  cancelled_queued : int;
+  cancelled_running : int;
+  wall_s : float;
+}
+
+let cancelled r = r.cancelled_queued + r.cancelled_running
+
+let pp ppf r =
+  Format.fprintf ppf "drained: %d accepted, %d completed, %d cancelled (%d queued, %d running) in %.2fs"
+    r.accepted r.completed (cancelled r) r.cancelled_queued r.cancelled_running r.wall_s
+
+let to_json_string r =
+  T.json_to_string
+    (T.Obj
+       [
+         ("schema_version", T.Int T.schema_version);
+         ("kind", T.Str "drain_report");
+         ("accepted", T.Int r.accepted);
+         ("completed", T.Int r.completed);
+         ("cancelled_queued", T.Int r.cancelled_queued);
+         ("cancelled_running", T.Int r.cancelled_running);
+         ("wall_s", T.Num r.wall_s);
+       ])
+
+let install_stop_handlers ?signals () =
+  let signals = match signals with Some s -> s | None -> [ Sys.sigterm; Sys.sigint ] in
+  let stop = Atomic.make false in
+  let handler _ =
+    if Atomic.exchange stop true then exit 130 (* second signal: give up on grace *)
+  in
+  List.iter (fun s -> Sys.set_signal s (Sys.Signal_handle handler)) signals;
+  stop

@@ -1,0 +1,46 @@
+(* Map keyed by (negated priority, admission sequence): Map's ascending
+   order then yields highest priority first and FIFO within a priority.
+   Size is bounded and small (the admission queue, not the workload), so
+   log-time Map operations are plenty. *)
+
+module Key = struct
+  type t = int * int (* -priority, seq *)
+
+  let compare = compare
+end
+
+module M = Map.Make (Key)
+
+type 'a t = { capacity : int; mutable seq : int; mutable entries : 'a M.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobq.create: capacity must be >= 1";
+  { capacity; seq = 0; entries = M.empty }
+
+let capacity t = t.capacity
+let length t = M.cardinal t.entries
+let is_empty t = M.is_empty t.entries
+
+let push t ~priority v =
+  if length t >= t.capacity then `Full
+  else begin
+    let key = (-priority, t.seq) in
+    t.seq <- t.seq + 1;
+    t.entries <- M.add key v t.entries;
+    (* rank = entries strictly before it, plus one *)
+    let pos = ref 1 in
+    M.iter (fun k _ -> if Key.compare k key < 0 then incr pos) t.entries;
+    `Ok !pos
+  end
+
+let pop t =
+  match M.min_binding_opt t.entries with
+  | None -> None
+  | Some (k, v) ->
+      t.entries <- M.remove k t.entries;
+      Some v
+
+let clear t =
+  let xs = List.map snd (M.bindings t.entries) in
+  t.entries <- M.empty;
+  xs

@@ -1,0 +1,30 @@
+(** Bounded admission queue: priority order across entries, FIFO within a
+    priority, hard capacity.
+
+    This is the backpressure point of the daemon — {!push} answers
+    [`Full] instead of growing without bound, and the dispatcher turns
+    that into a ["queue_full"] rejection with a retry hint.  Entries are
+    opaque to the queue except for their priority; the dispatcher stores
+    (connection, job spec) pairs.
+
+    Not thread-safe: the queue lives on the event-loop thread. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:int -> 'a -> [ `Ok of int | `Full ]
+(** Admit an entry.  [`Ok position] gives its 1-based rank in pop order
+    at admission time (1 = next to run); [`Full] admits nothing. *)
+
+val pop : 'a t -> 'a option
+(** Highest priority first; oldest first within a priority. *)
+
+val clear : 'a t -> 'a list
+(** Remove and return every entry in pop order — the drain path uses
+    this to reject queued jobs exactly once. *)

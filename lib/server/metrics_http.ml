@@ -1,0 +1,39 @@
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let request_complete req = contains_sub req "\r\n\r\n" || contains_sub req "\n\n"
+
+let respond ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let text = "text/plain; charset=utf-8"
+
+let response ~metrics request =
+  (* request line: METHOD SP PATH SP VERSION; tolerate bare "METHOD PATH" *)
+  let line =
+    match String.index_opt request '\r' with
+    | Some i -> String.sub request 0 i
+    | None -> ( match String.index_opt request '\n' with
+      | Some i -> String.sub request 0 i
+      | None -> request)
+  in
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ -> (
+      let path = match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      match (meth, path) with
+      | "GET", "/metrics" ->
+          respond ~status:"200 OK" ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (metrics ())
+      | "GET", "/healthz" -> respond ~status:"200 OK" ~content_type:text "ok\n"
+      | "GET", _ -> respond ~status:"404 Not Found" ~content_type:text "not found\n"
+      | _, ("/metrics" | "/healthz") ->
+          respond ~status:"405 Method Not Allowed" ~content_type:text "method not allowed\n"
+      | _ -> respond ~status:"404 Not Found" ~content_type:text "not found\n")
+  | _ -> respond ~status:"400 Bad Request" ~content_type:text "bad request\n"

@@ -1,0 +1,19 @@
+(** Minimal HTTP/1.0 responder for the scrape endpoint.
+
+    Just enough HTTP for [curl] and a Prometheus scraper: parse the
+    request line out of whatever bytes arrived, answer [GET /metrics]
+    with the deterministic text exposition of the live {!Obs.Ctx}
+    snapshot, [GET /healthz] with [ok], anything else with 404/405/400.
+    Every response carries [Connection: close] — the daemon writes it
+    and closes, no keep-alive state. *)
+
+val response :
+  metrics:(unit -> string) -> string -> string
+(** [response ~metrics request] renders the full HTTP response (status
+    line, headers, body) for the raw [request] bytes.  [metrics] is
+    called only for [GET /metrics] — pass a closure over
+    [Obs.Export.prometheus_string (Obs.Ctx.snapshot obs)]. *)
+
+val request_complete : string -> bool
+(** Heuristic for "stop reading, respond now": the bytes contain the
+    end-of-headers blank line (GET requests have no body). *)

@@ -1,0 +1,233 @@
+module T = Service.Telemetry
+
+let proto_version = 1
+let server_name = "hyqsat-serve/1"
+
+type job_spec = {
+  id : int;
+  name : string;
+  dimacs : string;
+  certify : bool;
+  timeout_s : float option;
+  max_iterations : int;
+  retries : int;
+  seed : int option;
+  priority : int;
+}
+
+let make_job_spec ?name ?(certify = false) ?timeout_s ?(max_iterations = max_int) ?(retries = 0)
+    ?seed ?(priority = 0) ~id dimacs =
+  {
+    id;
+    name = (match name with Some n -> n | None -> Printf.sprintf "job-%d" id);
+    dimacs;
+    certify;
+    timeout_s;
+    max_iterations;
+    retries;
+    seed;
+    priority;
+  }
+
+type client_msg =
+  | Hello of { client : string; proto : int }
+  | Submit of job_spec
+  | Subscribe of { events : bool }
+  | Ping of int
+  | Bye
+
+type server_msg =
+  | Welcome of { server : string; proto : int; schema : int }
+  | Accepted of { id : int; position : int; queued : int }
+  | Rejected of { id : int; code : string; reason : string; retry_after_s : float option }
+  | Result of { id : int; record : T.record; model : bool array option }
+  | Event of { job : int option; name : string; dur_s : float; attrs : (string * string) list }
+  | Pong of int
+  | Drained of { accepted : int; completed : int; cancelled : int }
+  | Error_msg of { code : string; reason : string }
+
+(* ------------------------------------------------------------------ *)
+(* encoding.  Field order is fixed: schema_version, kind, then the
+   kind's own fields — stable bytes make frames diffable in tests. *)
+
+let obj kind fields = T.Obj (("schema_version", T.Int T.schema_version) :: ("kind", T.Str kind) :: fields)
+
+(* models travel as a '0'/'1' string: compact, order-preserving, and
+   trivially stable across schema versions *)
+let string_of_model m =
+  String.init (Array.length m) (fun i -> if m.(i) then '1' else '0')
+
+let model_of_string s = Array.init (String.length s) (fun i -> s.[i] = '1')
+
+let opt_num name = function None -> [] | Some x -> [ (name, T.Num x) ]
+let opt_int name = function None -> [] | Some i -> [ (name, T.Int i) ]
+
+let encode_client msg =
+  T.json_to_string
+    (match msg with
+    | Hello { client; proto } ->
+        obj "hello" [ ("client", T.Str client); ("proto", T.Int proto) ]
+    | Submit s ->
+        obj "submit"
+          ([
+             ("id", T.Int s.id);
+             ("name", T.Str s.name);
+             ("dimacs", T.Str s.dimacs);
+             ("certify", T.Bool s.certify);
+           ]
+          @ opt_num "timeout_s" s.timeout_s
+          @ [ ("max_iterations", T.Int s.max_iterations); ("retries", T.Int s.retries) ]
+          @ opt_int "seed" s.seed
+          @ [ ("priority", T.Int s.priority) ])
+    | Subscribe { events } -> obj "subscribe" [ ("events", T.Bool events) ]
+    | Ping n -> obj "ping" [ ("n", T.Int n) ]
+    | Bye -> obj "bye" [])
+
+let encode_server msg =
+  T.json_to_string
+    (match msg with
+    | Welcome { server; proto; schema } ->
+        obj "welcome"
+          [ ("server", T.Str server); ("proto", T.Int proto); ("schema", T.Int schema) ]
+    | Accepted { id; position; queued } ->
+        obj "accepted"
+          [ ("id", T.Int id); ("position", T.Int position); ("queued", T.Int queued) ]
+    | Rejected { id; code; reason; retry_after_s } ->
+        obj "rejected"
+          ([ ("id", T.Int id); ("code", T.Str code); ("reason", T.Str reason) ]
+          @ opt_num "retry_after_s" retry_after_s)
+    | Result { id; record; model } ->
+        obj "result"
+          ([ ("id", T.Int id); ("record", T.json_of_record record) ]
+          @ match model with None -> [] | Some m -> [ ("model", T.Str (string_of_model m)) ])
+    | Event { job; name; dur_s; attrs } ->
+        obj "event"
+          (opt_int "job" job
+          @ [
+              ("name", T.Str name);
+              ("dur_s", T.Num dur_s);
+              ("attrs", T.Obj (List.map (fun (k, v) -> (k, T.Str v)) attrs));
+            ])
+    | Pong n -> obj "pong" [ ("n", T.Int n) ]
+    | Drained { accepted; completed; cancelled } ->
+        obj "drained"
+          [
+            ("accepted", T.Int accepted);
+            ("completed", T.Int completed);
+            ("cancelled", T.Int cancelled);
+          ]
+    | Error_msg { code; reason } ->
+        obj "error" [ ("code", T.Str code); ("reason", T.Str reason) ])
+
+(* ------------------------------------------------------------------ *)
+(* decoding *)
+
+let check_version kvs =
+  (* same policy as Telemetry.of_json_string: absent = v1, anything up to
+     the current version is readable, newer is rejected *)
+  match List.assoc_opt "schema_version" kvs with
+  | None -> ()
+  | Some v ->
+      let v = T.as_int v in
+      if v < 1 || v > T.schema_version then
+        raise
+          (T.Parse_error
+             (Printf.sprintf "unsupported schema_version %d (supported: 1..%d)" v
+                T.schema_version))
+
+let kind_of kvs = T.as_str (T.field kvs "kind")
+
+let opt_field kvs k f = match List.assoc_opt k kvs with Some v -> Some (f v) | None -> None
+let bool_field kvs k =
+  match T.field kvs k with
+  | T.Bool b -> b
+  | _ -> raise (T.Parse_error (Printf.sprintf "field %S: expected bool" k))
+
+let with_doc s f =
+  match T.parse_json s with
+  | exception T.Parse_error m -> Error m
+  | j -> (
+      match
+        let kvs = T.as_obj j in
+        check_version kvs;
+        f kvs
+      with
+      | v -> Ok v
+      | exception T.Parse_error m -> Error m)
+
+let decode_client s =
+  with_doc s (fun kvs ->
+      match kind_of kvs with
+      | "hello" ->
+          Hello { client = T.as_str (T.field kvs "client"); proto = T.as_int (T.field kvs "proto") }
+      | "submit" ->
+          Submit
+            {
+              id = T.as_int (T.field kvs "id");
+              name = T.as_str (T.field kvs "name");
+              dimacs = T.as_str (T.field kvs "dimacs");
+              certify = bool_field kvs "certify";
+              timeout_s = opt_field kvs "timeout_s" T.as_num;
+              max_iterations = T.as_int (T.field kvs "max_iterations");
+              retries = T.as_int (T.field kvs "retries");
+              seed = opt_field kvs "seed" T.as_int;
+              (* added after v1 of the vocabulary: old submitters omit it *)
+              priority = (match opt_field kvs "priority" T.as_int with Some p -> p | None -> 0);
+            }
+      | "subscribe" -> Subscribe { events = bool_field kvs "events" }
+      | "ping" -> Ping (T.as_int (T.field kvs "n"))
+      | "bye" -> Bye
+      | k -> raise (T.Parse_error (Printf.sprintf "unknown client message kind %S" k)))
+
+let decode_server s =
+  with_doc s (fun kvs ->
+      match kind_of kvs with
+      | "welcome" ->
+          Welcome
+            {
+              server = T.as_str (T.field kvs "server");
+              proto = T.as_int (T.field kvs "proto");
+              schema = T.as_int (T.field kvs "schema");
+            }
+      | "accepted" ->
+          Accepted
+            {
+              id = T.as_int (T.field kvs "id");
+              position = T.as_int (T.field kvs "position");
+              queued = T.as_int (T.field kvs "queued");
+            }
+      | "rejected" ->
+          Rejected
+            {
+              id = T.as_int (T.field kvs "id");
+              code = T.as_str (T.field kvs "code");
+              reason = T.as_str (T.field kvs "reason");
+              retry_after_s = opt_field kvs "retry_after_s" T.as_num;
+            }
+      | "result" ->
+          Result
+            {
+              id = T.as_int (T.field kvs "id");
+              record = T.record_of_json (T.field kvs "record");
+              model = opt_field kvs "model" (fun v -> model_of_string (T.as_str v));
+            }
+      | "event" ->
+          Event
+            {
+              job = opt_field kvs "job" T.as_int;
+              name = T.as_str (T.field kvs "name");
+              dur_s = T.as_num (T.field kvs "dur_s");
+              attrs =
+                List.map (fun (k, v) -> (k, T.as_str v)) (T.as_obj (T.field kvs "attrs"));
+            }
+      | "pong" -> Pong (T.as_int (T.field kvs "n"))
+      | "drained" ->
+          Drained
+            {
+              accepted = T.as_int (T.field kvs "accepted");
+              completed = T.as_int (T.field kvs "completed");
+              cancelled = T.as_int (T.field kvs "cancelled");
+            }
+      | "error" ->
+          Error_msg { code = T.as_str (T.field kvs "code"); reason = T.as_str (T.field kvs "reason") }
+      | k -> raise (T.Parse_error (Printf.sprintf "unknown server message kind %S" k)))

@@ -7,8 +7,8 @@ type job_result = {
 
 (* partially applying the name yields the [members ~spec ~seed] closure
    shape [run] expects, with the job's own QA policy picked up per spec *)
-let solo ?grid ?log_proof name ~spec ~seed =
-  Portfolio.members_named ?grid ?log_proof ~qa:spec.Job.qa ~seed [ name ]
+let solo ?grid ?log_proof ?supervisor name ~spec ~seed =
+  Portfolio.members_named ?grid ?log_proof ?supervisor ~qa:spec.Job.qa ~seed [ name ]
 
 (* 3-SAT conversion keeps original variables first, so projecting a model of
    the converted formula is a prefix restriction *)
@@ -40,14 +40,16 @@ let max_member_iterations (race : Portfolio.race_report) =
     (fun acc (m : Portfolio.member_report) -> max acc m.Portfolio.stats.Portfolio.iterations)
     0 race.Portfolio.members
 
-let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
+let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) ~enqueued_at ()
+    =
   let traced = not (Obs.Ctx.is_null obs) in
   let started = Unix.gettimeofday () in
   let queue_wait_s = started -. enqueued_at in
   let deadline = Job.deadline spec in
   (* bounded retry with reseeding: an attempt that ends Unknown (step budget
      exhausted, or an incomplete member giving up) is retried with fresh
-     seeds while attempts and wall-clock remain *)
+     seeds while attempts and wall-clock remain — and the external [cancel]
+     switch (drain, SIGTERM) hasn't fired *)
   let rec attempt k =
     let seed = Job.attempt_seed spec k in
     let aspan =
@@ -58,14 +60,15 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
       else Obs.Span.none
     in
     let race =
-      Portfolio.race ~deadline ~max_iterations:spec.Job.max_iterations ~obs
+      Portfolio.race ~deadline ~cancel ~max_iterations:spec.Job.max_iterations ~obs
         ~parent:aspan (members ~spec ~seed) spec.Job.formula
     in
     Obs.Span.stop aspan;
     match race.Portfolio.winner with
     | Some _ -> (race, k + 1)
     | None ->
-        if k < spec.Job.retries && not (Deadline.expired deadline) then attempt (k + 1)
+        if k < spec.Job.retries && not (Deadline.expired deadline) && not (cancel ()) then
+          attempt (k + 1)
         else (race, k + 1)
   in
   let race, attempts = attempt 0 in
@@ -80,7 +83,11 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
             Job.Sat (project_model ~original:(Job.original_formula spec) m)
         | Cdcl.Solver.Unsat -> Job.Unsat
         | Cdcl.Solver.Unknown _ -> assert false (* winners are decisive *))
-    | None -> Job.Unknown (if Deadline.expired deadline then Job.Timeout else Job.Budget)
+    | None ->
+        Job.Unknown
+          (if cancel () then Job.Cancelled
+           else if Deadline.expired deadline then Job.Timeout
+           else Job.Budget)
   in
   let outcome, verified = certify_outcome spec race outcome in
   let winner_name, iterations, qa_calls, qa_failures, degraded, strategy_uses =
@@ -113,7 +120,7 @@ let process ~members ~obs ~parent (spec : Job.spec) ~enqueued_at =
   in
   { spec; outcome; record; race }
 
-let run ?(workers = 1) ?(obs = Obs.Ctx.null) ~members jobs =
+let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ~members jobs =
   let workers = max 1 (min 64 workers) in (* same clamp as Pool.create *)
   let traced = not (Obs.Ctx.is_null obs) in
   let batch_span =
@@ -142,7 +149,7 @@ let run ?(workers = 1) ?(obs = Obs.Ctx.null) ~members jobs =
               "job"
           else Obs.Span.none
         in
-        let r = process ~members ~obs ~parent:jspan spec ~enqueued_at in
+        let r = process ?cancel ~members ~obs ~parent:jspan spec ~enqueued_at () in
         if traced then begin
           Obs.Span.add_attr jspan "outcome" (Job.outcome_label r.outcome);
           Obs.Span.stop jspan;

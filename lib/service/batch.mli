@@ -17,11 +17,18 @@ type job_result = {
 val run :
   ?workers:int ->
   ?obs:Obs.Ctx.t ->
+  ?cancel:(unit -> bool) ->
   members:(spec:Job.spec -> seed:int -> Portfolio.member list) ->
   Job.spec list ->
   Telemetry.summary * job_result list
 (** [run ~workers ~members jobs] solves every job and returns the
     aggregated summary plus per-job results in input order.
+
+    [cancel] is an external kill switch (the CLI wires SIGINT/SIGTERM to
+    it): once it returns [true], in-flight races stop cooperatively within
+    ~128 solver steps and report [Unknown Cancelled], no further retries
+    are attempted, and the batch still returns normally with full
+    telemetry — nothing dies mid-write.
 
     With a live [obs] the batch emits one ["batch"] root span containing a
     ["job"] span per job (attrs [id], [name], [worker], [outcome]), each
@@ -45,9 +52,32 @@ val run :
     reason in the record's [verified] field. *)
 
 val solo :
-  ?grid:int -> ?log_proof:bool -> string -> spec:Job.spec -> seed:int ->
+  ?grid:int ->
+  ?log_proof:bool ->
+  ?supervisor:Anneal.Supervisor.t ->
+  string ->
+  spec:Job.spec ->
+  seed:int ->
   Portfolio.member list
 (** [solo name] is a 1-member portfolio — the degenerate race used for
     plain batch solving ([--jobs] without [--portfolio]).  Partially
     applied ([solo "minisat"]) it has exactly the [members] closure shape
-    {!run} expects, picking up each job's QA policy from its spec. *)
+    {!run} expects, picking up each job's QA policy from its spec.
+    [supervisor] is the shared-device option of
+    {!Portfolio.members_named}. *)
+
+val process :
+  ?cancel:(unit -> bool) ->
+  members:(spec:Job.spec -> seed:int -> Portfolio.member list) ->
+  obs:Obs.Ctx.t ->
+  parent:Obs.Span.t ->
+  Job.spec ->
+  enqueued_at:float ->
+  unit ->
+  job_result
+(** Solve one spec synchronously — the per-job step {!run} schedules onto
+    its pool, exposed for services that own their own scheduling (the
+    server dispatcher).  Runs the full attempt/retry/certify pipeline and
+    returns the same {!job_result} a batch would record;
+    [enqueued_at] (absolute epoch seconds) anchors the record's
+    [queue_wait_s]. *)

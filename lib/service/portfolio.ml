@@ -46,7 +46,7 @@ let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
     proof = r.Hyqsat.Hybrid_solver.proof;
   }
 
-let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa =
+let hybrid_member ?supervisor ~name ~base ~grid ~seed ~log_proof ~qa () =
   {
     name;
     run =
@@ -63,7 +63,7 @@ let hybrid_member ~name ~base ~grid ~seed ~log_proof ~qa =
             ~supervisor:qa.Job.supervision ~seed ()
         in
         stats_of_report
-          (Hyqsat.Solve.run ~max_iterations ~should_stop ~obs ~parent
+          (Hyqsat.Solve.run ?supervisor ~max_iterations ~should_stop ~obs ~parent
              (Hyqsat.Solve.Hybrid config) f));
   }
 
@@ -107,13 +107,14 @@ let walksat_member ~seed =
         });
   }
 
-let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ~seed = function
+let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ?supervisor ~seed =
+  function
   | "hybrid" ->
-      hybrid_member ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed
-        ~log_proof ~qa
+      hybrid_member ?supervisor ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid
+        ~seed ~log_proof ~qa ()
   | "hybrid-noisy" ->
-      hybrid_member ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config ~grid
-        ~seed:(seed + 1) ~log_proof ~qa
+      hybrid_member ?supervisor ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config
+        ~grid ~seed:(seed + 1) ~log_proof ~qa ()
   | "minisat" ->
       classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2) ~log_proof
   | "kissat" ->
@@ -121,11 +122,11 @@ let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ~seed =
   | "walksat" -> walksat_member ~seed:(seed + 4)
   | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
 
-let members_named ?grid ?log_proof ?qa ~seed names =
-  List.map (make_member ?grid ?log_proof ?qa ~seed) names
+let members_named ?grid ?log_proof ?qa ?supervisor ~seed names =
+  List.map (make_member ?grid ?log_proof ?qa ?supervisor ~seed) names
 
-let default_members ?grid ?log_proof ?qa ~seed () =
-  members_named ?grid ?log_proof ?qa ~seed member_names
+let default_members ?grid ?log_proof ?qa ?supervisor ~seed () =
+  members_named ?grid ?log_proof ?qa ?supervisor ~seed member_names
 
 (* same base config, same seed, one member per backend flavor: the race is
    across devices, not across solver randomisations — any flavor winning
@@ -137,12 +138,12 @@ let backend_race_members ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa
       hybrid_member
         ~name:("hybrid:" ^ Anneal.Backend.flavor_label flavor)
         ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed ~log_proof
-        ~qa:{ qa with Job.backend })
+        ~qa:{ qa with Job.backend } ())
     [ `Incremental; `Reference; `Best_of ]
 
 let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown _ -> false
 
-let race ?(deadline = Deadline.none) ?(max_iterations = max_int)
+let race ?(deadline = Deadline.none) ?(cancel = fun () -> false) ?(max_iterations = max_int)
     ?(obs = Obs.Ctx.null) ?(parent = Obs.Span.none) members f =
   if members = [] then invalid_arg "Portfolio.race: no members";
   let traced = not (Obs.Ctx.is_null obs) in
@@ -150,9 +151,9 @@ let race ?(deadline = Deadline.none) ?(max_iterations = max_int)
     if traced then Obs.Span.start obs ~parent "race" else Obs.Span.none
   in
   let t_start = Unix.gettimeofday () in
-  let cancel = Atomic.make false in
+  let race_cancel = Atomic.make false in
   let winner_idx = Atomic.make (-1) in
-  let should_stop () = Atomic.get cancel || Deadline.expired deadline in
+  let should_stop () = Atomic.get race_cancel || cancel () || Deadline.expired deadline in
   let run_one i m =
     let span =
       if traced then
@@ -167,8 +168,8 @@ let race ?(deadline = Deadline.none) ?(max_iterations = max_int)
     | stats ->
         let time_s = Unix.gettimeofday () -. t0 in
         if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
-          Atomic.set cancel true;
-        let cancelled = (not (is_decisive stats.result)) && Atomic.get cancel in
+          Atomic.set race_cancel true;
+        let cancelled = (not (is_decisive stats.result)) && Atomic.get race_cancel in
         if traced then begin
           Obs.Span.add_attr span "result" (Sat.Answer.label stats.result);
           if cancelled then Obs.Span.add_attr span "cancelled" "true";

@@ -54,7 +54,13 @@ val member_names : string list
     "walksat"]. *)
 
 val default_members :
-  ?grid:int -> ?log_proof:bool -> ?qa:Job.qa_policy -> seed:int -> unit -> member list
+  ?grid:int ->
+  ?log_proof:bool ->
+  ?qa:Job.qa_policy ->
+  ?supervisor:Anneal.Supervisor.t ->
+  seed:int ->
+  unit ->
+  member list
 (** All stock members, solver RNGs derived from [seed].  [grid] sizes the
     simulated Chimera topology for the hybrid members (default 16 =
     D-Wave 2000Q).  [log_proof] (default [false]) makes the CDCL-backed
@@ -62,10 +68,19 @@ val default_members :
     [qa] (default {!Job.default_qa}) is the annealer policy of the hybrid
     members: backend + faults, supervision, and best-of-k reads fanned
     over that many domains — mind the domain product with the pool and
-    race layers. *)
+    race layers.  [supervisor] makes the hybrid members go through that
+    shared (domain-safe) supervised device instead of building a private
+    one per solve — the server dispatcher passes its per-pool instance so
+    one circuit breaker protects the backend across every job. *)
 
 val members_named :
-  ?grid:int -> ?log_proof:bool -> ?qa:Job.qa_policy -> seed:int -> string list -> member list
+  ?grid:int ->
+  ?log_proof:bool ->
+  ?qa:Job.qa_policy ->
+  ?supervisor:Anneal.Supervisor.t ->
+  seed:int ->
+  string list ->
+  member list
 (** Subset of the stock portfolio by name.
     @raise Invalid_argument on an unknown name. *)
 
@@ -80,6 +95,7 @@ val backend_race_members :
 
 val race :
   ?deadline:Deadline.t ->
+  ?cancel:(unit -> bool) ->
   ?max_iterations:int ->
   ?obs:Obs.Ctx.t ->
   ?parent:Obs.Span.t ->
@@ -87,7 +103,10 @@ val race :
   Sat.Cnf.t ->
   race_report
 (** Race the members on [f]: one domain per member (run inline when there
-    is exactly one), first Sat/Unsat answer cancels the rest.  All members
+    is exactly one), first Sat/Unsat answer cancels the rest.  [cancel] is
+    an external kill switch folded into every member's [should_stop] —
+    the drain path flips it to stop in-flight races within ~128 solver
+    steps without waiting for their deadlines.  All members
     are joined before returning, so the report is complete.  A member that
     raises is reported with [error = Some _] and result [Unknown] instead
     of propagating from [Domain.join] — sibling reports and a winner found

@@ -43,7 +43,51 @@ type summary = {
 
 val summarize : workers:int -> wall_time_s:float -> record list -> summary
 
-(** {2 JSON} *)
+(** {2 JSON values}
+
+    The service's self-contained JSON layer (the container has no JSON
+    library).  Exposed so other subsystems speaking the telemetry schema —
+    notably the [Server] wire protocol — reuse one emitter/parser instead
+    of growing their own. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val json_to_string : json -> string
+(** Compact rendering; floats print with enough digits to round-trip. *)
+
+val parse_json : string -> json
+(** @raise Parse_error on malformed input (with a byte offset). *)
+
+(** Accessors used by schema readers; all raise {!Parse_error} on a kind
+    mismatch.  [field] raises when the key is missing — use
+    [List.assoc_opt] on {!as_obj} for optional fields. *)
+
+val field : (string * json) list -> string -> json
+val as_int : json -> int
+val as_num : json -> float
+val as_str : json -> string
+val as_obj : json -> (string * json) list
+val as_arr : json -> json list
+
+val json_of_record : record -> json
+(** The schema-v{!schema_version} object shape of one record, exactly as
+    embedded in {!to_json_string}'s [jobs] array. *)
+
+val record_of_json : json -> record
+(** Inverse of {!json_of_record}; tolerates v1/v2 objects (absent
+    [verified] = [""], absent [qa_failures]/[degraded] = 0).
+    @raise Parse_error on malformed input. *)
+
+(** {2 JSON documents} *)
 
 val schema_version : int
 (** Version of the emitted document shape (currently 3: added
