@@ -24,6 +24,28 @@ let wall f =
   let y = f () in
   (y, Unix.gettimeofday () -. t0)
 
+(* median of a non-empty list: the right estimator when comparing two
+   measured paths (e.g. wire vs direct) — the min of each path can come
+   from different machine states and their difference go negative *)
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else if n land 1 = 1 then a.(n / 2)
+  else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+(* committed BENCH_*.json files live at the repo root (nearest ancestor
+   with a dune-project), wherever the bench was launched from *)
+let out_path name =
+  let rec up d =
+    if Sys.file_exists (Filename.concat d "dune-project") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else up parent
+  in
+  match up (Sys.getcwd ()) with None -> name | Some root -> Filename.concat root name
+
 (* Bechamel micro-benchmark: returns estimated ns/run *)
 let bechamel_ns ?(quota_s = 0.25) name f =
   let open Bechamel in

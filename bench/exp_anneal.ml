@@ -1,9 +1,10 @@
 (* Annealing-engine microbenchmark (no paper analogue): throughput of the
    Metropolis kernels, domain-parallel best-of-k reads, and the frontend's
-   embedding cache.  Writes BENCH_anneal.json — the repo's perf trajectory
-   for the QA hot path — and fails (exit 1) if the incremental kernel's
-   flips/sec drops more than 2x below the committed floor, so CI catches
-   kernel regressions.
+   embedding cache.  Writes BENCH_anneal.json at the repo root — the
+   repo's perf trajectory for the QA hot path — and fails (exit 1) if the
+   incremental kernel's flips/sec drops more than 2x below the committed
+   floor, or if parallel best-of on a multicore machine fails to beat the
+   serial path, so CI catches both kernel and pool regressions.
 
    The spin instance is the full 16x16 Chimera hardware graph (2048 qubits,
    every coupler carries a Gaussian coupling) — the same shape the machine
@@ -69,14 +70,29 @@ let time_regime ~kernel ~beta ~trials ising seed =
   done;
   float_of_int (sweeps * ising.SI.n) /. Float.max !best 1e-9
 
-let time_best_of ~domains ~schedule ~reads ising seed =
+(* Min-of-N with one untimed warm-up run.  The warm-up spins up the shared
+   pool's worker domains, so the first timed trial isn't billed for the
+   one-off spawn the persistent pool amortises in production.  The RNG is
+   re-seeded per trial, so every trial computes the identical result (the
+   sampler's determinism contract) and min-of-N is purely a noise filter. *)
+let time_best_of ~domains ~schedule ~reads ~trials ising seed =
   let params = Sampler.make_params ~schedule ~reads () in
-  let rng = Stats.Rng.create ~seed in
-  let spins = ref [||] in
-  let (), wall =
-    Bench_util.wall (fun () -> spins := Sampler.sample ~params ~domains rng ising)
+  let once () =
+    let rng = Stats.Rng.create ~seed in
+    let spins = ref [||] in
+    let (), wall =
+      Bench_util.wall (fun () -> spins := Sampler.sample ~params ~domains rng ising)
+    in
+    (wall, SI.energy ising !spins)
   in
-  (wall, SI.energy ising !spins)
+  ignore (once ());
+  let best = ref infinity and energy = ref Float.nan in
+  for _ = 1 to max 1 trials do
+    let wall, e = once () in
+    energy := e;
+    if wall < !best then best := wall
+  done;
+  (!best, !energy)
 
 let cache_exercise () =
   let g = Chimera.Graph.standard_2000q () in
@@ -91,14 +107,14 @@ let cache_exercise () =
   Hyqsat.Frontend.cache_stats cache
 
 let json_out ~scale ~n ~sweeps ~repeats ~ref_wall ~ref_fps ~inc_wall ~inc_fps
-    ~regimes ~reads ~serial_wall ~par_domains ~par_wall ~hits ~misses =
+    ~regimes ~reads ~bo_trials ~serial_wall ~par_rows ~hits ~misses =
   let fin x = if Float.is_finite x then x else 0. in
   let hit_rate =
     if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
   in
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"schema\": 1,\n";
+  Printf.bprintf b "  \"schema\": 2,\n";
   Printf.bprintf b "  \"experiment\": \"anneal\",\n";
   Printf.bprintf b "  \"scale\": \"%s\",\n" scale;
   Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -121,14 +137,36 @@ let json_out ~scale ~n ~sweeps ~repeats ~ref_wall ~ref_fps ~inc_wall ~inc_fps
         (if idx = List.length regimes - 1 then "" else ","))
     regimes;
   Printf.bprintf b "  ],\n";
+  (* the best row keeps the schema-1 summary fields alive: the CI trend
+     reader and the speedup gate both look at [parallel_speedup] *)
+  let best_d, best_wall, best_speedup =
+    List.fold_left
+      (fun (bd, bw, bs) (d, w, s) -> if s > bs then (d, w, s) else (bd, bw, bs))
+      (1, serial_wall, 1.0) par_rows
+  in
   Printf.bprintf b
-    "  \"best_of\": { \"reads\": %d, \"serial_wall_s\": %.6f, \"parallel_domains\": %d, \
-     \"parallel_wall_s\": %.6f, \"parallel_speedup\": %.3f, \"reads_per_sec_serial\": %.2f, \
-     \"reads_per_sec_parallel\": %.2f },\n"
-    reads (fin serial_wall) par_domains (fin par_wall)
-    (fin (serial_wall /. par_wall))
-    (fin (float_of_int reads /. serial_wall))
-    (fin (float_of_int reads /. par_wall));
+    "  \"best_of\": {\n\
+    \    \"reads\": %d, \"trials\": %d, \"serial_wall_s\": %.6f, \
+     \"reads_per_sec_serial\": %.2f,\n\
+    \    \"parallel\": [\n"
+    reads bo_trials (fin serial_wall)
+    (fin (float_of_int reads /. serial_wall));
+  List.iteri
+    (fun idx (d, w, s) ->
+      Printf.bprintf b
+        "      { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
+         \"reads_per_sec\": %.2f }%s\n"
+        d (fin w) (fin s)
+        (fin (float_of_int reads /. w))
+        (if idx = List.length par_rows - 1 then "" else ","))
+    par_rows;
+  Printf.bprintf b
+    "    ],\n\
+    \    \"parallel_domains\": %d, \"parallel_wall_s\": %.6f, \
+     \"parallel_speedup\": %.3f, \"reads_per_sec_parallel\": %.2f\n\
+    \  },\n"
+    best_d (fin best_wall) (fin best_speedup)
+    (fin (float_of_int reads /. best_wall));
   Printf.bprintf b "  \"embed_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
     hits misses hit_rate;
   Printf.bprintf b "  \"floor_flips_per_sec\": %.0f\n" floor_flips_per_sec;
@@ -175,33 +213,70 @@ let run (ctx : Bench_util.ctx) =
       Printf.printf "%-10.2f %14.2e %14.2e %9.2fx\n" beta rf inc (inc /. rf))
     regimes;
   print_newline ();
-  let reads = 8 and par_domains = 4 in
-  let serial_wall, e_serial = time_best_of ~domains:1 ~schedule ~reads ising (ctx.seed + 2) in
-  let par_wall, e_par = time_best_of ~domains:par_domains ~schedule ~reads ising (ctx.seed + 2) in
-  if abs_float (e_serial -. e_par) > 1e-9 then
-    failwith "bench anneal: best-of energy differs across domain counts";
-  Printf.printf "best-of-%d reads: serial %.3f s (%.1f reads/s), %d domains %.3f s (%.1f \
-                 reads/s), speedup %.2fx, energies agree\n\n"
-    reads serial_wall
-    (float_of_int reads /. serial_wall)
-    par_domains par_wall
-    (float_of_int reads /. par_wall)
-    (serial_wall /. par_wall);
+  let reads = 8 in
+  let cores = Domain.recommended_domain_count () in
+  let bo_trials = match ctx.scale with `Paper -> 5 | `Small -> 3 in
+  let serial_wall, e_serial =
+    time_best_of ~domains:1 ~schedule ~reads ~trials:bo_trials ising (ctx.seed + 2)
+  in
+  (* rows run even on a single core: the persistent pool degrades to
+     inline serial execution there (the shared pool has 0 workers), so the
+     rows document "multi-domain costs ~nothing" instead of the historical
+     0.26x spawn-per-call collapse; the >1x gate only makes sense with
+     real parallelism and is skipped below when cores < 2 *)
+  let domain_counts = [ 2; 4 ] in
+  let par_rows =
+    List.map
+      (fun d ->
+        let wall, e = time_best_of ~domains:d ~schedule ~reads ~trials:bo_trials ising (ctx.seed + 2) in
+        if abs_float (e_serial -. e) > 1e-9 then
+          failwith "bench anneal: best-of energy differs across domain counts";
+        (d, wall, serial_wall /. wall))
+      domain_counts
+  in
+  Printf.printf "best-of-%d reads (min of %d trials): serial %.3f s (%.1f reads/s)\n" reads
+    bo_trials serial_wall
+    (float_of_int reads /. serial_wall);
+  List.iter
+    (fun (d, wall, speedup) ->
+      Printf.printf "  %d domains: %.3f s (%.1f reads/s), speedup %.2fx, energies agree\n" d
+        wall
+        (float_of_int reads /. wall)
+        speedup)
+    par_rows;
+  if cores < 2 then
+    Printf.printf "  (single-core machine: the parallel-speedup gate is skipped)\n";
+  print_newline ();
   let hits, misses = cache_exercise () in
   Printf.printf "embed cache: %d hits / %d misses (%.1f %% hit rate)\n" hits misses
     (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
   let scale = match ctx.scale with `Paper -> "paper" | `Small -> "small" in
   let json =
     json_out ~scale ~n ~sweeps ~repeats ~ref_wall ~ref_fps ~inc_wall ~inc_fps ~regimes
-      ~reads ~serial_wall ~par_domains ~par_wall ~hits ~misses
+      ~reads ~bo_trials ~serial_wall ~par_rows ~hits ~misses
   in
-  let oc = open_out "BENCH_anneal.json" in
+  let path = Bench_util.out_path "BENCH_anneal.json" in
+  let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc json);
-  Printf.printf "wrote BENCH_anneal.json\n";
+  Printf.printf "wrote %s\n" path;
   if inc_fps < floor_flips_per_sec /. 2.0 then begin
     Printf.eprintf
       "bench anneal: PERF REGRESSION — incremental kernel at %.2e flips/s, more than 2x below \
        the committed floor of %.2e\n"
       inc_fps floor_flips_per_sec;
+    exit 1
+  end;
+  (* parallel-speedup gate: on a multicore machine, best-of through the
+     persistent pool must beat the serial path at some domain count — this
+     is exactly the regression the pool rework fixed (spawn/join per QA
+     call made 4 domains 4x *slower* than serial) *)
+  let best_speedup =
+    List.fold_left (fun acc (_, _, s) -> Float.max acc s) 0. par_rows
+  in
+  if cores >= 2 && best_speedup <= 1.0 then begin
+    Printf.eprintf
+      "bench anneal: PERF REGRESSION — parallel best-of speedup %.2fx <= 1.0 on %d cores; \
+       the domain pool is slower than the serial path\n"
+      best_speedup cores;
     exit 1
   end

@@ -3,6 +3,7 @@ type request = {
   params : Sampler.params;
   init : int array option;
   domains : int;
+  pool : Parallel.Tasks.t option;
   timing : Timing.t;
 }
 
@@ -69,7 +70,9 @@ let simulator ~name:n ~forced_kernel ~parallel_reads : t =
         | Some k -> { req.params with Sampler.kernel = k }
       in
       let domains = if parallel_reads then max 1 req.domains else 1 in
-      let spins = Sampler.sample ?obs ~params ?init:req.init ~domains rng req.ising in
+      let spins =
+        Sampler.sample ?obs ~params ?init:req.init ?pool:req.pool ~domains rng req.ising
+      in
       Ok { spins; energy = Sparse_ising.energy req.ising spins; time_us = model_time_us req }
   end)
 

@@ -42,6 +42,7 @@ val run_via :
   ?timing:Timing.t ->
   ?reads:int ->
   ?domains:int ->
+  ?pool:Parallel.Tasks.t ->
   sample:(Stats.Rng.t -> Backend.request -> (Backend.response, Backend.failure) result) ->
   Stats.Rng.t ->
   job ->
@@ -56,8 +57,9 @@ val run_via :
     degrade on.
 
     [reads] (default 1) requests the multi-sample device mode (best of
-    [reads] anneals, fanned over [domains] when the backend supports it);
-    [noise] rides inside the request's {!Sampler.params}.  [postprocess]
+    [reads] anneals, fanned over [domains] — on [pool] when given, else
+    the process-wide {!Parallel.Tasks.shared} — when the backend supports
+    it); [noise] rides inside the request's {!Sampler.params}.  [postprocess]
     (default [true]) runs the machine-side sample repair — a logical-level
     anneal plus greedy descent — {e host-side}, never through the backend;
     it cannot turn an unsatisfiable clause set's energy to zero, only
@@ -78,6 +80,7 @@ val run :
   ?timing:Timing.t ->
   ?reads:int ->
   ?domains:int ->
+  ?pool:Parallel.Tasks.t ->
   Stats.Rng.t ->
   job ->
   outcome

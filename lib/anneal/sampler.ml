@@ -95,7 +95,23 @@ let sample_single ~obs ~schedule ~kernel ?init rng (ising : Sparse_ising.t) =
   count_obs obs ~sweeps:schedule.sweeps ~accepted;
   spins
 
-let sample_multi ~obs ~schedule ~kernel ?init ~domains rng (ising : Sparse_ising.t) k =
+(* per-domain reusable anneal scratch, one buffer per spin count: chunked
+   reads on the persistent pool reuse it across chunks AND across calls,
+   so the parallel path allocates no scratch on the hot path (only the
+   per-chunk best buffers, one of which becomes the returned result) *)
+let scratch_local : (int, int array) Hashtbl.t Parallel.Local.t =
+  Parallel.Local.make (fun () -> Hashtbl.create 4)
+
+let scratch_for n =
+  let tbl = Parallel.Local.get scratch_local in
+  match Hashtbl.find_opt tbl n with
+  | Some b -> b
+  | None ->
+      let b = Array.make n 0 in
+      Hashtbl.add tbl n b;
+      b
+
+let sample_multi ~obs ~schedule ~kernel ?init ?pool ~domains rng (ising : Sparse_ising.t) k =
   let n = ising.Sparse_ising.n in
   Option.iter (checked_init n) init;
   (* every read gets its own RNG stream, split off the caller's generator
@@ -107,45 +123,63 @@ let sample_multi ~obs ~schedule ~kernel ?init ~domains rng (ising : Sparse_ising
     | Some s -> Array.blit s 0 buf 0 n
     | None -> random_spins_into stream buf
   in
+  (* best-of over reads [lo, hi) into [best]; strict < keeps the winner the
+     lowest-index minimal-energy read — both paths below share this fold,
+     which is what makes them bit-identical *)
+  let best_of_range scratch best lo hi =
+    let best_e = ref infinity and total = ref 0 in
+    for r = lo to hi - 1 do
+      let stream = streams.(r) in
+      seed_spins scratch stream;
+      total := !total + anneal_in_place ~kernel ~schedule stream ising scratch;
+      let e = Sparse_ising.energy ising scratch in
+      if e < !best_e then begin
+        best_e := e;
+        Array.blit scratch 0 best 0 n
+      end
+    done;
+    (!best_e, !total)
+  in
   let best, _best_e, total_accepted =
     if domains <= 1 || k = 1 then begin
       (* serial path: one scratch buffer + one best buffer, reused across
          all k reads — no per-read allocation *)
       let scratch = Array.make n 0 and best = Array.make n 0 in
-      let best_e = ref infinity and total = ref 0 in
-      Array.iter
-        (fun stream ->
-          seed_spins scratch stream;
-          total := !total + anneal_in_place ~kernel ~schedule stream ising scratch;
-          let e = Sparse_ising.energy ising scratch in
-          if e < !best_e then begin
-            best_e := e;
-            Array.blit scratch 0 best 0 n
-          end)
-        streams;
-      (best, !best_e, !total)
+      let best_e, total = best_of_range scratch best 0 k in
+      (best, best_e, total)
     end
     else begin
-      let results =
-        Parallel.Pool.map ~workers:domains
-          (fun ~worker:_ stream ->
-            let spins = Array.make n 0 in
-            seed_spins spins stream;
-            let accepted = anneal_in_place ~kernel ~schedule stream ising spins in
-            (spins, Sparse_ising.energy ising spins, accepted))
-          (Array.to_list streams)
+      (* chunked assignment on a persistent pool: k reads cost
+         ⌈k/chunks⌉-read chunks (one hand-off each) instead of k hand-offs,
+         and no domain is spawned — the pool outlives the call *)
+      let pool = match pool with Some p -> p | None -> Parallel.Tasks.shared () in
+      let chunks = min domains k in
+      let per = (k + chunks - 1) / chunks in
+      let chunk_best = Array.make chunks [||] in
+      let chunk_e = Array.make chunks infinity in
+      let chunk_acc = Array.make chunks 0 in
+      let thunk c ~worker:_ =
+        let lo = c * per in
+        let hi = min k (lo + per) in
+        if lo < hi then begin
+          (* the anneal scratch is domain-local and reused; the chunk best
+             must be owned by the chunk (one domain can execute several
+             chunks), and the winning chunk's buffer becomes the result *)
+          let best = Array.make n 0 in
+          let e, acc = best_of_range (scratch_for n) best lo hi in
+          chunk_best.(c) <- best;
+          chunk_e.(c) <- e;
+          chunk_acc.(c) <- acc
+        end
       in
-      (* results come back in submission (= read) order; strict < keeps the
-         winner the lowest-index minimal-energy read, as in the serial path *)
-      List.fold_left
-        (fun (best, best_e, total) r ->
-          match r with
-          | Error e -> raise e
-          | Ok (spins, e, accepted) ->
-              if e < best_e then (spins, e, total + accepted)
-              else (best, best_e, total + accepted))
-        (Array.make n 0, infinity, 0)
-        results
+      Parallel.Tasks.run pool (List.init chunks thunk);
+      (* chunks cover contiguous ascending read ranges, so strict < in
+         chunk order again selects the lowest-index minimal-energy read *)
+      let bi = ref 0 in
+      for c = 1 to chunks - 1 do
+        if chunk_e.(c) < chunk_e.(!bi) then bi := c
+      done;
+      (chunk_best.(!bi), chunk_e.(!bi), Array.fold_left ( + ) 0 chunk_acc)
     end
   in
   (* counters aggregated once, after the join — workers never touch [obs] *)
@@ -162,7 +196,7 @@ let sample_multi ~obs ~schedule ~kernel ?init ~domains rng (ising : Sparse_ising
      4. [Noise.apply_readout] (readout flips; zero draws when p = 0)
    Anything injected around the call (faults, latency) must use a separate
    stream or the sequence — and with it bit-reproducibility — breaks. *)
-let sample ?(obs = Obs.Ctx.null) ?(params = default_params) ?init ?(domains = 1) rng
+let sample ?(obs = Obs.Ctx.null) ?(params = default_params) ?init ?pool ?(domains = 1) rng
     (ising : Sparse_ising.t) =
   if params.reads < 1 then invalid_arg "Sampler.sample: reads";
   let programmed = Noise.apply_coeff params.noise rng ising in
@@ -170,7 +204,7 @@ let sample ?(obs = Obs.Ctx.null) ?(params = default_params) ?init ?(domains = 1)
     if params.reads = 1 then
       sample_single ~obs ~schedule:params.schedule ~kernel:params.kernel ?init rng programmed
     else
-      sample_multi ~obs ~schedule:params.schedule ~kernel:params.kernel ?init ~domains rng
-        programmed params.reads
+      sample_multi ~obs ~schedule:params.schedule ~kernel:params.kernel ?init ?pool ~domains
+        rng programmed params.reads
   in
   Noise.apply_readout params.noise rng spins

@@ -56,17 +56,23 @@ val sample :
   ?obs:Obs.Ctx.t ->
   ?params:params ->
   ?init:int array ->
+  ?pool:Parallel.Tasks.t ->
   ?domains:int ->
   Stats.Rng.t ->
   Sparse_ising.t ->
   int array
 (** One annealed spin configuration (±1 entries).  [init] seeds every read
     (e.g. chain-coherent spins); default is uniform random per read.
-    [domains] (default 1) fans [params.reads] independent anneals across a
-    {!Parallel.Pool} of that many OCaml domains; each read runs on its own
-    RNG stream split off the caller's generator ({!Stats.Rng.split_n}), so
-    the result is identical whatever [domains] says.  Energy ties go to
-    the lowest-numbered read.
+    [domains] (default 1) fans [params.reads] independent anneals over a
+    persistent pool — [pool] if given, else the process-wide
+    {!Parallel.Tasks.shared} — in [min domains reads] contiguous chunks,
+    so k reads cost ⌈k/domains⌉ reads per hand-off instead of a spawn and
+    a queue round-trip each; per-domain anneal scratch is reused across
+    chunks and calls ({!Parallel.Local}).  Each read runs on its own RNG
+    stream split off the caller's generator ({!Stats.Rng.split_n}), and
+    chunks cover ascending read ranges reduced with a strict minimum, so
+    the result is bit-identical whatever [domains] or the pool size says.
+    Energy ties go to the lowest-numbered read.
 
     Draw-order contract — the caller's RNG is consumed in exactly this
     call-site order: {!Noise.apply_coeff} (programming noise), then init

@@ -1,0 +1,29 @@
+(* Domain-local lazily-initialised state — the worker-local scratch hook.
+
+   Keyed by the *executing domain's* identity rather than a pool worker
+   index: worker indices collide (two concurrent Pool.run callers both
+   help as the same extra lane), domain identities never do.  A domain
+   only ever touches its own slot, so the value itself needs no locking —
+   the mutex only guards the slot table. *)
+
+type 'a t = {
+  init : unit -> 'a;
+  slots : (int, 'a) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let make init = { init; slots = Hashtbl.create 8; mutex = Mutex.create () }
+
+let get t =
+  let id = (Domain.self () :> int) in
+  Mutex.lock t.mutex;
+  let v =
+    match Hashtbl.find_opt t.slots id with
+    | Some v -> v
+    | None ->
+        let v = t.init () in
+        Hashtbl.add t.slots id v;
+        v
+  in
+  Mutex.unlock t.mutex;
+  v

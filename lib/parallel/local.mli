@@ -1,0 +1,19 @@
+(** Domain-local lazily-initialised state — the worker-local scratch hook
+    for pool jobs.
+
+    [get t] returns this domain's slot, creating it with the initialiser
+    on first touch.  Because a domain runs one pool item at a time, the
+    returned value can be mutated freely without synchronisation; reusing
+    it across successive items (e.g. the annealer's spin scratch buffers)
+    removes per-item allocation from hot paths.
+
+    Slots are keyed by domain identity, not pool worker index — two
+    concurrent {!Pool.run} callers can both {e help} under the same lane
+    index, but never under the same domain.  Slots of exited domains are
+    retained (a few KB each for the annealer's buffers); persistent pools
+    keep the table bounded by the domain count. *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+val get : 'a t -> 'a

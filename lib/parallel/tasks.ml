@@ -1,0 +1,45 @@
+(* Shared thunk pool: an untyped façade over [Pool] for callers that just
+   need "run these closures across the cores" — the annealer's chunked
+   best-of reads, ad-hoc fan-outs in benches.  One lazily-created
+   process-wide instance ([shared]) amortises domain spawn across every
+   user in the process, which is what turned the per-QA-call spawn/join
+   regression into a flat cost. *)
+
+type thunk = worker:int -> unit
+type t = (thunk, unit) Pool.t
+
+let create ~workers : t = Pool.create ~workers (fun ~worker thunk -> thunk ~worker)
+let workers (t : t) = Pool.workers t
+
+let run (t : t) thunks =
+  let results = Pool.run t thunks in
+  (* barrier first, then propagate: every thunk has finished (or failed)
+     before the first failure is re-raised, so no orphan writes race the
+     caller *)
+  Array.iter (function Ok () -> () | Error e -> raise e) results
+
+let shutdown (t : t) = Pool.shutdown t
+
+(* ------------------------------------------------------------------ *)
+
+let shared_mutex = Mutex.create ()
+let shared_pool : t option ref = ref None
+
+let shared () =
+  Mutex.lock shared_mutex;
+  let t =
+    match !shared_pool with
+    | Some t -> t
+    | None ->
+        (* leave one core for the calling/helping domain; on a 1-core box
+           this is a 0-worker pool and [run] degrades to inline execution *)
+        let workers = max 0 (Domain.recommended_domain_count () - 1) in
+        let t = create ~workers in
+        shared_pool := Some t;
+        (* join the idle workers on orderly exit so the runtime never waits
+           on domains blocked in Condition.wait *)
+        at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock shared_mutex;
+  t

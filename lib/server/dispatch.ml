@@ -315,4 +315,4 @@ let begin_drain t =
 
 let cancel_running t = Atomic.set t.cancel true
 
-let shutdown t = ignore (Parallel.Pool.drain t.pool)
+let shutdown t = Parallel.Pool.shutdown t.pool

@@ -135,8 +135,11 @@ let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ~members jobs =
     else Obs.Span.none
   in
   let t0 = Unix.gettimeofday () in
+  (* workers-1 spawned domains: the calling domain helps execute the batch
+     through [Pool.run], so exactly [workers] jobs are in flight and the
+     helper's span worker id ([workers - 1]) stays inside [0, workers-1] *)
   let pool =
-    Pool.create ~workers (fun ~worker (spec, enqueued_at) ->
+    Pool.create ~workers:(workers - 1) (fun ~worker (spec, enqueued_at) ->
         let jspan =
           if traced then
             Obs.Span.start obs ~parent:batch_span
@@ -159,8 +162,13 @@ let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ~members jobs =
         end;
         r)
   in
-  List.iter (fun spec -> Pool.submit pool (spec, Unix.gettimeofday ())) jobs;
-  let results = Pool.drain pool in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let now = Unix.gettimeofday () in
+        Pool.run pool (List.map (fun spec -> (spec, now)) jobs))
+  in
   Obs.Span.stop batch_span;
   let wall_time_s = Unix.gettimeofday () -. t0 in
   let results =

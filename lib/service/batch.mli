@@ -39,9 +39,12 @@ val run :
     [members ~spec ~seed] builds the portfolio for one attempt of [spec]
     (so it can honour the job's {!Job.qa_policy}); retries call it again
     with {!Job.attempt_seed} so every attempt searches differently.
-    [workers] defaults to 1.  A worker exception is re-raised after the
-    pool is drained (a raising portfolio member is absorbed by the race
-    itself — see {!Portfolio.race}).
+    [workers] defaults to 1 and counts {e concurrent jobs}: the pool spawns
+    [workers - 1] domains and the calling domain helps execute the batch
+    ({!Pool.run}), so [workers = 1] runs everything inline with no domain
+    spawned at all.  A worker exception is re-raised after the batch
+    completes (a raising portfolio member is absorbed by the race itself —
+    see {!Portfolio.race}).
 
     Sat models are projected back to the job's original variable space
     ({!Job.original_formula}) before being reported.  When the job has

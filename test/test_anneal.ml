@@ -242,18 +242,29 @@ let kernel_field_invariant () =
       (Anneal.Kernel.delta k i)
   done
 
-(* best-of-k is a pure function of (rng seed, k): any domain count returns
-   the same spins *)
+(* best-of-k is a pure function of (rng seed, k): any domain count, on the
+   default shared pool or an explicit persistent one of any size, returns
+   the same spins — chunks cover ascending read ranges and the reduce is a
+   strict minimum, so "lowest-index minimal-energy read wins" is preserved *)
 let best_of_deterministic_across_domains () =
   let ising = random_ising (Testutil.rng 37) in
-  let run domains =
+  let run ?pool domains =
     Sampler.sample
       ~params:(Sampler.make_params ~schedule:Sampler.quick_schedule ~reads:8 ())
-      ~domains (Testutil.rng 41) ising
+      ?pool ~domains (Testutil.rng 41) ising
   in
   let serial = run 1 in
   Alcotest.(check (array int)) "2 domains" serial (run 2);
   Alcotest.(check (array int)) "4 domains" serial (run 4);
+  Alcotest.(check (array int)) "8 domains (more than reads/cores)" serial (run 8);
+  let pool = Parallel.Tasks.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Tasks.shutdown pool)
+    (fun () ->
+      Alcotest.(check (array int)) "explicit pool, 2 domains" serial (run ~pool 2);
+      Alcotest.(check (array int)) "explicit pool, 4 domains" serial (run ~pool 4);
+      (* the same pool again: results don't depend on pool history *)
+      Alcotest.(check (array int)) "explicit pool, reused" serial (run ~pool 4));
   Alcotest.(check (float 1e-9)) "energy agrees" (SI.energy ising serial)
     (SI.energy ising (run 4))
 

@@ -69,11 +69,94 @@ let pool_captures_exceptions () =
   in
   (match results with
   | [ Ok 0; Error (Failure _); Ok 2 ] -> ()
-  | _ -> Alcotest.fail "expected [Ok 0; Error boom; Ok 2]");
+  | _ -> Alcotest.fail "expected [Ok 0; Error boom; Ok 2]")
+
+(* the persistent lifecycle: run / submit+drain are checkpoints a pool
+   survives; only shutdown ends it *)
+let pool_reusable_across_runs () =
+  let p = Pool.create ~workers:2 (fun ~worker:_ x -> 2 * x) in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      for round = 1 to 5 do
+        let results = Pool.run p (List.init 10 (fun i -> (100 * round) + i)) in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Ok v -> Alcotest.(check int) "doubled" (2 * ((100 * round) + i)) v
+            | Error _ -> Alcotest.fail "unexpected worker error")
+          results
+      done;
+      (* submit/drain cycles interleave with runs on the same pool *)
+      for round = 1 to 3 do
+        List.iter (Pool.submit p) [ round; round + 1 ];
+        let results = Pool.drain p in
+        Alcotest.(check int) "drain returns this cycle's items" 2 (Array.length results);
+        match (results.(0), results.(1)) with
+        | Ok a, Ok b ->
+            Alcotest.(check int) "first" (2 * round) a;
+            Alcotest.(check int) "second" (2 * (round + 1)) b
+        | _ -> Alcotest.fail "unexpected worker error"
+      done)
+
+(* an item exception is captured in its slot and must not poison the pool:
+   the next run on the same pool works *)
+let pool_exception_does_not_poison () =
+  let p =
+    Pool.create ~workers:2 (fun ~worker:_ x -> if x land 1 = 1 then failwith "odd" else x)
+  in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let r1 = Pool.run p [ 0; 1; 2; 3 ] in
+      (match (r1.(0), r1.(1), r1.(2), r1.(3)) with
+      | Ok 0, Error (Failure _), Ok 2, Error (Failure _) -> ()
+      | _ -> Alcotest.fail "expected evens Ok, odds Error");
+      let r2 = Pool.run p [ 4; 6; 8 ] in
+      Array.iter
+        (function
+          | Ok _ -> () | Error _ -> Alcotest.fail "pool poisoned by earlier exception")
+        r2)
+
+(* a 0-worker pool runs everything inline on the calling domain *)
+let pool_zero_workers_runs_inline () =
+  let self = (Domain.self () :> int) in
+  let p = Pool.create ~workers:0 (fun ~worker x -> ((Domain.self () :> int), worker, x)) in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check int) "no domains spawned" 0 (Pool.workers p);
+      let results = Pool.run p [ 1; 2; 3 ] in
+      Array.iter
+        (function
+          | Ok (dom, worker, _) ->
+              Alcotest.(check int) "ran on the calling domain" self dom;
+              Alcotest.(check int) "helper worker id" (Pool.workers p) worker
+          | Error _ -> Alcotest.fail "unexpected error")
+        results)
+
+(* many tiny batches: the spawn-per-call cost this pool exists to remove
+   would make this test take seconds; with a persistent pool it's instant *)
+let pool_many_tiny_runs () =
+  let p = Pool.create ~workers:3 (fun ~worker:_ x -> x + 1) in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      for i = 1 to 500 do
+        match Pool.run p [ i ] with
+        | [| Ok v |] -> if v <> i + 1 then Alcotest.fail "wrong tiny-batch result"
+        | _ -> Alcotest.fail "expected one result"
+      done)
+
+let pool_shutdown_closes () =
   let p = Pool.create ~workers:1 (fun ~worker:_ () -> ()) in
-  ignore (Pool.drain p);
-  Alcotest.check_raises "submit after drain" (Invalid_argument "Pool.submit: pool already drained")
-    (fun () -> Pool.submit p ())
+  ignore (Pool.run p [ () ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () -> Pool.submit p ());
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () -> ignore (Pool.run p [ () ]))
 
 let batch_jobs seeds =
   List.mapi
@@ -268,6 +351,13 @@ let suite =
       [
         Alcotest.test_case "pool preserves submission order" `Quick pool_preserves_order;
         Alcotest.test_case "pool captures exceptions" `Quick pool_captures_exceptions;
+        Alcotest.test_case "pool reusable across runs and drains" `Quick
+          pool_reusable_across_runs;
+        Alcotest.test_case "pool exception does not poison" `Quick
+          pool_exception_does_not_poison;
+        Alcotest.test_case "pool 0 workers runs inline" `Quick pool_zero_workers_runs_inline;
+        Alcotest.test_case "pool many tiny runs" `Quick pool_many_tiny_runs;
+        Alcotest.test_case "pool shutdown closes" `Quick pool_shutdown_closes;
         Alcotest.test_case "batch independent of worker count" `Quick
           batch_is_worker_count_independent;
         Alcotest.test_case "deadline expiry returns Unknown" `Quick
