@@ -18,7 +18,9 @@ let geo_reduction ctx fs config =
     (List.map
        (fun f ->
          let classic = Exp_common.solve_classic f in
-         let hybrid = Hybrid.solve ~config ~max_iterations:(Exp_common.iteration_cap ctx) f in
+         let hybrid =
+           Exp_common.solve_hybrid ~config ~max_iterations:(Exp_common.iteration_cap ctx) f
+         in
          Exp_common.reduction classic hybrid)
        fs)
 

@@ -7,7 +7,11 @@ let instances (ctx : Bench_util.ctx) (spec : Workload.Spec.t) =
       let rng = Bench_util.rng_of ctx (Hashtbl.hash (spec.Workload.Spec.id, i)) in
       spec.Workload.Spec.generate rng ctx.Bench_util.scale)
 
-let solve_classic ?(config = Cdcl.Config.minisat_like) f = Hybrid.solve_classic ~config f
+let solve_classic ?(config = Cdcl.Config.minisat_like) f =
+  Hybrid.run (Hybrid.Classic config) f
+
+let solve_hybrid ?max_iterations ~config f =
+  Hybrid.run ?max_iterations (Hybrid.Hybrid config) f
 
 let hybrid_config ?(noise = Anneal.Noise.noise_free) ?(strategies = Hyqsat.Backend.all_enabled)
     ?(queue_mode = Hyqsat.Frontend.Activity_bfs) ?(adjust = true) ?(graph_size = 16) seed =
@@ -27,6 +31,6 @@ let reductions_for ctx spec ~config =
   List.map
     (fun f ->
       let classic = solve_classic f in
-      let hybrid = Hybrid.solve ~config ~max_iterations:(iteration_cap ctx) f in
+      let hybrid = solve_hybrid ~max_iterations:(iteration_cap ctx) ~config f in
       (classic, hybrid, reduction classic hybrid))
     (instances ctx spec)

@@ -10,7 +10,9 @@ let run (ctx : Bench_util.ctx) =
   let timing = Anneal.Timing.d_wave_2000q in
 
   (* (a) classic CDCL *)
-  let classic = Hyqsat.Hybrid_solver.solve_classic f in
+  let classic =
+    Hyqsat.Hybrid_solver.run (Hyqsat.Hybrid_solver.Classic Cdcl.Config.minisat_like) f
+  in
   Printf.printf "%-28s total %10.1f us   (CDCL %d iterations)\n" "classic CDCL (MiniSAT-like)"
     (classic.Hyqsat.Hybrid_solver.cdcl_time_s *. 1e6)
     classic.Hyqsat.Hybrid_solver.iterations;
@@ -36,7 +38,9 @@ let run (ctx : Bench_util.ctx) =
     qa_sampling_us;
 
   (* (c) HyQSAT *)
-  let hybrid = Hyqsat.Hybrid_solver.solve ~config:Hyqsat.Hybrid_solver.noisy_config f in
+  let hybrid =
+    Hyqsat.Hybrid_solver.run (Hyqsat.Hybrid_solver.Hybrid Hyqsat.Hybrid_solver.noisy_config) f
+  in
   let frontend_us = hybrid.Hyqsat.Hybrid_solver.frontend_time_s *. 1e6 in
   let per_call_embed_us =
     frontend_us /. float_of_int (max 1 hybrid.Hyqsat.Hybrid_solver.qa_calls)

@@ -45,7 +45,7 @@ let run (ctx : Bench_util.ctx) =
             let f = Workload.Uniform.generate rng ~num_vars:20 ~num_clauses:42 in
             let classic = Exp_common.solve_classic f in
             let config = Exp_common.hybrid_config ~strategies ctx.Bench_util.seed in
-            let hybrid = Hyqsat.Hybrid_solver.solve ~config f in
+            let hybrid = Exp_common.solve_hybrid ~config f in
             Exp_common.reduction classic hybrid)
       in
       Printf.printf " %9.2f" (Bench_util.geomean reds))

@@ -17,7 +17,7 @@ let run (ctx : Bench_util.ctx) =
         List.map
           (fun f ->
             let r =
-              Hybrid.solve
+              Exp_common.solve_hybrid
                 ~config:
                   (Exp_common.hybrid_config ~noise:Anneal.Noise.default_2000q
                      ctx.Bench_util.seed)

@@ -23,10 +23,12 @@ let run (ctx : Bench_util.ctx) =
           let mini = Exp_common.solve_classic ~config:Cdcl.Config.minisat_like f in
           let kis = Exp_common.solve_classic ~config:Cdcl.Config.kissat_like f in
           let noisefree =
-            Hybrid.solve ~config:(Exp_common.hybrid_config ctx.Bench_util.seed) ~max_iterations:cap f
+            Exp_common.solve_hybrid
+              ~config:(Exp_common.hybrid_config ctx.Bench_util.seed)
+              ~max_iterations:cap f
           in
           let noisy =
-            Hybrid.solve
+            Exp_common.solve_hybrid
               ~config:
                 (Exp_common.hybrid_config ~noise:Anneal.Noise.default_2000q
                    ctx.Bench_util.seed)

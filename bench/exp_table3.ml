@@ -33,7 +33,8 @@ let run (ctx : Bench_util.ctx) =
                   ~graph_size:g ctx.Bench_util.seed
               in
               let hybrid =
-                Hybrid.solve ~config ~max_iterations:(Exp_common.iteration_cap ctx) f
+                Exp_common.solve_hybrid ~config
+                  ~max_iterations:(Exp_common.iteration_cap ctx) f
               in
               Exp_common.reduction classic hybrid)
         in

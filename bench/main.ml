@@ -22,6 +22,7 @@ let experiments =
     ("batch", Exp_batch.run);
     ("anneal", Exp_anneal.run);
     ("serve", Exp_serve.run);
+    ("incremental", Exp_incremental.run);
   ]
 
 let run_selected names scale seed problems trace fault_rate =

@@ -64,8 +64,8 @@ let write_proof path (r : Service.Batch.job_result) =
   | None -> ()
 
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out certify proof_file trace_file metrics qa_reads qa_domains
-    qa_backend qa_fault_rate qa_timeout_us qa_retries =
+    max_iterations json_out certify proof_file trace_file metrics warm_start qa_reads
+    qa_domains qa_backend qa_fault_rate qa_timeout_us qa_retries =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
@@ -131,7 +131,8 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
      a second signal exits immediately *)
   let stop = Server.Drain.install_stop_handlers () in
   let summary, results =
-    Service.Batch.run ~workers:jobs ~obs ~cancel:(fun () -> Atomic.get stop) ~members specs
+    Service.Batch.run ~workers:jobs ~obs ~cancel:(fun () -> Atomic.get stop) ~warm_start
+      ~members specs
   in
   if Atomic.get stop then begin
     let cancelled =
@@ -264,6 +265,16 @@ let trace_arg =
            attempt and pipeline stage (frontend/embed/anneal/backend/cdcl), plus final metric \
            values.")
 
+let warm_start_arg =
+  Arg.(
+    value & flag
+    & info [ "warm-start" ]
+        ~doc:
+          "Share learnt clauses across the batch: a job whose formula equals one already \
+           solved starts from the earlier race's learnt clauses.  Reuse is gated on formula \
+           equality, so answers never change — only the work to reach them (see the \
+           $(b,warm)/$(b,reused_clauses) telemetry columns).")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -384,8 +395,8 @@ let serve_main socket port metrics_port workers queue_capacity per_client grace 
 (* ------------------------------------------------------------------ *)
 (* submit: the thin client *)
 
-let submit_main paths socket port certify timeout retries max_iterations seed priority events
-    json_out verbose =
+let submit_main paths socket port certify timeout retries max_iterations seed priority
+    session events json_out verbose =
   if paths = [] then begin
     Printf.eprintf "hyqsat submit: no input files\n";
     exit 2
@@ -413,7 +424,7 @@ let submit_main paths socket port certify timeout retries max_iterations seed pr
          answer is reproducible against `hyqsat FILE --seed S` *)
       let spec =
         Server.Protocol.make_job_spec ~name:path ~certify ?timeout_s:timeout ~max_iterations
-          ~retries ~seed:(seed + (101 * i)) ~priority ~id:i dimacs
+          ~retries ~seed:(seed + (101 * i)) ~priority ?session ~id:i dimacs
       in
       Server.Client.send t (Server.Protocol.Submit spec))
     paths;
@@ -547,6 +558,17 @@ let priority_arg =
     & info [ "priority" ] ~docv:"N"
         ~doc:"Admission priority (higher runs sooner; FIFO within a priority).")
 
+let session_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "session" ] ~docv:"NAME"
+        ~doc:
+          "Submit every instance under one server-side session: the daemon keeps the learnt \
+           clauses (and, when its configuration allows, the embedding cache) from earlier \
+           jobs of the session and warm-starts later ones that share clause structure.  The \
+           first job of a session answers exactly like a one-shot submit.")
+
 let events_arg =
   Arg.(
     value & flag
@@ -567,15 +589,16 @@ let submit_cmd =
     (Cmd.info "submit" ~doc)
     Term.(
       const submit_main $ paths_arg $ socket_arg $ port_arg $ certify_arg $ timeout_arg
-      $ retries_arg $ max_iterations_arg $ seed_arg $ priority_arg $ events_arg $ json_arg
-      $ verbose_arg)
+      $ retries_arg $ max_iterations_arg $ seed_arg $ priority_arg $ session_arg $ events_arg
+      $ json_arg $ verbose_arg)
 
 let solve_term =
   Term.(
     const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
     $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-    $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ qa_reads_arg $ qa_domains_arg
-    $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg $ qa_retries_arg)
+    $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ warm_start_arg $ qa_reads_arg
+    $ qa_domains_arg $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg
+    $ qa_retries_arg)
 
 let solve_cmd =
   let doc = "solve DIMACS instances in-process (the default command)" in

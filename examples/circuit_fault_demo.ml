@@ -12,8 +12,8 @@ let () =
     48;
   Format.printf "CNF: %d vars, %d clauses@." (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f);
 
-  let classic = Hyqsat.Hybrid_solver.solve_classic f in
-  let hybrid = Hyqsat.Hybrid_solver.solve f in
+  let classic = Hyqsat.Solve.run (Hyqsat.Solve.classic ()) f in
+  let hybrid = Hyqsat.Solve.run (Hyqsat.Solve.hybrid ()) f in
   let verdict = function
     | Cdcl.Solver.Unsat -> "fault is untestable (circuits equivalent)"
     | Cdcl.Solver.Sat _ -> "fault is testable!"

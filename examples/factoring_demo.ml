@@ -11,7 +11,7 @@ let () =
   Format.printf "factoring %d with two %d-bit operands: CNF with %d vars, %d clauses@." target
     bits (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f);
 
-  let report = Hyqsat.Hybrid_solver.solve f in
+  let report = Hyqsat.Solve.run (Hyqsat.Solve.hybrid ()) f in
   (match report.Hyqsat.Hybrid_solver.result with
   | Cdcl.Solver.Sat model ->
       (* the multiplier's inputs are the first 2·bits wires: xs then ys *)
@@ -32,6 +32,6 @@ let () =
 
   (* a prime target is UNSAT: no non-trivial factorisation exists *)
   let prime = Workload.Factoring.of_target ~target:127 ~bits:4 in
-  match (Hyqsat.Hybrid_solver.solve prime).Hyqsat.Hybrid_solver.result with
+  match (Hyqsat.Solve.run (Hyqsat.Solve.hybrid ()) prime).Hyqsat.Hybrid_solver.result with
   | Cdcl.Solver.Unsat -> Format.printf "and 127 is confirmed prime@."
   | _ -> Format.printf "unexpected result for 127@."

@@ -11,8 +11,8 @@ let () =
   Format.printf "3-colouring a flat graph: %d nodes, %d edges -> CNF with %d vars, %d clauses@."
     nodes edges (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f);
 
-  let classic = Hyqsat.Hybrid_solver.solve_classic f in
-  let hybrid = Hyqsat.Hybrid_solver.solve f in
+  let classic = Hyqsat.Solve.run (Hyqsat.Solve.classic ()) f in
+  let hybrid = Hyqsat.Solve.run (Hyqsat.Solve.hybrid ()) f in
   Format.printf "classic CDCL: %d iterations;  HyQSAT: %d iterations (%d QA calls)@."
     classic.Hyqsat.Hybrid_solver.iterations hybrid.Hyqsat.Hybrid_solver.iterations
     hybrid.Hyqsat.Hybrid_solver.qa_calls;

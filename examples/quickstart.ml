@@ -13,7 +13,7 @@ let () =
   Format.printf "Problem:@.%a@." Sat.Cnf.pp f;
 
   (* solve with the hybrid solver (noise-free annealer, 16×16 Chimera) *)
-  let report = Hyqsat.Hybrid_solver.solve f in
+  let report = Hyqsat.Solve.run (Hyqsat.Solve.hybrid ()) f in
   (match report.Hyqsat.Hybrid_solver.result with
   | Cdcl.Solver.Sat model ->
       Format.printf "SATISFIABLE:";

@@ -28,40 +28,50 @@ type cls = {
 
 let dummy_cls = { lits = [||]; activity = 0.; learnt = false; origin = -1; deleted = true }
 
+(* the per-variable arrays are capacity-managed (length >= n) so [new_var]
+   can admit variables without reallocating on every call *)
 type t = {
   config : Config.t;
   rng : Stats.Rng.t;
-  n : int;
-  num_original : int;
+  mutable n : int;
+  mutable num_original : int;
   (* assignment state: +1 true, -1 false, 0 undef *)
-  assigns : int array;
-  level : int array;
-  reason : cls array; (* dummy_cls = no reason *)
-  polarity : bool array;
+  mutable assigns : int array;
+  mutable level : int array;
+  mutable reason : cls array; (* dummy_cls = no reason *)
+  mutable polarity : bool array;
   trail : int Vec.t; (* literals *)
   trail_lim : int Vec.t;
   mutable qhead : int;
-  watches : cls Vec.t array; (* indexed by literal *)
+  mutable watches : cls Vec.t array; (* indexed by literal *)
   mutable learnts : cls Vec.t;
   (* decision heuristics *)
-  var_act : float array; (* VSIDS activity or CHB Q score *)
+  mutable var_act : float array; (* VSIDS activity or CHB Q score *)
   mutable var_inc : float;
-  heap : Var_heap.t;
+  mutable heap : Var_heap.t;
   (* CHB bookkeeping *)
   mutable chb_alpha : float;
-  chb_last_conflict : int array;
+  mutable chb_last_conflict : int array;
   (* clause learning *)
   mutable cla_inc : float;
-  seen : bool array;
+  mutable seen : bool array;
   (* paper instrumentation *)
-  clause_score : float array;
-  visits_prop : int array;
-  visits_confl : int array;
-  original_cls : cls array; (* original clause index -> arena clause *)
+  mutable clause_score : float array;
+  mutable visits_prop : int array;
+  mutable visits_confl : int array;
+  mutable original_cls : cls array; (* original clause index -> arena clause *)
   (* priority decisions injected by the hybrid backend *)
   forced_queue : int Queue.t;
-  (* incremental-solving assumptions, assumed in order before any decision *)
+  (* incremental-solving assumptions: assumption [i] is decided at decision
+     level [i+1] (or gets an empty level when already true), so every
+     decision below [length assumptions] levels IS an assumption — the
+     invariant [analyze_final] relies on to read a sound conflict core off
+     the trail *)
   mutable assumptions : int array;
+  (* conflict core of the last [`Unsat_assumptions] answer *)
+  mutable last_core : int array;
+  (* root-trail watermark of the last between-solves simplification *)
+  mutable simp_trail : int;
   (* restart control *)
   mutable restart_pending : bool;
   mutable conflicts_since_restart : int;
@@ -132,6 +142,8 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
       original_cls = Array.make (max m 1) dummy_cls;
       forced_queue = Queue.create ();
       assumptions = [||];
+      last_core = [||];
+      simp_trail = 0;
       restart_pending = false;
       conflicts_since_restart = 0;
       restart_k = 1;
@@ -186,6 +198,75 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
             Vec.push t.trail l)
     (List.rev !pending_units);
   t
+
+(* ------------------------------------------------------------------ *)
+(* capacity growth (incremental API)                                    *)
+
+let grow_int a cap =
+  let b = Array.make cap 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_var_capacity t n' =
+  let cap0 = Array.length t.assigns in
+  (* the heap can be smaller than the other arrays (created with exactly
+     [n] slots while arrays use [max n 1]) — grow when either is short *)
+  if n' > cap0 || n' > Var_heap.capacity t.heap then begin
+    let cap = max n' (max 16 (2 * cap0)) in
+    t.assigns <- grow_int t.assigns cap;
+    t.level <- grow_int t.level cap;
+    t.chb_last_conflict <- grow_int t.chb_last_conflict cap;
+    (let b = Array.make cap dummy_cls in
+     Array.blit t.reason 0 b 0 cap0;
+     t.reason <- b);
+    (let b = Array.make cap false in
+     Array.blit t.polarity 0 b 0 cap0;
+     t.polarity <- b);
+    (let b = Array.make cap false in
+     Array.blit t.seen 0 b 0 cap0;
+     t.seen <- b);
+    (let old = t.watches in
+     t.watches <-
+       Array.init (2 * cap) (fun i ->
+           if i < Array.length old then old.(i) else Vec.create ~dummy:dummy_cls ()));
+    let act = Array.make cap 0. in
+    Array.blit t.var_act 0 act 0 cap0;
+    t.var_act <- act;
+    t.heap <- Var_heap.grow t.heap cap act
+  end
+
+let ensure_clause_capacity t m' =
+  let cap0 = Array.length t.clause_score in
+  if m' > cap0 then begin
+    let cap = max m' (max 16 (2 * cap0)) in
+    (let b = Array.make cap 1.0 in
+     Array.blit t.clause_score 0 b 0 cap0;
+     t.clause_score <- b);
+    t.visits_prop <- grow_int t.visits_prop cap;
+    t.visits_confl <- grow_int t.visits_confl cap;
+    let b = Array.make cap dummy_cls in
+    Array.blit t.original_cls 0 b 0 cap0;
+    t.original_cls <- b
+  end
+
+let invalidate_sat t =
+  match t.status with Sat _ -> t.status <- Unknown Sat.Answer.Budget | _ -> ()
+
+let new_var t =
+  let v = t.n in
+  ensure_var_capacity t (v + 1);
+  t.n <- v + 1;
+  t.assigns.(v) <- 0;
+  t.level.(v) <- 0;
+  t.reason.(v) <- dummy_cls;
+  t.polarity.(v) <- false;
+  t.var_act.(v) <- 0.;
+  t.chb_last_conflict.(v) <- 0;
+  t.seen.(v) <- false;
+  Var_heap.insert t.heap v;
+  (* a cached Sat model does not cover the new variable *)
+  invalidate_sat t;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* activity management                                                  *)
@@ -247,6 +328,15 @@ let enqueue t l reason =
     if reason.origin >= 0 then
       t.visits_prop.(reason.origin) <- t.visits_prop.(reason.origin) + 1
   end
+
+(* level-0 fact installed by the incremental API (add_clause / import);
+   only sound when the trail is at decision level 0 *)
+let enqueue_root t l =
+  let v = Sat.Lit.var l in
+  t.assigns.(v) <- lit_sign l;
+  t.level.(v) <- 0;
+  t.reason.(v) <- dummy_cls;
+  Vec.push t.trail l
 
 let propagate t =
   let conflict = ref dummy_cls in
@@ -333,6 +423,58 @@ let cancel_until t lvl =
   end
 
 (* ------------------------------------------------------------------ *)
+(* incremental clause addition                                          *)
+
+let add_clause t lits =
+  match t.status with
+  | Unsat -> () (* the instance is already refuted; nothing can relax that *)
+  | _ ->
+      invalidate_sat t;
+      cancel_until t 0;
+      List.iter
+        (fun l ->
+          let v = Sat.Lit.var l in
+          while t.n <= v do
+            ignore (new_var t)
+          done)
+        lits;
+      (* root-level reduction: drop false literals, detect satisfied /
+         tautological clauses, dedupe *)
+      let taut = ref false and sat_root = ref false in
+      let kept = ref [] in
+      List.iter
+        (fun l ->
+          if not (!taut || !sat_root) then
+            match value_lit t l with
+            | 1 -> sat_root := true
+            | -1 -> ()
+            | _ ->
+                if List.exists (fun k -> k = Sat.Lit.negate l) !kept then taut := true
+                else if not (List.mem l !kept) then kept := l :: !kept)
+        lits;
+      (* every added clause consumes an original index, installed or not, so
+         instrumentation indices match the caller's clause numbering *)
+      let i = t.num_original in
+      ensure_clause_capacity t (i + 1);
+      t.num_original <- i + 1;
+      t.clause_score.(i) <- 1.0;
+      t.visits_prop.(i) <- 0;
+      t.visits_confl.(i) <- 0;
+      if not (!taut || !sat_root) then begin
+        match List.rev !kept with
+        | [] ->
+            log_proof t (Sat.Drat.Add []);
+            t.status <- Unsat
+        | [ l ] -> enqueue_root t l
+        | ls ->
+            let arr = Array.of_list ls in
+            let c = { lits = arr; activity = 0.; learnt = false; origin = i; deleted = false } in
+            t.original_cls.(i) <- c;
+            Vec.push t.watches.(arr.(0)) c;
+            Vec.push t.watches.(arr.(1)) c
+      end
+
+(* ------------------------------------------------------------------ *)
 (* conflict analysis (first UIP)                                        *)
 
 let lit_redundant t l =
@@ -390,6 +532,37 @@ let analyze t conflict =
   let back_level = match tail with [] -> 0 | l :: _ -> t.level.(Sat.Lit.var l) in
   (Array.of_list (uip :: tail), back_level)
 
+(* final-conflict analysis (MiniSAT analyzeFinal): [p] is a falsified
+   assumption; walk the implication graph of [¬p] down the trail and
+   collect the assumptions it rests on.  Sound because of the level-prefix
+   invariant: every decision on the trail is itself an assumption. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    t.seen.(Sat.Lit.var p) <- true;
+    let bottom = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bottom do
+      let q = Vec.get t.trail i in
+      let v = Sat.Lit.var q in
+      if t.seen.(v) then begin
+        (* [q] can never be [p] itself (p is falsified, so the trail holds
+           its negation) — even when [v = var p] the decision found here is
+           the {e earlier} assumption contradicting [p], and belongs in the
+           core *)
+        (if t.reason.(v) == dummy_cls then core := q :: !core
+         else
+           Array.iter
+             (fun r ->
+               let w = Sat.Lit.var r in
+               if t.level.(w) > 0 then t.seen.(w) <- true)
+             t.reason.(v).lits);
+        t.seen.(v) <- false
+      end
+    done;
+    t.seen.(Sat.Lit.var p) <- false
+  end;
+  t.last_core <- Array.of_list !core
+
 (* lbd of a learnt clause: number of distinct decision levels *)
 let lbd t lits =
   let tbl = Hashtbl.create 8 in
@@ -438,6 +611,47 @@ let reduce_db t =
       end)
     arr;
   Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+
+(* ------------------------------------------------------------------ *)
+(* root-level simplification (between incremental solves)               *)
+
+let simplify_roots t =
+  match t.status with
+  | Sat _ | Unsat -> ()
+  | Unknown _ ->
+      if decision_level t = 0 then begin
+        match propagate t with
+        | Some _ ->
+            log_proof t (Sat.Drat.Add []);
+            t.status <- Unsat
+        | None ->
+            if Vec.size t.trail > t.simp_trail then begin
+              (* the root trail grew since the last pass: remove clauses now
+                 satisfied at level 0 (learnt deletions logged for DRAT;
+                 original deletions are just deactivation — the proof checker
+                 keeps the formula) *)
+              let satisfied c = Array.exists (fun l -> value_lit t l = 1) c.lits in
+              Vec.iter
+                (fun c ->
+                  if (not c.deleted) && satisfied c then begin
+                    c.deleted <- true;
+                    log_proof t (Sat.Drat.Delete (Array.to_list c.lits));
+                    t.s_deleted <- t.s_deleted + 1
+                  end)
+                t.learnts;
+              Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
+              for i = 0 to t.num_original - 1 do
+                let c = t.original_cls.(i) in
+                if c != dummy_cls && (not c.deleted) && satisfied c then c.deleted <- true
+              done;
+              (* root assignments are facts: drop their reasons, which may
+                 point at clauses deleted above *)
+              for i = 0 to Vec.size t.trail - 1 do
+                t.reason.(Sat.Lit.var (Vec.get t.trail i)) <- dummy_cls
+              done;
+              t.simp_trail <- Vec.size t.trail
+            end
+      end
 
 (* ------------------------------------------------------------------ *)
 (* restarts                                                             *)
@@ -507,7 +721,13 @@ let extract_model t = Array.init t.n (fun v -> t.assigns.(v) = 1)
 (* ------------------------------------------------------------------ *)
 (* main loop                                                            *)
 
-exception Assumptions_falsified
+let falsified_assumption t =
+  let rec go i =
+    if i >= Array.length t.assumptions then None
+    else if value_lit t t.assumptions.(i) = -1 then Some t.assumptions.(i)
+    else go (i + 1)
+  in
+  go 0
 
 let step t =
   match t.status with
@@ -541,83 +761,197 @@ let step t =
             end;
             `Continue
           end
-      | None ->
-          if Vec.size t.trail = t.n then begin
-            if Array.exists (fun l -> value_lit t l = -1) t.assumptions then
-              raise Assumptions_falsified;
-            let m = extract_model t in
-            t.status <- Sat m;
-            `Sat m
-          end
+      | None -> (
+          if Vec.size t.trail = t.n then
+            match falsified_assumption t with
+            | Some l ->
+                analyze_final t l;
+                `Unsat_assumptions
+            | None ->
+                let m = extract_model t in
+                t.status <- Sat m;
+                `Sat m
           else begin
             if t.restart_pending then apply_restart t;
-            (* assumptions are standing forced decisions: re-assume the first
-               one that is currently unassigned; a falsified assumption makes
-               the instance unsat *under assumptions* *)
-            let rec next_assumption i =
-              if i >= Array.length t.assumptions then `None
-              else
-                let l = t.assumptions.(i) in
-                match value_lit t l with
-                | 1 -> next_assumption (i + 1)
-                | -1 -> `Falsified
-                | _ -> `Assume l
-            in
-            (match next_assumption 0 with
-            | `Falsified -> raise Assumptions_falsified
-            | `Assume l ->
-                t.s_decisions <- t.s_decisions + 1;
-                Vec.push t.trail_lim (Vec.size t.trail);
-                enqueue t l dummy_cls;
-                if decision_level t > t.s_max_level then t.s_max_level <- decision_level t
-            | `None -> (
-                match pick_branch_var t with
-                | Some v -> decide t v
-                | None ->
-                    (* all remaining vars assigned at level 0 but trail < n can
-                       not happen: heap holds every unassigned var *)
-                    assert false));
-            `Continue
-          end)
+            let dl = decision_level t in
+            if dl < Array.length t.assumptions then begin
+              (* assumptions occupy the first decision levels, one each, in
+                 order (the level-prefix invariant behind [analyze_final]) *)
+              let l = t.assumptions.(dl) in
+              match value_lit t l with
+              | 1 ->
+                  (* already true: open an empty level so assumption index
+                     keeps mapping onto decision level *)
+                  Vec.push t.trail_lim (Vec.size t.trail);
+                  `Continue
+              | -1 ->
+                  analyze_final t l;
+                  `Unsat_assumptions
+              | _ ->
+                  t.s_decisions <- t.s_decisions + 1;
+                  Vec.push t.trail_lim (Vec.size t.trail);
+                  enqueue t l dummy_cls;
+                  if decision_level t > t.s_max_level then
+                    t.s_max_level <- decision_level t;
+                  `Continue
+            end
+            else begin
+              (match pick_branch_var t with
+              | Some v -> decide t v
+              | None ->
+                  (* all remaining vars assigned at level 0 but trail < n can
+                     not happen: heap holds every unassigned var *)
+                  assert false);
+              `Continue
+            end
+          end))
 
-let solve ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
+let run_search ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
+  simplify_roots t;
   let saturating_add a b = if a > max_int - b then max_int else a + b in
+  (* budgets are per-call deltas over the cumulative counters, so resuming
+     after an [Unknown] grants a fresh budget rather than returning
+     immediately *)
   let conflict_budget = saturating_add t.s_conflicts max_conflicts in
   let iteration_budget = saturating_add t.s_iterations max_iterations in
   let rec loop polls =
     if t.s_conflicts >= conflict_budget || t.s_iterations >= iteration_budget then
-      Unknown Sat.Answer.Budget
-    else if polls land 127 = 0 && t.terminate () then Unknown Sat.Answer.Cancelled
+      `Done (Unknown Sat.Answer.Budget)
+    else if polls land 127 = 0 && t.terminate () then `Done (Unknown Sat.Answer.Cancelled)
     else
       match step t with
       | `Continue -> loop (polls + 1)
-      | `Sat m -> Sat m
-      | `Unsat -> Unsat
+      | `Sat m -> `Done (Sat m)
+      | `Unsat -> `Done Unsat
+      | `Unsat_assumptions -> `Unsat_assumptions
   in
-  match t.status with Sat m -> Sat m | Unsat -> Unsat | Unknown _ -> loop 0
+  match t.status with
+  | Sat m -> `Done (Sat m)
+  | Unsat -> `Done Unsat
+  | Unknown _ -> loop 0
+
+let clear_assumptions t =
+  if Array.length t.assumptions > 0 then begin
+    cancel_until t 0;
+    t.assumptions <- [||]
+  end
+
+let set_assumptions t lits =
+  let arr = Array.of_list lits in
+  if arr <> t.assumptions then begin
+    cancel_until t 0;
+    t.assumptions <- arr;
+    t.last_core <- [||];
+    (* a cached Sat answer may violate the new assumptions *)
+    invalidate_sat t
+  end
+
+let solve ?max_conflicts ?max_iterations t =
+  (* a plain solve is an assumption-free solve: leftover assumption
+     decisions from a previous assumption solve must not constrain it *)
+  clear_assumptions t;
+  match run_search ?max_conflicts ?max_iterations t with
+  | `Done r -> r
+  | `Unsat_assumptions -> assert false (* no assumptions installed *)
 
 let solve_with_assumptions ?max_conflicts ?max_iterations t lits =
-  if t.status = Unsat then `Unsat
-  else begin
-    (* a previous Sat answer is no longer meaningful under new assumptions *)
-    t.status <- Unknown Sat.Answer.Budget;
-    cancel_until t 0;
-    t.assumptions <- Array.of_list lits;
-    let finish r =
-      t.assumptions <- [||];
-      r
-    in
-    match solve ?max_conflicts ?max_iterations t with
-    | Sat m ->
-        (* the model honours the assumptions by construction *)
-        finish (`Sat m)
-    | Unsat -> finish `Unsat
-    | Unknown _ -> finish `Unknown
-    | exception Assumptions_falsified ->
+  match t.status with
+  | Unsat -> `Unsat
+  | _ -> (
+      set_assumptions t lits;
+      match run_search ?max_conflicts ?max_iterations t with
+      | `Done (Sat m) -> `Sat m
+      | `Done Unsat -> `Unsat
+      | `Done (Unknown _) -> `Unknown
+      | `Unsat_assumptions ->
+          cancel_until t 0;
+          t.status <- Unknown Sat.Answer.Budget;
+          `Unsat_assumptions)
+
+let unsat_core t = Array.to_list t.last_core
+
+(* ------------------------------------------------------------------ *)
+(* learnt-clause interchange                                            *)
+
+let export_learnts ?(max_len = 4) ?(max_clauses = 512) t =
+  (* root facts first: the strongest, cheapest clauses to hand a sibling
+     solver working on the same formula *)
+  let root_end =
+    if decision_level t = 0 then Vec.size t.trail else Vec.get t.trail_lim 0
+  in
+  let count = ref 0 in
+  let units = ref [] in
+  for i = root_end - 1 downto 0 do
+    if !count < max_clauses then begin
+      units := [| Vec.get t.trail i |] :: !units;
+      incr count
+    end
+  done;
+  (* then the most active short learnt clauses *)
+  let arr = Array.init (Vec.size t.learnts) (Vec.get t.learnts) in
+  Array.sort (fun a b -> Float.compare b.activity a.activity) arr;
+  let cls = ref [] in
+  Array.iter
+    (fun c ->
+      if (not c.deleted) && Array.length c.lits <= max_len && !count < max_clauses then begin
+        cls := Array.copy c.lits :: !cls;
+        incr count
+      end)
+    arr;
+  !units @ List.rev !cls
+
+let import_clauses t clauses =
+  (* the caller's contract: every clause is a logical consequence of this
+     solver's formula (learnt by a solver over the same or a subset clause
+     set).  Refused under proof logging — a foreign learnt clause has no
+     RUP derivation at this point in the log, so importing would break
+     {!proof} checkability. *)
+  if t.config.Config.log_proof then 0
+  else
+    match t.status with
+    | Unsat -> 0
+    | _ ->
+        invalidate_sat t;
         cancel_until t 0;
-        t.status <- Unknown Sat.Answer.Budget;
-        finish `Unsat_assumptions
-  end
+        let imported = ref 0 in
+        List.iter
+          (fun lits ->
+            if
+              (match t.status with Unsat -> false | _ -> true)
+              && Array.for_all (fun l -> Sat.Lit.var l < t.n) lits
+            then begin
+              let taut = ref false and sat_root = ref false in
+              let kept = ref [] in
+              Array.iter
+                (fun l ->
+                  if not (!taut || !sat_root) then
+                    match value_lit t l with
+                    | 1 -> sat_root := true
+                    | -1 -> ()
+                    | _ ->
+                        if List.exists (fun k -> k = Sat.Lit.negate l) !kept then
+                          taut := true
+                        else if not (List.mem l !kept) then kept := l :: !kept)
+                lits;
+              if not (!taut || !sat_root) then
+                match List.rev !kept with
+                | [] -> t.status <- Unsat
+                | [ l ] ->
+                    enqueue_root t l;
+                    incr imported
+                | ls ->
+                    let arr = Array.of_list ls in
+                    let c =
+                      { lits = arr; activity = 0.; learnt = true; origin = -1; deleted = false }
+                    in
+                    bump_cla t c;
+                    Vec.push t.learnts c;
+                    Vec.push t.watches.(arr.(0)) c;
+                    Vec.push t.watches.(arr.(1)) c;
+                    incr imported
+            end)
+          clauses;
+        !imported
 
 (* ------------------------------------------------------------------ *)
 (* accessors                                                            *)
@@ -654,6 +988,12 @@ let value t v =
 let trail_literals t = Vec.to_list t.trail
 let proof t = if t.config.Config.log_proof then Some (List.rev t.proof_rev) else None
 let model t = match t.status with Sat m -> Some m | _ -> None
+
+let model_value t v =
+  match t.status with
+  | Sat m when v < Array.length m -> Some m.(v)
+  | _ -> None
+
 let is_decided t = match t.status with Unknown _ -> false | _ -> true
 
 let force_restart t = t.restart_pending <- true

@@ -48,15 +48,43 @@ val create : ?config:Config.t -> Sat.Cnf.t -> t
     (they can never propagate); empty clauses make the instance trivially
     unsatisfiable. *)
 
-val solve : ?max_conflicts:int -> ?max_iterations:int -> t -> result
-(** Run to completion or until a budget is exhausted ([Unknown]).  [solve]
-    may be called again after an [Unknown] to continue the search. *)
+(** {2 Incremental interface (MiniSAT-style)}
 
-val step : t -> [ `Continue | `Sat of bool array | `Unsat ]
+    The solver is a long-lived session: variables and clauses can be added
+    between solves, and everything learnt — clauses, VSIDS/CHB activities,
+    saved phases — carries over to the next call.  Between calls the root
+    level is simplified: clauses satisfied at level 0 are removed (learnt
+    deletions are DRAT-logged; satisfied original clauses just turn
+    inactive, see {!clause_is_active}). *)
+
+val new_var : t -> Sat.Lit.var
+(** Admit a fresh variable and return its index ([num_vars] before the
+    call).  A cached [Sat] answer is invalidated (it does not cover the new
+    variable). *)
+
+val add_clause : t -> Sat.Lit.t list -> unit
+(** Add a clause over existing or fresh variables (unseen variables are
+    admitted automatically).  Backtracks to level 0 first; the clause is
+    reduced against the root assignment — satisfied and tautological
+    clauses are dropped, falsified literals stripped; an empty result makes
+    the instance [Unsat].  Each added clause consumes the next original-
+    clause index for the paper instrumentation ({!clause_activity} and
+    friends), whether or not it was installed.  No-op once [Unsat]. *)
+
+val solve : ?max_conflicts:int -> ?max_iterations:int -> t -> result
+(** Run to completion or until a budget is exhausted ([Unknown]).  Budgets
+    are per-call: [solve] may be called again after an [Unknown] and the
+    search resumes where it stopped with a fresh budget.  A plain [solve]
+    is assumption-free — any assumptions installed by
+    {!solve_with_assumptions} are cleared first. *)
+
+val step : t -> [ `Continue | `Sat of bool array | `Unsat | `Unsat_assumptions ]
 (** Advance the search by one iteration: propagate, then either resolve a
     conflict (learn + backjump) or take one decision.  Restart and database
     reduction policies run inside.  After [`Sat]/[`Unsat] further calls
-    return the same answer. *)
+    return the same answer.  [`Unsat_assumptions] surfaces only when
+    assumptions are installed and one is falsified; {!unsat_core} is valid
+    from that point. *)
 
 val stats : t -> stats
 val num_vars : t -> int
@@ -96,8 +124,20 @@ val trail_literals : t -> Sat.Lit.t list
 val model : t -> bool array option
 (** The model, once [solve] returned [Sat]. *)
 
+val model_value : t -> Sat.Lit.var -> bool option
+(** The variable's value in the last model; [None] while undecided or
+    after [Unsat]. *)
+
 val is_decided : t -> bool
 (** [true] once the search has concluded (SAT or UNSAT). *)
+
+val set_assumptions : t -> Sat.Lit.t list -> unit
+(** Install assumptions for step-driven search: subsequent {!step} calls
+    decide them level by level exactly as {!solve_with_assumptions} would.
+    Passing the same list as currently installed is a no-op (so a budget-
+    interrupted search resumes); a different list backtracks to the root,
+    clears {!unsat_core} and invalidates a cached [Sat] answer.  Pass [[]]
+    to clear. *)
 
 val solve_with_assumptions :
   ?max_conflicts:int ->
@@ -105,11 +145,41 @@ val solve_with_assumptions :
   t ->
   Sat.Lit.t list ->
   [ `Sat of bool array | `Unsat | `Unsat_assumptions | `Unknown ]
-(** Incremental solving under assumptions (MiniSAT-style): the literals are
-    assumed, in order, before any heuristic decision.  [`Unsat_assumptions]
+(** Incremental solving under assumptions (MiniSAT-style): assumption [i]
+    is decided at decision level [i+1] before any heuristic decision, so
+    the assumptions form a prefix of the trail.  [`Unsat_assumptions]
     means the formula is satisfiable (as far as known) but not under these
-    assumptions; the solver remains usable afterwards, keeping everything it
-    learnt.  No minimal conflict core is extracted. *)
+    assumptions; {!unsat_core} then gives the subset of assumptions that
+    already forces the conflict.  The solver remains usable afterwards,
+    keeping everything it learnt.  [`Unknown] means a budget ran out;
+    calling again with the {e same} assumptions resumes the search,
+    different assumptions restart it from the root (retaining learnt
+    clauses). *)
+
+val unsat_core : t -> Sat.Lit.t list
+(** After [`Unsat_assumptions]: a subset of the assumption literals whose
+    conjunction already makes the formula unsatisfiable (the falsified
+    assumption plus the assumptions its refutation rests on, via
+    final-conflict analysis).  Not guaranteed minimal.  [[]] before any
+    assumption conflict. *)
+
+val export_learnts : ?max_len:int -> ?max_clauses:int -> t -> Sat.Lit.t array list
+(** Snapshot of the most valuable derived clauses: all root-level facts as
+    unit clauses, then the most active learnt clauses of length
+    [<= max_len] (default 4), capped at [max_clauses] (default 512) total.
+    Every returned clause is a logical consequence of the solver's clause
+    set, so it can be {!import_clauses}'d into any solver over the same (or
+    a superset) formula. *)
+
+val import_clauses : t -> Sat.Lit.t array list -> int
+(** Install foreign learnt clauses (from {!export_learnts} of a solver over
+    the same or a subset clause set) and return how many were actually
+    installed.  Clauses mentioning unknown variables are skipped; the rest
+    are root-reduced like {!add_clause} and added as learnt clauses (so
+    database reduction can drop them again).  Returns [0] without
+    installing anything when the configuration has [log_proof] — imported
+    clauses have no RUP derivation at this point in the log and would break
+    {!proof} checkability. *)
 
 val proof : t -> Sat.Drat.t option
 (** The DRAT derivation recorded so far, oldest step first; [None] unless

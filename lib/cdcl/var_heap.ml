@@ -41,6 +41,7 @@ let create n activity =
   t
 
 let in_heap t v = t.pos.(v) >= 0
+let capacity t = Array.length t.pos
 let is_empty t = t.size = 0
 let size t = t.size
 
@@ -65,6 +66,17 @@ let pop_max t =
   v
 
 let notify_increase t v = if in_heap t v then sift_up t t.pos.(v)
+
+let grow t n' activity =
+  (* a fresh heap over [0..n'-1] reading from [activity] (the caller's
+     reallocated array), preserving current membership and order; new
+     variables start absent — the caller inserts them as it creates them *)
+  let cap = max n' 1 in
+  let heap = Array.make cap 0 in
+  Array.blit t.heap 0 heap 0 t.size;
+  let pos = Array.make cap (-1) in
+  Array.blit t.pos 0 pos 0 (Array.length t.pos);
+  { activity; heap; pos; size = t.size }
 
 let rebuild t =
   for i = (t.size / 2) - 1 downto 0 do

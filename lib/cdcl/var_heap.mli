@@ -11,6 +11,10 @@ val create : int -> float array -> t
     present) ordered by [activity]. *)
 
 val in_heap : t -> int -> bool
+
+(** How many variables the heap's backing arrays can address ([0..cap-1]);
+    {!grow} past this before inserting higher indices. *)
+val capacity : t -> int
 val is_empty : t -> bool
 val size : t -> int
 
@@ -23,6 +27,12 @@ val pop_max : t -> int
 
 val notify_increase : t -> int -> unit
 (** Re-establish heap order after the variable's activity increased. *)
+
+val grow : t -> int -> float array -> t
+(** [grow t n' activity] is a heap over variables [0..n'-1] backed by the
+    (reallocated) [activity] array, with [t]'s membership and order
+    preserved.  Newly admitted variables are absent until {!insert}ed.
+    [t] itself must no longer be used. *)
 
 val rebuild : t -> unit
 (** Re-heapify everything (after a global rescale, order is preserved, so

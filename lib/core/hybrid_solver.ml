@@ -62,8 +62,13 @@ let make_config ?(base = default_config) ?cdcl ?graph ?noise ?timing ?calibratio
 
 let noisy_config = make_config ~noise:Anneal.Noise.default_2000q ()
 
+type mode = Hybrid of config | Classic of Cdcl.Config.t
+
+let mode_label = function Hybrid _ -> "hybrid" | Classic _ -> "classic"
+
 type report = {
   result : Cdcl.Solver.result;
+  assumption_core : Sat.Lit.t list option;
   iterations : int;
   warmup_iterations : int;
   qa_calls : int;
@@ -75,8 +80,17 @@ type report = {
   cdcl_time_s : float;
   strategy_uses : int array;
   solver_stats : Cdcl.Solver.stats;
+  reused_clauses : int;
+  learnts : Sat.Lit.t array list;
   proof : Sat.Drat.t option;
 }
+
+let assumptions_satisfied assumptions m =
+  List.for_all
+    (fun l ->
+      let v = Sat.Lit.var l in
+      v < Array.length m && (if Sat.Lit.is_pos l then m.(v) else not m.(v)))
+    assumptions
 
 let end_to_end_time_s r =
   r.frontend_time_s +. (r.qa_time_us *. 1e-6) +. r.backend_time_s +. r.cdcl_time_s
@@ -106,9 +120,8 @@ let strategy_name = function
   | Backend.S3_none -> "s3"
   | Backend.S4_reach_conflict -> "s4"
 
-let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
-    ?(should_stop = fun () -> false) ?(obs = Obs.Ctx.null)
-    ?(parent = Obs.Span.none) f =
+let solve_hybrid ~config ?supervisor ~max_iterations ~should_stop ~obs ~parent
+    ~solver:solver0 ~embed_cache:cache0 ~assumptions ~import f =
   let traced = not (Obs.Ctx.is_null obs) in
   let root =
     if traced then
@@ -137,12 +150,26 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
   let failures_at_start = (Anneal.Supervisor.stats supervisor).Anneal.Supervisor.failures in
   (* pre-register so the export shows an explicit 0 when nothing degrades *)
   Obs.Metrics.incr ~by:0.0 obs "qa_degraded_total";
-  let embed_cache = Frontend.create_cache config.graph in
-  let solver = Cdcl.Solver.create ~config:config.cdcl f in
+  let embed_cache =
+    match cache0 with Some c -> c | None -> Frontend.create_cache config.graph
+  in
+  let owns_solver = Option.is_none solver0 in
+  let solver =
+    match solver0 with
+    | Some s -> s
+    | None -> Cdcl.Solver.create ~config:config.cdcl f
+  in
   Cdcl.Solver.set_obs solver obs;
+  let reused_clauses =
+    if import = [] then 0 else Cdcl.Solver.import_clauses solver import
+  in
+  Cdcl.Solver.set_assumptions solver assumptions;
   let warmup =
-    int_of_float
-      (config.warmup_fraction *. sqrt (float_of_int (estimate_iterations f)))
+    (* nothing to warm up when a reused solver already holds the answer *)
+    if Cdcl.Solver.is_decided solver then 0
+    else
+      int_of_float
+        (config.warmup_fraction *. sqrt (float_of_int (estimate_iterations f)))
   in
   let qa_calls = ref 0 in
   let qa_degraded = ref 0 in
@@ -158,6 +185,7 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
   let votes : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let iter = ref 0 in
   let result = ref (Cdcl.Solver.Unknown Sat.Answer.Budget) in
+  let core = ref None in
   let running = ref true in
   while !running && !iter < max_iterations && not (!iter land 127 = 0 && should_stop ()) do
     (* warm-up: consult the annealer before stepping *)
@@ -249,8 +277,11 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
                   (Obs.Metrics.labelled "strategy_uses_total"
                      [ ("strategy", strategy_name applied.Backend.strategy) ]);
               (match applied.Backend.solved with
-              | Some model -> solved_by_qa := Some model
-              | None -> ())));
+              | Some model
+                when assumptions = [] || assumptions_satisfied assumptions model
+                ->
+                  solved_by_qa := Some model
+              | _ -> ())));
       Obs.Span.stop span_iter
     end;
     (match !solved_by_qa with
@@ -269,6 +300,12 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
             running := false
         | `Unsat ->
             result := Cdcl.Solver.Unsat;
+            running := false
+        | `Unsat_assumptions ->
+            (* satisfiable as far as known, but not under these assumptions;
+               [Unsat] + [assumption_core] carries the distinction *)
+            core := Some (Cdcl.Solver.unsat_core solver);
+            result := Cdcl.Solver.Unsat;
             running := false))
   done;
   let result =
@@ -281,12 +318,15 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
   in
   if traced then begin
     Obs.Span.record obs ~parent:root ~dur_s:!cdcl_time "cdcl";
-    Cdcl.Solver.flush_obs solver;
+    (* a caller-owned (session) solver outlives this solve; its lifetime
+       counters are flushed by whoever retires it *)
+    if owns_solver then Cdcl.Solver.flush_obs solver;
     Obs.Span.add_attr root "result" (Sat.Answer.label result);
     Obs.Span.stop root
   end;
   {
     result;
+    assumption_core = !core;
     iterations = !iter;
     warmup_iterations = min warmup !iter;
     qa_calls = !qa_calls;
@@ -299,32 +339,55 @@ let solve ?(config = default_config) ?supervisor ?(max_iterations = max_int)
     cdcl_time_s = !cdcl_time;
     strategy_uses;
     solver_stats = Cdcl.Solver.stats solver;
+    reused_clauses;
+    learnts = Cdcl.Solver.export_learnts solver;
     proof = Cdcl.Solver.proof solver;
   }
 
-let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_int)
-    ?(should_stop = fun () -> false) ?(obs = Obs.Ctx.null)
-    ?(parent = Obs.Span.none) f =
+let solve_classic_on ~config ~max_iterations ~should_stop ~obs ~parent
+    ~solver:solver0 ~assumptions ~import f =
   let traced = not (Obs.Ctx.is_null obs) in
   let root =
     if traced then Obs.Span.start obs ~parent "classic_solve" else Obs.Span.none
   in
-  let solver = Cdcl.Solver.create ~config f in
+  let owns_solver = Option.is_none solver0 in
+  let solver =
+    match solver0 with Some s -> s | None -> Cdcl.Solver.create ~config f
+  in
   Cdcl.Solver.set_terminate solver should_stop;
   Cdcl.Solver.set_obs solver obs;
+  let reused_clauses =
+    if import = [] then 0 else Cdcl.Solver.import_clauses solver import
+  in
+  let iterations0 = (Cdcl.Solver.stats solver).Cdcl.Solver.iterations in
+  let core = ref None in
   let t0 = Sys.time () in
-  let result = Cdcl.Solver.solve ~max_iterations solver in
+  let result =
+    match assumptions with
+    | [] -> Cdcl.Solver.solve ~max_iterations solver
+    | lits -> (
+        match Cdcl.Solver.solve_with_assumptions ~max_iterations solver lits with
+        | `Sat m -> Cdcl.Solver.Sat m
+        | `Unsat -> Cdcl.Solver.Unsat
+        | `Unsat_assumptions ->
+            core := Some (Cdcl.Solver.unsat_core solver);
+            Cdcl.Solver.Unsat
+        | `Unknown ->
+            Cdcl.Solver.Unknown
+              (if should_stop () then Sat.Answer.Cancelled else Sat.Answer.Budget))
+  in
   let elapsed = Sys.time () -. t0 in
   if traced then begin
     Obs.Span.record obs ~parent:root ~dur_s:elapsed "cdcl";
-    Cdcl.Solver.flush_obs solver;
+    if owns_solver then Cdcl.Solver.flush_obs solver;
     Obs.Span.add_attr root "result" (Sat.Answer.label result);
     Obs.Span.stop root
   end;
   let stats = Cdcl.Solver.stats solver in
   {
     result;
-    iterations = stats.Cdcl.Solver.iterations;
+    assumption_core = !core;
+    iterations = stats.Cdcl.Solver.iterations - iterations0;
     warmup_iterations = 0;
     qa_calls = 0;
     qa_failures = 0;
@@ -335,5 +398,20 @@ let solve_classic ?(config = Cdcl.Config.minisat_like) ?(max_iterations = max_in
     cdcl_time_s = elapsed;
     strategy_uses = Array.make 4 0;
     solver_stats = stats;
+    reused_clauses;
+    learnts = Cdcl.Solver.export_learnts solver;
     proof = Cdcl.Solver.proof solver;
   }
+
+let run ?supervisor ?(max_iterations = max_int) ?(should_stop = fun () -> false)
+    ?(obs = Obs.Ctx.null) ?(parent = Obs.Span.none) ?solver ?embed_cache
+    ?(assumptions = []) ?(import = []) mode f =
+  match mode with
+  | Hybrid config ->
+      solve_hybrid ~config ?supervisor ~max_iterations ~should_stop ~obs ~parent
+        ~solver ~embed_cache ~assumptions ~import f
+  | Classic config ->
+      (* no annealer in the loop: the embed cache has nothing to key *)
+      ignore (embed_cache : Frontend.cache option);
+      solve_classic_on ~config ~max_iterations ~should_stop ~obs ~parent ~solver
+        ~assumptions ~import f

@@ -69,9 +69,22 @@ val noisy_config : config
 (** [make_config ~noise:Anneal.Noise.default_2000q ()] — the "real-world
     QA" mode of Table II. *)
 
+type mode = Hybrid of config | Classic of Cdcl.Config.t
+    (** what {!run} runs: the full quantum-guided pipeline, or the pure
+        CDCL baseline through the same reporting type (zero QA). *)
+
+val mode_label : mode -> string
+(** ["hybrid"] or ["classic"] — stable strings used in telemetry. *)
+
 type report = {
   result : Cdcl.Solver.result;
-  iterations : int;  (** CDCL iterations actually executed *)
+  assumption_core : Sat.Lit.t list option;
+      (** [Some core] when the answer is [Unsat] {e under the call's
+          assumptions} only — the formula itself is satisfiable as far as
+          the search knows, and [core] is the conflicting assumption subset
+          ({!Cdcl.Solver.unsat_core}).  [None] on an assumption-free solve
+          or a genuine [Unsat]. *)
+  iterations : int;  (** CDCL iterations executed {e by this call} *)
   warmup_iterations : int;  (** warm-up budget used *)
   qa_calls : int;  (** successful annealer consultations *)
   qa_failures : int;
@@ -86,6 +99,14 @@ type report = {
   cdcl_time_s : float;  (** measured CPU of the classical search *)
   strategy_uses : int array;  (** length 4: uses of strategies 1–4 *)
   solver_stats : Cdcl.Solver.stats;
+      (** cumulative over the solver's lifetime — equal to this call's work
+          only when the solver was created for this call *)
+  reused_clauses : int;
+      (** clauses actually installed from the call's [import] list *)
+  learnts : Sat.Lit.t array list;
+      (** {!Cdcl.Solver.export_learnts} snapshot at the end of the call:
+          root-level facts plus the most active short learnt clauses, for
+          warm-starting a sibling solver over the same formula *)
   proof : Sat.Drat.t option;
       (** DRAT derivation when [cdcl.log_proof] is set — the strategy
           feedback only injects phase/priority hints, never clauses, so
@@ -105,16 +126,46 @@ val end_to_end_pipelined_s : report -> float
 val estimate_iterations : Sat.Cnf.t -> int
 (** The paper's K estimate from variable and clause counts. *)
 
-val solve :
-  ?config:config ->
+val run :
   ?supervisor:Anneal.Supervisor.t ->
   ?max_iterations:int ->
   ?should_stop:(unit -> bool) ->
   ?obs:Obs.Ctx.t ->
   ?parent:Obs.Span.t ->
+  ?solver:Cdcl.Solver.t ->
+  ?embed_cache:Frontend.cache ->
+  ?assumptions:Sat.Lit.t list ->
+  ?import:Sat.Lit.t array list ->
+  mode ->
   Sat.Cnf.t ->
   report
-(** [supervisor] overrides the per-solve supervisor built from
+(** The one solver entry point.  [Hybrid config] runs the quantum-guided
+    pipeline below; [Classic config] runs the pure-CDCL baseline through
+    the same reporting type ([embed_cache] is then unused).  Prefer the
+    {!Solve} facade unless you need the extra knobs.
+
+    Incremental knobs (all default to a cold one-shot solve):
+    {ul
+    {- [solver] reuses a caller-owned {!Cdcl.Solver.t} instead of building
+       one from [f] — learnt clauses, activities and phases carry over from
+       its previous calls.  The solver's clause numbering must agree with
+       [f] (index [i] of [f] ↔ original clause [i] of the solver), which
+       holds when the solver was built from [f] or grown clause-by-clause
+       alongside it ({!Solve.Session} maintains this).  Its lifetime obs
+       counters are {e not} flushed here — the owner retires it.}
+    {- [embed_cache] reuses a caller-owned embedding cache (hybrid mode)
+       rather than a per-solve one.}
+    {- [assumptions] solves under the conjunction of the given literals:
+       [Sat] models satisfy them; [Unsat] with [assumption_core = Some _]
+       means unsatisfiable {e under the assumptions} only.  An annealer
+       model that violates an assumption is demoted to hints (never
+       returned as the answer).}
+    {- [import] installs foreign learnt clauses
+       ({!Cdcl.Solver.import_clauses}) before searching; the count actually
+       installed is reported as [reused_clauses].  No-op under proof
+       logging.}}
+
+    [supervisor] overrides the per-solve supervisor built from
     [config.backend]/[config.supervision]: pass a shared instance to put
     every solve behind {e one} circuit-broken device (the server
     dispatcher's deployment shape — see {!Anneal.Supervisor.sample} on
@@ -135,11 +186,9 @@ val solve :
     — retries exhausted or breaker open — that warm-up iteration degrades
     to pure CDCL: no hints are applied, [qa_degraded] is bumped, and the
     search continues; at a 100 % failure rate the solve is bit-identical
-    to {!solve_classic} modulo reporting.
+    to [Classic] mode modulo reporting.
 
-    Prefer calling this through {!Solve.run}.
-
-    With a live [obs] the solve emits a ["hybrid_solve"] span (under
+    With a live [obs] the hybrid mode emits a ["hybrid_solve"] span (under
     [parent]) containing one ["warmup_iter"] span per annealer
     consultation — each with ["frontend"] (and its ["embed"] child),
     ["anneal"] and ["backend"] children carrying the report's own stage
@@ -154,20 +203,9 @@ val solve :
     [strategy_uses_total{strategy=...}], the annealer's and the CDCL
     engine's own metrics, and the per-solve embedding cache's
     [embed_cache_hits_total] / [embed_cache_misses_total] (each solve owns
-    one {!Frontend.cache}, so repeated conflict-hot queues skip
-    place/route). *)
+    one {!Frontend.cache} unless [embed_cache] is passed, so repeated
+    conflict-hot queues skip place/route).
 
-val solve_classic :
-  ?config:Cdcl.Config.t ->
-  ?max_iterations:int ->
-  ?should_stop:(unit -> bool) ->
-  ?obs:Obs.Ctx.t ->
-  ?parent:Obs.Span.t ->
-  Sat.Cnf.t ->
-  report
-(** The classical baseline through the same reporting type (zero QA).
-    [should_stop] as in {!solve}, installed via {!Cdcl.Solver.set_terminate}.
-    With a live [obs], emits a ["classic_solve"] span with one ["cdcl"]
-    child and the CDCL engine's metrics.
-
-    Prefer calling this through {!Solve.run}. *)
+    [Classic] mode emits a ["classic_solve"] span with one ["cdcl"] child
+    and the CDCL engine's metrics; [should_stop] is installed via
+    {!Cdcl.Solver.set_terminate}. *)

@@ -1,14 +1,14 @@
-(** The single solving entry point.
+(** The single solving entry point, and incremental sessions.
 
-    [Hybrid_solver.solve] and [Hybrid_solver.solve_classic] grew as two
-    parallel entries with two config types; everything above lib/core
-    (service portfolio, certification, CLI) now goes through [run] with a
-    {!mode} value instead, so adding a solving mode is a new variant, not
-    a new function to thread through every layer.  The old entries remain
-    as thin wrappers for existing callers but are deprecated — new code
-    should not call them directly. *)
+    Everything above lib/core (service portfolio, certification, CLI) goes
+    through {!run} with a {!mode} value, so adding a solving mode is a new
+    variant, not a new function to thread through every layer.  For
+    correlated-instance traffic — iterated encodings, cores under
+    assumptions — {!Session} keeps one solver and one embedding cache
+    alive across solves so learnt clauses, activities, saved phases and
+    cached embeddings accumulate instead of being rebuilt per call. *)
 
-type mode =
+type mode = Hybrid_solver.mode =
   | Hybrid of Hybrid_solver.config
       (** CDCL with annealer-guided warm-up; QA calls go through the
           config's supervised {!Anneal.Backend} and degrade to pure CDCL
@@ -30,12 +30,89 @@ val run :
   ?should_stop:(unit -> bool) ->
   ?obs:Obs.Ctx.t ->
   ?parent:Obs.Span.t ->
+  ?solver:Cdcl.Solver.t ->
+  ?embed_cache:Frontend.cache ->
+  ?assumptions:Sat.Lit.t list ->
+  ?import:Sat.Lit.t array list ->
   mode ->
   Sat.Cnf.t ->
   Hybrid_solver.report
-(** Solve [f] in the given mode.  All optional arguments behave exactly as
-    documented on {!Hybrid_solver.solve} ([supervisor] shares one
-    circuit-broken device across solves; classic solves ignore it); classic
+(** Solve [f] in the given mode.  All arguments behave exactly as
+    documented on {!Hybrid_solver.run} (this is a thin alias); classic
     solves report zero QA activity.  Both modes produce the one
     {!Hybrid_solver.report} type, so callers never branch on the mode to
     read results. *)
+
+(** Incremental solving session: a long-lived solver plus (in hybrid mode)
+    a shared supervisor and embedding cache.  Variables and clauses are
+    added between solves; learnt clauses, VSIDS/CHB activities, saved
+    phases and cached embeddings persist across calls.  Not domain-safe —
+    confine a session to one domain. *)
+module Session : sig
+  type t
+
+  type answer =
+    [ `Sat of bool array
+    | `Unsat  (** the accumulated formula itself is unsatisfiable *)
+    | `Unsat_assumptions of Sat.Lit.t list
+      (** unsatisfiable {e under the call's assumptions} only; the payload
+          is the conflicting assumption subset ({!Cdcl.Solver.unsat_core},
+          not guaranteed minimal) *)
+    | `Unknown of Sat.Answer.reason ]
+
+  val create : ?mode:mode -> ?obs:Obs.Ctx.t -> unit -> t
+  (** An empty session ([Classic] with [Cdcl.Config.minisat_like] by
+      default).  A [Hybrid] session builds its supervisor and embedding
+      cache once; every {!solve} reuses them. *)
+
+  val new_var : t -> Sat.Lit.var
+  (** Admit a fresh variable (its index = previous {!num_vars}). *)
+
+  val add_clause : t -> Sat.Lit.t list -> unit
+  (** Add a clause; unseen variables are admitted automatically.  Each call
+      consumes one original-clause index (paper instrumentation), so the
+      session's clause numbering is the order of [add_clause] calls. *)
+
+  val add_formula : t -> Sat.Cnf.t -> unit
+  (** Bulk [add_clause] of every clause of [f] (in index order), admitting
+      [f]'s variable count first. *)
+
+  val solve :
+    ?assumptions:Sat.Lit.t list ->
+    ?max_iterations:int ->
+    ?should_stop:(unit -> bool) ->
+    t ->
+    answer
+  (** Solve the accumulated formula under the given assumptions, warm:
+      everything learnt by previous calls is still in place.  After
+      [`Unknown], calling again with the same assumptions resumes the
+      search with a fresh budget. *)
+
+  val model_value : t -> Sat.Lit.var -> bool option
+  (** The variable's value in the last [`Sat] model. *)
+
+  val unsat_core : t -> Sat.Lit.t list
+  (** The last [`Unsat_assumptions] core ([[]] before any). *)
+
+  val num_vars : t -> int
+
+  val formula : t -> Sat.Cnf.t
+  (** The accumulated formula (clause [i] = [i]-th {!add_clause}). *)
+
+  val solver : t -> Cdcl.Solver.t
+  (** The underlying solver, for instrumentation reads. *)
+
+  val solve_count : t -> int
+  val last_report : t -> Hybrid_solver.report option
+
+  val export_learnts :
+    ?max_len:int -> ?max_clauses:int -> t -> Sat.Lit.t array list
+  (** {!Cdcl.Solver.export_learnts} of the session solver. *)
+
+  val import_clauses : t -> Sat.Lit.t array list -> int
+  (** {!Cdcl.Solver.import_clauses} into the session solver. *)
+
+  val retire : t -> unit
+  (** Flush the solver's lifetime obs counters.  Call at most once, when
+      the session is dropped (sessions skip the per-solve flush). *)
+end

@@ -190,9 +190,3 @@ let shutdown t =
        the barrier *)
     Array.iter Domain.join t.domains
   end
-
-let map ~workers f items =
-  (* one helper lane comes from the calling domain, so spawn workers - 1 *)
-  let t = create ~workers:(workers - 1) f in
-  let results = Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t items) in
-  Array.to_list results

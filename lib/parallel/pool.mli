@@ -53,10 +53,3 @@ val shutdown : ('a, 'b) t -> unit
 (** Finish all claimable work, join the worker domains, and close the
     pool.  Idempotent.  Subsequent {!run}/{!submit} raise
     [Invalid_argument]. *)
-
-val map : workers:int -> (worker:int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
-(** [map ~workers f items] = create / run / shutdown, results in input
-    order.  Deprecated shim for the historical single-use API: it pays the
-    domain spawn/join cost per call, so on any hot path create one pool
-    and {!run} it repeatedly instead.  ([workers - 1] domains are spawned;
-    the calling domain is the remaining lane.) *)

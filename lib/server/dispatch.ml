@@ -43,7 +43,28 @@ type counters = {
   cancelled_running : int;
 }
 
-type entry = { e_client : string; e_conn : int; e_job_id : int; spec : Job.spec; enqueued_at : float }
+(* Per-(client, session-name) solver state.  The learnt-clause pool is
+   internally synchronised, so concurrent same-session jobs may both use
+   it.  The embedding cache is NOT domain-safe: workers lease it through
+   [cache_lock] with a try-lock — whoever holds the lease gets the cache,
+   a concurrent same-session job just solves without it.  [cache] is
+   [None] when the server config cannot share one (portfolio races would
+   hand it to sibling domains; a non-default grid makes the members build
+   a fresh graph per solve, and a cache is bound to one graph value). *)
+type session = {
+  s_warm : Batch.Warm.t;
+  s_cache_lock : Mutex.t;
+  s_cache : Hyqsat.Frontend.cache option;
+}
+
+type entry = {
+  e_client : string;
+  e_conn : int;
+  e_job_id : int;
+  e_session : session option;
+  spec : Job.spec;
+  enqueued_at : float;
+}
 
 type t = {
   config : config;
@@ -60,6 +81,8 @@ type t = {
   mutable running : int;
   mutable draining : bool;
   mutable counters : counters;
+  (* event-loop-only: keyed by "client\x00session-name" *)
+  sessions : (string, session) Hashtbl.t;
 }
 
 let synthesized_result (spec : Job.spec) outcome ~queue_wait_s =
@@ -78,6 +101,8 @@ let synthesized_result (spec : Job.spec) outcome ~queue_wait_s =
       qa_failures = 0;
       degraded = 0;
       strategy_uses = Array.make 4 0;
+      warm_start = false;
+      reused_clauses = 0;
     }
   in
   {
@@ -104,14 +129,21 @@ let create ?(obs = Obs.Ctx.null) ?(on_complete = fun () -> ()) config =
         pool =
           Parallel.Pool.create ~workers:config.workers (fun ~worker entry ->
               let d = Lazy.force t in
+              let leased =
+                match entry.e_session with
+                | Some s when s.s_cache <> None && Mutex.try_lock s.s_cache_lock -> Some s
+                | _ -> None
+              in
+              let embed_cache = match leased with Some s -> s.s_cache | None -> None in
+              let warm = match entry.e_session with Some s -> Some s.s_warm | None -> None in
               let members ~spec ~seed =
                 let log_proof = spec.Job.certify in
                 if config.solver = "portfolio" then
                   Portfolio.default_members ~grid:config.grid ~log_proof ~qa:spec.Job.qa
                     ~supervisor ~seed ()
                 else
-                  Batch.solo ~grid:config.grid ~log_proof ~supervisor config.solver ~spec
-                    ~seed
+                  Batch.solo ~grid:config.grid ~log_proof ~supervisor ?embed_cache
+                    config.solver ~spec ~seed
               in
               let jspan =
                 if traced then
@@ -129,8 +161,14 @@ let create ?(obs = Obs.Ctx.null) ?(on_complete = fun () -> ()) config =
               let cancel () = Atomic.get d.cancel in
               let result, error =
                 match
-                  Batch.process ~cancel ~members ~obs ~parent:jspan entry.spec
-                    ~enqueued_at:entry.enqueued_at ()
+                  Fun.protect
+                    ~finally:(fun () ->
+                      match leased with
+                      | Some s -> Mutex.unlock s.s_cache_lock
+                      | None -> ())
+                    (fun () ->
+                      Batch.process ~cancel ?warm ~members ~obs ~parent:jspan entry.spec
+                        ~enqueued_at:entry.enqueued_at ())
                 with
                 | r -> (r, None)
                 | exception e ->
@@ -167,6 +205,7 @@ let create ?(obs = Obs.Ctx.null) ?(on_complete = fun () -> ()) config =
         running = 0;
         draining = false;
         counters = { accepted = 0; completed = 0; cancelled_queued = 0; cancelled_running = 0 };
+        sessions = Hashtbl.create 8;
       }
   in
   Lazy.force t
@@ -191,6 +230,42 @@ let pump t =
 (* a fresh slot opens roughly when one of the queued-ahead jobs finishes;
    with no better signal, suggest one queue-drain's worth of patience *)
 let retry_hint t = Float.max 0.1 (0.5 *. float_of_int (1 + Jobq.length t.queue))
+
+(* bound the session table: past the cap a new session name gets no
+   shared state (its jobs still solve, just cold) rather than letting a
+   client grow server memory without limit *)
+let max_sessions = 64
+
+let session_for t ~client = function
+  | None -> None
+  | Some name -> (
+      let key = client ^ "\x00" ^ name in
+      match Hashtbl.find_opt t.sessions key with
+      | Some s -> Some s
+      | None when Hashtbl.length t.sessions >= max_sessions -> None
+      | None ->
+          let cache =
+            (* see the [session] type: only shareable for a solo hybrid
+               member on the default grid (the graph is then the one
+               physical value every solve uses) *)
+            if
+              t.config.grid = 16
+              && (t.config.solver = "hybrid" || t.config.solver = "hybrid-noisy")
+            then
+              Some
+                (Hyqsat.Frontend.create_cache
+                   Hyqsat.Hybrid_solver.default_config.Hyqsat.Hybrid_solver.graph)
+            else None
+          in
+          let s =
+            {
+              s_warm = Batch.Warm.create ();
+              s_cache_lock = Mutex.create ();
+              s_cache = cache;
+            }
+          in
+          Hashtbl.add t.sessions key s;
+          Some s)
 
 let submit t ~client ~conn (js : Protocol.job_spec) =
   if t.draining then
@@ -236,6 +311,7 @@ let submit t ~client ~conn (js : Protocol.job_spec) =
               e_client = client;
               e_conn = conn;
               e_job_id = js.Protocol.id;
+              e_session = session_for t ~client js.Protocol.session;
               spec;
               enqueued_at = Unix.gettimeofday ();
             }

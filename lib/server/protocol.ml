@@ -13,10 +13,11 @@ type job_spec = {
   retries : int;
   seed : int option;
   priority : int;
+  session : string option;
 }
 
 let make_job_spec ?name ?(certify = false) ?timeout_s ?(max_iterations = max_int) ?(retries = 0)
-    ?seed ?(priority = 0) ~id dimacs =
+    ?seed ?(priority = 0) ?session ~id dimacs =
   {
     id;
     name = (match name with Some n -> n | None -> Printf.sprintf "job-%d" id);
@@ -27,6 +28,7 @@ let make_job_spec ?name ?(certify = false) ?timeout_s ?(max_iterations = max_int
     retries;
     seed;
     priority;
+    session;
   }
 
 type client_msg =
@@ -61,6 +63,7 @@ let model_of_string s = Array.init (String.length s) (fun i -> s.[i] = '1')
 
 let opt_num name = function None -> [] | Some x -> [ (name, T.Num x) ]
 let opt_int name = function None -> [] | Some i -> [ (name, T.Int i) ]
+let opt_str name = function None -> [] | Some s -> [ (name, T.Str s) ]
 
 let encode_client msg =
   T.json_to_string
@@ -78,7 +81,8 @@ let encode_client msg =
           @ opt_num "timeout_s" s.timeout_s
           @ [ ("max_iterations", T.Int s.max_iterations); ("retries", T.Int s.retries) ]
           @ opt_int "seed" s.seed
-          @ [ ("priority", T.Int s.priority) ])
+          @ [ ("priority", T.Int s.priority) ]
+          @ opt_str "session" s.session)
     | Subscribe { events } -> obj "subscribe" [ ("events", T.Bool events) ]
     | Ping n -> obj "ping" [ ("n", T.Int n) ]
     | Bye -> obj "bye" [])
@@ -173,6 +177,8 @@ let decode_client s =
               seed = opt_field kvs "seed" T.as_int;
               (* added after v1 of the vocabulary: old submitters omit it *)
               priority = (match opt_field kvs "priority" T.as_int with Some p -> p | None -> 0);
+              (* added with telemetry schema v4: absent = one-shot submit *)
+              session = opt_field kvs "session" T.as_str;
             }
       | "subscribe" -> Subscribe { events = bool_field kvs "events" }
       | "ping" -> Ping (T.as_int (T.field kvs "n"))

@@ -25,6 +25,14 @@ type job_spec = {
   retries : int;
   seed : int option;  (** [None]: the server derives one from its own seed *)
   priority : int;  (** higher runs sooner; FIFO within a priority *)
+  session : string option;
+      (** scope for server-side solver-state reuse.  Jobs submitted by the
+          same client under the same session name share a learnt-clause
+          pool (a later job whose formula equals an earlier one starts
+          from its learnt clauses) and, when the server config allows it,
+          one embedding cache.  Reuse never changes an answer — the first
+          job of a session behaves exactly like a one-shot submit.
+          [None] (the wire default) keeps every job independent. *)
 }
 
 val make_job_spec :
@@ -35,6 +43,7 @@ val make_job_spec :
   ?retries:int ->
   ?seed:int ->
   ?priority:int ->
+  ?session:string ->
   id:int ->
   string ->
   job_spec

@@ -7,8 +7,51 @@ type job_result = {
 
 (* partially applying the name yields the [members ~spec ~seed] closure
    shape [run] expects, with the job's own QA policy picked up per spec *)
-let solo ?grid ?log_proof ?supervisor name ~spec ~seed =
-  Portfolio.members_named ?grid ?log_proof ?supervisor ~qa:spec.Job.qa ~seed [ name ]
+let solo ?grid ?log_proof ?supervisor ?embed_cache name ~spec ~seed =
+  Portfolio.members_named ?grid ?log_proof ?supervisor ?embed_cache ~qa:spec.Job.qa ~seed
+    [ name ]
+
+(* warm-start pool: learnt clauses keyed by formula structure, shared
+   across batch workers.  Sound by construction: stored clauses are only
+   reused when the stored formula equals the job's (fingerprint narrows,
+   [Sat.Cnf.equal] decides), so every imported clause is an implicate of
+   the formula about to be solved.  The mutex also establishes the
+   happens-before edge that publishes clause arrays across worker
+   domains. *)
+module Warm = struct
+  type entry = { formula : Sat.Cnf.t; mutable clauses : Sat.Lit.t array list }
+  type t = { mutex : Mutex.t; table : (string, entry) Hashtbl.t }
+
+  let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+  let fingerprint f =
+    Digest.to_hex
+      (Digest.string
+         (Marshal.to_string
+            (Sat.Cnf.num_vars f, List.map Sat.Clause.lits (Sat.Cnf.clauses f))
+            []))
+
+  let lookup t f =
+    let key = fingerprint f in
+    Mutex.lock t.mutex;
+    let r =
+      match Hashtbl.find_opt t.table key with
+      | Some e when Sat.Cnf.equal e.formula f -> e.clauses
+      | _ -> []
+    in
+    Mutex.unlock t.mutex;
+    r
+
+  let store t f clauses =
+    if clauses <> [] then begin
+      let key = fingerprint f in
+      Mutex.lock t.mutex;
+      (match Hashtbl.find_opt t.table key with
+      | Some e when Sat.Cnf.equal e.formula f -> e.clauses <- clauses
+      | _ -> Hashtbl.replace t.table key { formula = f; clauses });
+      Mutex.unlock t.mutex
+    end
+end
 
 (* 3-SAT conversion keeps original variables first, so projecting a model of
    the converted formula is a prefix restriction *)
@@ -40,17 +83,20 @@ let max_member_iterations (race : Portfolio.race_report) =
     (fun acc (m : Portfolio.member_report) -> max acc m.Portfolio.stats.Portfolio.iterations)
     0 race.Portfolio.members
 
-let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) ~enqueued_at ()
-    =
+let process ?(cancel = fun () -> false) ?warm ~members ~obs ~parent (spec : Job.spec)
+    ~enqueued_at () =
   let traced = not (Obs.Ctx.is_null obs) in
   let started = Unix.gettimeofday () in
   let queue_wait_s = started -. enqueued_at in
   let deadline = Job.deadline spec in
+  let warm_import =
+    match warm with Some w -> Warm.lookup w spec.Job.formula | None -> []
+  in
   (* bounded retry with reseeding: an attempt that ends Unknown (step budget
      exhausted, or an incomplete member giving up) is retried with fresh
      seeds while attempts and wall-clock remain — and the external [cancel]
      switch (drain, SIGTERM) hasn't fired *)
-  let rec attempt k =
+  let rec attempt k ~import =
     let seed = Job.attempt_seed spec k in
     let aspan =
       if traced then
@@ -61,17 +107,22 @@ let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) 
     in
     let race =
       Portfolio.race ~deadline ~cancel ~max_iterations:spec.Job.max_iterations ~obs
-        ~parent:aspan (members ~spec ~seed) spec.Job.formula
+        ~parent:aspan ~import (members ~spec ~seed) spec.Job.formula
     in
     Obs.Span.stop aspan;
     match race.Portfolio.winner with
     | Some _ -> (race, k + 1)
     | None ->
         if k < spec.Job.retries && not (Deadline.expired deadline) && not (cancel ()) then
-          attempt (k + 1)
+          (* the retry reseeds but keeps what the failed attempt learnt:
+             same formula, so the clauses are sound implicates *)
+          attempt (k + 1) ~import:(Portfolio.race_learnts race)
         else (race, k + 1)
   in
-  let race, attempts = attempt 0 in
+  let race, attempts = attempt 0 ~import:warm_import in
+  (match warm with
+  | Some w -> Warm.store w spec.Job.formula (Portfolio.race_learnts race)
+  | None -> ());
   let solve_time_s = Unix.gettimeofday () -. started in
   let outcome =
     match race.Portfolio.winner with
@@ -90,7 +141,7 @@ let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) 
            else Job.Budget)
   in
   let outcome, verified = certify_outcome spec race outcome in
-  let winner_name, iterations, qa_calls, qa_failures, degraded, strategy_uses =
+  let winner_name, iterations, qa_calls, qa_failures, degraded, strategy_uses, reused =
     match race.Portfolio.winner with
     | Some w ->
         ( w.Portfolio.member,
@@ -98,8 +149,9 @@ let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) 
           w.Portfolio.stats.Portfolio.qa_calls,
           w.Portfolio.stats.Portfolio.qa_failures,
           w.Portfolio.stats.Portfolio.qa_degraded,
-          Array.copy w.Portfolio.stats.Portfolio.strategy_uses )
-    | None -> ("", max_member_iterations race, 0, 0, 0, Array.make 4 0)
+          Array.copy w.Portfolio.stats.Portfolio.strategy_uses,
+          w.Portfolio.stats.Portfolio.reused_clauses )
+    | None -> ("", max_member_iterations race, 0, 0, 0, Array.make 4 0, 0)
   in
   let record =
     {
@@ -116,12 +168,15 @@ let process ?(cancel = fun () -> false) ~members ~obs ~parent (spec : Job.spec) 
       qa_failures;
       degraded;
       strategy_uses;
+      warm_start = warm_import <> [];
+      reused_clauses = reused;
     }
   in
   { spec; outcome; record; race }
 
-let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ~members jobs =
+let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ?(warm_start = false) ~members jobs =
   let workers = max 1 (min 64 workers) in (* same clamp as Pool.create *)
+  let warm = if warm_start then Some (Warm.create ()) else None in
   let traced = not (Obs.Ctx.is_null obs) in
   let batch_span =
     if traced then
@@ -152,7 +207,7 @@ let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ~members jobs =
               "job"
           else Obs.Span.none
         in
-        let r = process ?cancel ~members ~obs ~parent:jspan spec ~enqueued_at () in
+        let r = process ?cancel ?warm ~members ~obs ~parent:jspan spec ~enqueued_at () in
         if traced then begin
           Obs.Span.add_attr jspan "outcome" (Job.outcome_label r.outcome);
           Obs.Span.stop jspan;

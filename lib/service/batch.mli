@@ -7,6 +7,14 @@
     per-job outcomes depend only on the job's seeds — never on scheduling —
     so a batch is reproducible at any [workers] setting. *)
 
+module Warm : sig
+  type t
+  (** a warm-start pool: learnt clauses keyed by formula structure.
+      Thread-safe; shared across the batch's worker domains. *)
+
+  val create : unit -> t
+end
+
 type job_result = {
   spec : Job.spec;
   outcome : Job.outcome;
@@ -18,6 +26,7 @@ val run :
   ?workers:int ->
   ?obs:Obs.Ctx.t ->
   ?cancel:(unit -> bool) ->
+  ?warm_start:bool ->
   members:(spec:Job.spec -> seed:int -> Portfolio.member list) ->
   Job.spec list ->
   Telemetry.summary * job_result list
@@ -29,6 +38,17 @@ val run :
     ~128 solver steps and report [Unknown Cancelled], no further retries
     are attempted, and the batch still returns normally with full
     telemetry — nothing dies mid-write.
+
+    With [warm_start] (default [false]) the batch keeps a shared pool of
+    learnt clauses keyed by formula structure: when a later job presents a
+    formula equal to one already solved, the race's members start from the
+    clauses the earlier race learnt (each member imports them into its
+    solver before solving — see {!Portfolio.race}'s [import]).  Reuse is
+    gated on formula equality, so it never changes an answer, only the
+    work needed to reach it; the record's [warm_start] / [reused_clauses]
+    telemetry fields say when it happened.  Independently of the pool,
+    retry attempts of a single job always re-import what the failed
+    attempt learnt.
 
     With a live [obs] the batch emits one ["batch"] root span containing a
     ["job"] span per job (attrs [id], [name], [worker], [outcome]), each
@@ -58,6 +78,7 @@ val solo :
   ?grid:int ->
   ?log_proof:bool ->
   ?supervisor:Anneal.Supervisor.t ->
+  ?embed_cache:Hyqsat.Frontend.cache ->
   string ->
   spec:Job.spec ->
   seed:int ->
@@ -66,11 +87,13 @@ val solo :
     plain batch solving ([--jobs] without [--portfolio]).  Partially
     applied ([solo "minisat"]) it has exactly the [members] closure shape
     {!run} expects, picking up each job's QA policy from its spec.
-    [supervisor] is the shared-device option of
-    {!Portfolio.members_named}. *)
+    [supervisor] and [embed_cache] are the
+    shared-state options of {!Portfolio.members_named}; the single-member
+    shape makes [embed_cache] safe here (no sibling domains). *)
 
 val process :
   ?cancel:(unit -> bool) ->
+  ?warm:Warm.t ->
   members:(spec:Job.spec -> seed:int -> Portfolio.member list) ->
   obs:Obs.Ctx.t ->
   parent:Obs.Span.t ->
@@ -83,4 +106,6 @@ val process :
     server dispatcher).  Runs the full attempt/retry/certify pipeline and
     returns the same {!job_result} a batch would record;
     [enqueued_at] (absolute epoch seconds) anchors the record's
-    [queue_wait_s]. *)
+    [queue_wait_s].  [warm] taps the job into a shared {!Warm.t} pool
+    (consult before solving, deposit after) — the dispatcher uses one pool
+    per server session. *)

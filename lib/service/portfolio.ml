@@ -5,6 +5,8 @@ type solve_stats = {
   qa_failures : int;
   qa_degraded : int;
   strategy_uses : int array;
+  reused_clauses : int;
+  learnts : Sat.Lit.t array list;
   proof : Sat.Drat.t option;
 }
 
@@ -15,6 +17,7 @@ type member = {
     parent:Obs.Span.t ->
     should_stop:(unit -> bool) ->
     max_iterations:int ->
+    import:Sat.Lit.t array list ->
     Sat.Cnf.t ->
     solve_stats;
 }
@@ -43,14 +46,16 @@ let stats_of_report (r : Hyqsat.Hybrid_solver.report) =
     qa_failures = r.Hyqsat.Hybrid_solver.qa_failures;
     qa_degraded = r.Hyqsat.Hybrid_solver.qa_degraded;
     strategy_uses = Array.copy r.Hyqsat.Hybrid_solver.strategy_uses;
+    reused_clauses = r.Hyqsat.Hybrid_solver.reused_clauses;
+    learnts = r.Hyqsat.Hybrid_solver.learnts;
     proof = r.Hyqsat.Hybrid_solver.proof;
   }
 
-let hybrid_member ?supervisor ~name ~base ~grid ~seed ~log_proof ~qa () =
+let hybrid_member ?supervisor ?embed_cache ~name ~base ~grid ~seed ~log_proof ~qa () =
   {
     name;
     run =
-      (fun ~obs ~parent ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent ~should_stop ~max_iterations ~import f ->
         let cdcl = base.Hyqsat.Hybrid_solver.cdcl in
         let config =
           Hyqsat.Hybrid_solver.make_config ~base
@@ -63,19 +68,19 @@ let hybrid_member ?supervisor ~name ~base ~grid ~seed ~log_proof ~qa () =
             ~supervisor:qa.Job.supervision ~seed ()
         in
         stats_of_report
-          (Hyqsat.Solve.run ?supervisor ~max_iterations ~should_stop ~obs ~parent
-             (Hyqsat.Solve.Hybrid config) f));
+          (Hyqsat.Solve.run ?supervisor ?embed_cache ~max_iterations ~should_stop ~obs
+             ~parent ~import (Hyqsat.Solve.Hybrid config) f));
   }
 
 let classic_member ~name ~base ~seed ~log_proof =
   {
     name;
     run =
-      (fun ~obs ~parent ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent ~should_stop ~max_iterations ~import f ->
         let config = Cdcl.Config.with_seed seed base in
         let config = if log_proof then Cdcl.Config.with_proof_logging config else config in
         stats_of_report
-          (Hyqsat.Solve.run ~max_iterations ~should_stop ~obs ~parent
+          (Hyqsat.Solve.run ~max_iterations ~should_stop ~obs ~parent ~import
              (Hyqsat.Solve.Classic config) f));
   }
 
@@ -83,7 +88,8 @@ let walksat_member ~seed =
   {
     name = "walksat";
     run =
-      (fun ~obs ~parent:_ ~should_stop ~max_iterations f ->
+      (fun ~obs ~parent:_ ~should_stop ~max_iterations ~import:_ f ->
+        (* local search has no clause database to seed *)
         let rng = Stats.Rng.create ~seed in
         (* one flip ≈ one iteration; split the budget over a few restarts *)
         let max_flips = max 1_000 (min 200_000 (max_iterations / 4)) in
@@ -103,18 +109,20 @@ let walksat_member ~seed =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }
 
-let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ?supervisor ~seed =
-  function
+let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ?supervisor
+    ?embed_cache ~seed = function
   | "hybrid" ->
-      hybrid_member ?supervisor ~name:"hybrid" ~base:Hyqsat.Hybrid_solver.default_config ~grid
-        ~seed ~log_proof ~qa ()
+      hybrid_member ?supervisor ?embed_cache ~name:"hybrid"
+        ~base:Hyqsat.Hybrid_solver.default_config ~grid ~seed ~log_proof ~qa ()
   | "hybrid-noisy" ->
-      hybrid_member ?supervisor ~name:"hybrid-noisy" ~base:Hyqsat.Hybrid_solver.noisy_config
-        ~grid ~seed:(seed + 1) ~log_proof ~qa ()
+      hybrid_member ?supervisor ?embed_cache ~name:"hybrid-noisy"
+        ~base:Hyqsat.Hybrid_solver.noisy_config ~grid ~seed:(seed + 1) ~log_proof ~qa ()
   | "minisat" ->
       classic_member ~name:"minisat" ~base:Cdcl.Config.minisat_like ~seed:(seed + 2) ~log_proof
   | "kissat" ->
@@ -122,8 +130,8 @@ let make_member ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa) ?superv
   | "walksat" -> walksat_member ~seed:(seed + 4)
   | name -> invalid_arg (Printf.sprintf "Portfolio: unknown member %S" name)
 
-let members_named ?grid ?log_proof ?qa ?supervisor ~seed names =
-  List.map (make_member ?grid ?log_proof ?qa ?supervisor ~seed) names
+let members_named ?grid ?log_proof ?qa ?supervisor ?embed_cache ~seed names =
+  List.map (make_member ?grid ?log_proof ?qa ?supervisor ?embed_cache ~seed) names
 
 let default_members ?grid ?log_proof ?qa ?supervisor ~seed () =
   members_named ?grid ?log_proof ?qa ?supervisor ~seed member_names
@@ -144,7 +152,7 @@ let backend_race_members ?(grid = 16) ?(log_proof = false) ?(qa = Job.default_qa
 let is_decisive = function Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true | Cdcl.Solver.Unknown _ -> false
 
 let race ?(deadline = Deadline.none) ?(cancel = fun () -> false) ?(max_iterations = max_int)
-    ?(obs = Obs.Ctx.null) ?(parent = Obs.Span.none) members f =
+    ?(obs = Obs.Ctx.null) ?(parent = Obs.Span.none) ?(import = []) members f =
   if members = [] then invalid_arg "Portfolio.race: no members";
   let traced = not (Obs.Ctx.is_null obs) in
   let race_span =
@@ -164,7 +172,7 @@ let race ?(deadline = Deadline.none) ?(cancel = fun () -> false) ?(max_iteration
     (* a raising member must not poison the race: without the handler the
        exception would resurface from Domain.join, losing every sibling
        report and any winner already found *)
-    match m.run ~obs ~parent:span ~should_stop ~max_iterations f with
+    match m.run ~obs ~parent:span ~should_stop ~max_iterations ~import f with
     | stats ->
         let time_s = Unix.gettimeofday () -. t0 in
         if is_decisive stats.result && Atomic.compare_and_set winner_idx (-1) i then
@@ -190,6 +198,8 @@ let race ?(deadline = Deadline.none) ?(cancel = fun () -> false) ?(max_iteration
             qa_failures = 0;
             qa_degraded = 0;
             strategy_uses = Array.make 4 0;
+            reused_clauses = 0;
+            learnts = [];
             proof = None;
           }
         in
@@ -214,3 +224,32 @@ let race ?(deadline = Deadline.none) ?(cancel = fun () -> false) ?(max_iteration
     Obs.Span.stop race_span
   end;
   { winner; members = reports; wall_time_s = Unix.gettimeofday () -. t_start }
+
+let race_learnts ?(max_clauses = 512) report =
+  (* winner's clauses first: they come from the solver that actually
+     decided the instance, so they are the most valuable to reuse *)
+  let ordered =
+    match report.winner with
+    | Some w -> w :: List.filter (fun m -> m != w) report.members
+    | None -> report.members
+  in
+  let seen = Hashtbl.create 128 in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun c ->
+          if !count < max_clauses then begin
+            (* dedupe up to literal order: members export the same clause
+               with different watched-literal front positions *)
+            let key = List.sort compare (Array.to_list c) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              out := c :: !out;
+              incr count
+            end
+          end)
+        m.stats.learnts)
+    ordered;
+  List.rev !out

@@ -14,6 +14,13 @@ type solve_stats = {
   qa_failures : int;  (** failed supervised QA attempts, incl. fast-fails *)
   qa_degraded : int;  (** warm-up iterations degraded to pure CDCL *)
   strategy_uses : int array;  (** length 4; zeros for classical members *)
+  reused_clauses : int;
+      (** clauses installed from the race's [import] list (0 for walksat) *)
+  learnts : Sat.Lit.t array list;
+      (** the member's {!Cdcl.Solver.export_learnts} snapshot at race end:
+          root facts + its most active short learnt clauses ([[]] for
+          walksat).  Sound implicates of the raced formula — feed them to
+          {!race}'s [import] on the next solve of the same formula. *)
   proof : Sat.Drat.t option;
       (** DRAT derivation, present when the member ran with proof logging
           ([log_proof] below); [None] for walksat *)
@@ -26,11 +33,14 @@ type member = {
     parent:Obs.Span.t ->
     should_stop:(unit -> bool) ->
     max_iterations:int ->
+    import:Sat.Lit.t array list ->
     Sat.Cnf.t ->
     solve_stats;
       (** [obs]/[parent] thread the race's observability context into the
           member's solve (pass {!Obs.Ctx.null} / {!Obs.Span.none} when
-          untraced — the race does this automatically) *)
+          untraced — the race does this automatically); [import] is a
+          warm-start clause list the member may install before searching
+          (members without a clause database ignore it) *)
 }
 
 type member_report = {
@@ -78,10 +88,16 @@ val members_named :
   ?log_proof:bool ->
   ?qa:Job.qa_policy ->
   ?supervisor:Anneal.Supervisor.t ->
+  ?embed_cache:Hyqsat.Frontend.cache ->
   seed:int ->
   string list ->
   member list
-(** Subset of the stock portfolio by name.
+(** Subset of the stock portfolio by name.  [embed_cache] hands the hybrid
+    members a persistent embedding cache ({!Hyqsat.Frontend.cache}) so a
+    stream of structurally similar instances skips re-embedding; the cache
+    is {e not} domain-safe, so only pass it to single-member (solo)
+    selections or otherwise guarantee exclusive use — the server dispatcher
+    leases it per session with a mutex.
     @raise Invalid_argument on an unknown name. *)
 
 val backend_race_members :
@@ -99,6 +115,7 @@ val race :
   ?max_iterations:int ->
   ?obs:Obs.Ctx.t ->
   ?parent:Obs.Span.t ->
+  ?import:Sat.Lit.t array list ->
   member list ->
   Sat.Cnf.t ->
   race_report
@@ -117,4 +134,15 @@ val race :
     [cancelled]/[error] as applicable — each passed down as the parent of
     that member's own solve spans.  {!Obs.Ctx.t} is domain-safe, so
     members emit concurrently.
+
+    [import] (default [[]]) warm-starts every CDCL-backed member with the
+    given clause list — only sound when each clause is an implicate of
+    [f], e.g. {!race_learnts} of a previous race on the {e same} formula.
+    Proof-logging members refuse the import and report [reused_clauses=0].
     @raise Invalid_argument on an empty member list. *)
+
+val race_learnts : ?max_clauses:int -> race_report -> Sat.Lit.t array list
+(** Merge the members' exported learnt clauses — winner's first, then the
+    others', deduplicated (up to literal order), capped at [max_clauses]
+    (default 512).  Every clause is an implicate of the raced formula, so
+    the list is a sound [import] for another solve of that formula. *)

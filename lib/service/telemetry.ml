@@ -12,6 +12,8 @@ type record = {
   qa_failures : int;
   degraded : int;
   strategy_uses : int array;
+  warm_start : bool;
+  reused_clauses : int;
 }
 
 type summary = {
@@ -282,6 +284,8 @@ let json_of_record r =
       ("qa_failures", Int r.qa_failures);
       ("degraded", Int r.degraded);
       ("strategy_uses", Arr (Array.to_list (Array.map (fun k -> Int k) r.strategy_uses)));
+      ("warm_start", Bool r.warm_start);
+      ("reused_clauses", Int r.reused_clauses);
     ]
 
 let json_of_summary s =
@@ -302,8 +306,10 @@ let json_of_summary s =
 (* bumped whenever the document shape changes; version 1 documents had no
    [schema_version] field, so the parser treats absence as 1; version 3
    added the [qa_failures]/[degraded] record fields (absent = 0 on read,
-   so v2 documents still parse) *)
-let schema_version = 3
+   so v2 documents still parse); version 4 added [warm_start]/
+   [reused_clauses] (absent = false/0 on read, so v3 documents still
+   parse) *)
+let schema_version = 4
 
 let to_json_string summary records =
   json_to_string
@@ -348,6 +354,13 @@ let record_of_json j =
     qa_failures = (match List.assoc_opt "qa_failures" kvs with Some v -> as_int v | None -> 0);
     degraded = (match List.assoc_opt "degraded" kvs with Some v -> as_int v | None -> 0);
     strategy_uses = Array.of_list (List.map as_int (as_arr (field kvs "strategy_uses")));
+    warm_start =
+      (match List.assoc_opt "warm_start" kvs with
+      | Some (Bool b) -> b
+      | Some _ -> raise (Parse_error "expected boolean")
+      | None -> false);
+    reused_clauses =
+      (match List.assoc_opt "reused_clauses" kvs with Some v -> as_int v | None -> 0);
   }
 
 let summary_of_json j =
@@ -389,12 +402,12 @@ let of_json_string s =
 (* tables *)
 
 let pp_table fmt records =
-  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s %5s %5s@."
+  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s %5s %5s %5s@."
     "id" "job" "outcome" "verified" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa"
-    "qafail" "degr";
+    "qafail" "degr" "warm";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d %5d %5d@."
+      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d %5d %5d %5s@."
         r.job_id
         (if String.length r.job_name > 28 then String.sub r.job_name 0 28 else r.job_name)
         r.outcome
@@ -402,7 +415,8 @@ let pp_table fmt records =
         r.winner r.attempts
         (r.queue_wait_s *. 1000.)
         (r.solve_time_s *. 1000.)
-        r.iterations r.qa_calls r.qa_failures r.degraded)
+        r.iterations r.qa_calls r.qa_failures r.degraded
+        (if r.warm_start then string_of_int r.reused_clauses else "-"))
     records
 
 let pp_summary fmt s =

@@ -26,6 +26,11 @@ type record = {
   degraded : int;
       (** winner's warm-up iterations that fell back to pure CDCL *)
   strategy_uses : int array;  (** length 4, winner's strategy-1..4 uses *)
+  warm_start : bool;
+      (** the solve started from a reused clause pool (batch warm-start or
+          daemon session mode) *)
+  reused_clauses : int;
+      (** winner's count of imported clauses actually installed *)
 }
 
 type summary = {

@@ -145,7 +145,11 @@ let step_equivalent_to_solve () =
     let f = Testutil.random_cnf r ~n:12 ~m:50 ~k:3 in
     let s = Solver.create f in
     let rec drive () =
-      match Solver.step s with `Continue -> drive () | `Sat m -> Solver.Sat m | `Unsat -> Solver.Unsat
+      match Solver.step s with
+      | `Continue -> drive ()
+      | `Sat m -> Solver.Sat m
+      | `Unsat -> Solver.Unsat
+      | `Unsat_assumptions -> Alcotest.fail "no assumptions installed"
     in
     let via_step = drive () in
     let expected = Sat.Brute.solve f <> None in
@@ -158,7 +162,8 @@ let step_equivalent_to_solve () =
     (* after a decision, further steps keep returning the same answer *)
     match (Solver.step s, via_step) with
     | `Sat _, Solver.Sat _ | `Unsat, Solver.Unsat -> ()
-    | _ -> Alcotest.fail "terminal state not sticky"
+    | (`Continue | `Sat _ | `Unsat | `Unsat_assumptions), _ ->
+        Alcotest.fail "terminal state not sticky"
   done
 
 let polarity_hint_respected () =

@@ -151,14 +151,14 @@ let certify_rejects_wrong_model () =
 let failing_member name =
   {
     Portfolio.name;
-    run = (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f -> failwith (name ^ " exploded"));
+    run = (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ ~import:_ _f -> failwith (name ^ " exploded"));
   }
 
 let honest_member model =
   {
     Portfolio.name = "honest";
     run =
-      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ ~import:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
@@ -166,6 +166,8 @@ let honest_member model =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }
@@ -202,7 +204,7 @@ let lying_sat_member () =
   {
     Portfolio.name = "liar";
     run =
-      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ ~import:_ f ->
         {
           (* a model of all-false: falsifies any positive clause *)
           Portfolio.result = Cdcl.Solver.Sat (Array.make (Sat.Cnf.num_vars f) false);
@@ -211,6 +213,8 @@ let lying_sat_member () =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }
@@ -219,7 +223,7 @@ let lying_unsat_member () =
   {
     Portfolio.name = "liar-unsat";
     run =
-      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ ~import:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Unsat;
           iterations = 1;
@@ -227,6 +231,8 @@ let lying_unsat_member () =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }

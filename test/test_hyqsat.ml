@@ -7,6 +7,9 @@ module Frontend = Hyqsat.Frontend
 module Backend = Hyqsat.Backend
 module Hybrid = Hyqsat.Hybrid_solver
 
+let hsolve ?(config = Hybrid.default_config) f = Hybrid.run (Hybrid.Hybrid config) f
+let csolve f = Hybrid.run (Hybrid.Classic Cdcl.Config.minisat_like) f
+
 let flat_activity _ = 1.0
 
 (* ---- clause queue ---- *)
@@ -237,8 +240,8 @@ let hybrid_agrees_with_classic () =
   let rng = Testutil.rng 212 in
   for _ = 1 to 6 do
     let f = Workload.Uniform.generate rng ~num_vars:25 ~num_clauses:100 in
-    let classic = Hybrid.solve_classic f in
-    let hybrid = Hybrid.solve f in
+    let classic = csolve f in
+    let hybrid = hsolve f in
     let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
     Alcotest.(check bool) "same satisfiability" (is_sat classic.Hybrid.result)
       (is_sat hybrid.Hybrid.result);
@@ -253,8 +256,8 @@ let hybrid_agrees_under_noise () =
   let config = Hybrid.make_config ~noise:(Anneal.Noise.bit_flip_only 0.4) () in
   for _ = 1 to 4 do
     let f = Workload.Uniform.generate rng ~num_vars:20 ~num_clauses:85 in
-    let classic = Hybrid.solve_classic f in
-    let hybrid = Hybrid.solve ~config f in
+    let classic = csolve f in
+    let hybrid = hsolve ~config f in
     let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
     Alcotest.(check bool) "noise never changes the answer" (is_sat classic.Hybrid.result)
       (is_sat hybrid.Hybrid.result)
@@ -263,13 +266,13 @@ let hybrid_agrees_under_noise () =
 let hybrid_unsat_detection () =
   let rng = Testutil.rng 214 in
   let f = Workload.Circuit_fault.generate rng ~inputs:6 ~gates:20 in
-  let hybrid = Hybrid.solve f in
+  let hybrid = hsolve f in
   Alcotest.(check bool) "unsat" true (hybrid.Hybrid.result = Cdcl.Solver.Unsat)
 
 let hybrid_report_consistency () =
   let rng = Testutil.rng 215 in
   let f = Workload.Uniform.uf rng 40 in
-  let r = Hybrid.solve f in
+  let r = hsolve f in
   Alcotest.(check bool) "qa calls bounded by warmup" true
     (r.Hybrid.qa_calls <= r.Hybrid.warmup_iterations + 1);
   Alcotest.(check int) "strategy uses sum to qa calls" r.Hybrid.qa_calls
@@ -285,7 +288,7 @@ let hybrid_strategy1_shortcut () =
   for seed = 1 to 6 do
     let rng = Testutil.rng (216 + seed) in
     let f = Workload.Uniform.generate rng ~num_vars:18 ~num_clauses:36 in
-    let r = Hybrid.solve f in
+    let r = hsolve f in
     if r.Hybrid.strategy_uses.(0) > 0 then begin
       hit := true;
       match r.Hybrid.result with

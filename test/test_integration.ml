@@ -4,6 +4,9 @@
 
 module Hybrid = Hyqsat.Hybrid_solver
 
+let hsolve ?(config = Hybrid.default_config) f = Hybrid.run (Hybrid.Hybrid config) f
+let csolve f = Hybrid.run (Hybrid.Classic Cdcl.Config.minisat_like) f
+
 let small_instance (spec : Workload.Spec.t) seed =
   spec.Workload.Spec.generate (Testutil.rng seed) `Small
 
@@ -23,8 +26,8 @@ let hybrid_solves_every_family () =
   List.iter
     (fun (name, gen) ->
       let f = gen (Testutil.rng (Hashtbl.hash name)) in
-      let classic = Hybrid.solve_classic f in
-      let hybrid = Hybrid.solve f in
+      let classic = csolve f in
+      let hybrid = hsolve f in
       let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
       Alcotest.(check bool)
         (name ^ ": hybrid agrees with classic")
@@ -40,13 +43,13 @@ let simplify_then_solve_agrees () =
   List.iter
     (fun (name, gen) ->
       let f = gen (Testutil.rng (1 + Hashtbl.hash name)) in
-      let direct = Hybrid.solve_classic f in
+      let direct = csolve f in
       let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
       match Sat.Simplify.simplify f with
       | Sat.Simplify.Unsat_by_simplification ->
           Alcotest.(check bool) (name ^ ": simplify unsat") false (is_sat direct.Hybrid.result)
       | Sat.Simplify.Simplified (f', r) -> (
-          let simplified = Hybrid.solve f' in
+          let simplified = hsolve f' in
           Alcotest.(check bool)
             (name ^ ": simplified agrees")
             (is_sat direct.Hybrid.result)
@@ -83,8 +86,8 @@ let extreme_noise_soundness () =
   List.iter
     (fun (name, gen) ->
       let f = gen (Testutil.rng (2 + Hashtbl.hash name)) in
-      let classic = Hybrid.solve_classic f in
-      let hybrid = Hybrid.solve ~config f in
+      let classic = csolve f in
+      let hybrid = hsolve ~config f in
       let is_sat = function Cdcl.Solver.Sat _ -> true | _ -> false in
       Alcotest.(check bool)
         (name ^ ": sound under extreme noise")
@@ -93,7 +96,7 @@ let extreme_noise_soundness () =
 
 let pipelined_time_bounds () =
   let f = small_instance (Workload.Spec.find "AI1") 9 in
-  let r = Hybrid.solve f in
+  let r = hsolve f in
   Alcotest.(check bool) "pipelined <= serialised" true
     (Hybrid.end_to_end_pipelined_s r <= Hybrid.end_to_end_time_s r +. 1e-12);
   Alcotest.(check bool) "pipelined >= cdcl" true
@@ -101,7 +104,7 @@ let pipelined_time_bounds () =
 
 let deterministic_given_seed () =
   let f = small_instance (Workload.Spec.find "AI1") 11 in
-  let r1 = Hybrid.solve f and r2 = Hybrid.solve f in
+  let r1 = hsolve f and r2 = hsolve f in
   Alcotest.(check int) "same iterations" r1.Hybrid.iterations r2.Hybrid.iterations;
   Alcotest.(check int) "same qa calls" r1.Hybrid.qa_calls r2.Hybrid.qa_calls;
   Alcotest.(check bool) "same strategies" true
@@ -117,7 +120,7 @@ let cli_roundtrip_via_dimacs () =
       Sat.Dimacs.write_file ~comments:[ "integration test" ] path f;
       let f' = Sat.Dimacs.parse_file path in
       Alcotest.(check bool) "roundtrip equal" true (Sat.Cnf.equal f f');
-      match (Hybrid.solve f').Hybrid.result with
+      match (hsolve f').Hybrid.result with
       | Cdcl.Solver.Sat m -> Alcotest.(check bool) "model" true (Testutil.check_model f m)
       | _ -> Alcotest.fail "flat graphs are 3-colourable")
 

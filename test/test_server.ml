@@ -142,6 +142,8 @@ let sample_record =
     qa_failures = 1;
     degraded = 0;
     strategy_uses = [| 1; 2; 3; 4 |];
+    warm_start = true;
+    reused_clauses = 17;
   }
 
 let client_roundtrip msg =

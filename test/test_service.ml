@@ -15,7 +15,7 @@ let instant_member model =
   {
     Portfolio.name = "instant";
     run =
-      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop:_ ~max_iterations:_ ~import:_ _f ->
         {
           Portfolio.result = Cdcl.Solver.Sat model;
           iterations = 1;
@@ -23,6 +23,8 @@ let instant_member model =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }
@@ -33,7 +35,7 @@ let spin_member () =
   {
     Portfolio.name = "spin";
     run =
-      (fun ~obs:_ ~parent:_ ~should_stop ~max_iterations:_ _f ->
+      (fun ~obs:_ ~parent:_ ~should_stop ~max_iterations:_ ~import:_ _f ->
         let spins = ref 0 in
         while (not (should_stop ())) && !spins < 2_000_000_000 do
           incr spins;
@@ -46,6 +48,8 @@ let spin_member () =
           qa_failures = 0;
           qa_degraded = 0;
           strategy_uses = Array.make 4 0;
+          reused_clauses = 0;
+          learnts = [];
           proof = None;
         });
   }
@@ -53,22 +57,28 @@ let spin_member () =
 (* ------------------------------------------------------------------ *)
 
 let pool_preserves_order () =
+  let p = Pool.create ~workers:2 (fun ~worker:_ x -> x * x) in
   let results =
-    Pool.map ~workers:3 (fun ~worker:_ x -> x * x) (List.init 20 Fun.id)
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> Pool.run p (List.init 20 Fun.id))
   in
-  let values = List.map (function Ok v -> v | Error _ -> -1) results in
+  let values =
+    Array.to_list (Array.map (function Ok v -> v | Error _ -> -1) results)
+  in
   Alcotest.(check (list int)) "squares in submission order"
     (List.init 20 (fun i -> i * i))
     values
 
 let pool_captures_exceptions () =
+  let p = Pool.create ~workers:1 (fun ~worker:_ x -> if x = 1 then failwith "boom" else x) in
   let results =
-    Pool.map ~workers:2
-      (fun ~worker:_ x -> if x = 1 then failwith "boom" else x)
-      [ 0; 1; 2 ]
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> Pool.run p [ 0; 1; 2 ])
   in
   (match results with
-  | [ Ok 0; Error (Failure _); Ok 2 ] -> ()
+  | [| Ok 0; Error (Failure _); Ok 2 |] -> ()
   | _ -> Alcotest.fail "expected [Ok 0; Error boom; Ok 2]")
 
 (* the persistent lifecycle: run / submit+drain are checkpoints a pool
@@ -278,6 +288,8 @@ let telemetry_json_roundtrip () =
         qa_failures = 2;
         degraded = 1;
         strategy_uses = [| 1; 0; 3; 2 |];
+        warm_start = true;
+        reused_clauses = 5;
       };
       {
         Telemetry.job_id = 1;
@@ -293,6 +305,8 @@ let telemetry_json_roundtrip () =
         qa_failures = 0;
         degraded = 0;
         strategy_uses = [| 0; 0; 0; 0 |];
+        warm_start = false;
+        reused_clauses = 0;
       };
     ]
   in
@@ -311,7 +325,7 @@ let telemetry_schema_versioning () =
   let summary = Telemetry.summarize ~workers:1 ~wall_time_s:0.5 [] in
   let doc = Telemetry.to_json_string summary [] in
   (* new documents lead with the version field *)
-  let header = "{\"schema_version\":3," in
+  let header = "{\"schema_version\":4," in
   let hlen = String.length header in
   Alcotest.(check string) "version field first" header (String.sub doc 0 hlen);
   (match Telemetry.of_json_string doc with
