@@ -13,7 +13,9 @@ let run (ctx : Bench_util.ctx) =
   for p = 1 to n_problems do
     let rng = Bench_util.rng_of ctx (100 + p) in
     let f = Workload.Uniform.uf rng uf_n in
-    let solver = Cdcl.Solver.create f in
+    let solver =
+      Cdcl.Solver.create ~config:(Cdcl.Config.with_paper_stats Cdcl.Config.default) f
+    in
     ignore (Cdcl.Solver.solve solver);
     let m = Sat.Cnf.num_clauses f in
     let visits =

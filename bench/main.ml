@@ -23,6 +23,7 @@ let experiments =
     ("anneal", Exp_anneal.run);
     ("serve", Exp_serve.run);
     ("incremental", Exp_incremental.run);
+    ("cdcl", Exp_cdcl.run);
   ]
 
 let run_selected names scale seed problems trace fault_rate =

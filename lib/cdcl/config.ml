@@ -15,6 +15,8 @@ type t = {
   reduce_db : bool;
   learntsize_factor : float;
   log_proof : bool;
+  track_paper_stats : bool;
+  garbage_frac : float;
   seed : int;
 }
 
@@ -29,6 +31,8 @@ let minisat_like =
     reduce_db = true;
     learntsize_factor = 1.0 /. 3.0;
     log_proof = false;
+    track_paper_stats = false;
+    garbage_frac = 0.20;
     seed = 91648253;
   }
 
@@ -43,6 +47,8 @@ let kissat_like =
     reduce_db = true;
     learntsize_factor = 1.0 /. 3.0;
     log_proof = false;
+    track_paper_stats = false;
+    garbage_frac = 0.20;
     seed = 91648253;
   }
 
@@ -50,3 +56,4 @@ let default = minisat_like
 let with_seed seed t = { t with seed }
 
 let with_proof_logging t = { t with log_proof = true }
+let with_paper_stats t = { t with track_paper_stats = true }

@@ -25,6 +25,19 @@ type t = {
   reduce_db : bool;  (** periodically delete weak learnt clauses *)
   learntsize_factor : float;  (** initial learnt budget = factor × #clauses *)
   log_proof : bool;  (** record a DRAT proof ({!Solver.proof}) *)
+  track_paper_stats : bool;
+      (** maintain the paper instrumentation ({!Solver.clause_activity},
+          {!Solver.clause_visits}): per-clause score and visit counters
+          bumped on every propagation/conflict visit.  Off by default so the
+          propagate/analyze hot paths skip the array writes; the hybrid
+          solver and the figure experiments that consume the counters turn
+          it on explicitly.  Never affects answers or search behaviour. *)
+  garbage_frac : float;
+      (** clause-arena compaction threshold: garbage-collect the arena when
+          the fraction of dead words (deleted clauses) exceeds this value
+          (MiniSAT's default 0.20).  Compaction relocates clause refs and is
+          behaviour-invariant; raise it to trade memory for fewer
+          relocation passes on long incremental sessions. *)
   seed : int;
 }
 
@@ -35,3 +48,6 @@ val default : t
 
 val with_seed : int -> t -> t
 val with_proof_logging : t -> t
+
+val with_paper_stats : t -> t
+(** Enable {!field-track_paper_stats}. *)

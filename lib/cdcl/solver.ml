@@ -17,16 +17,29 @@ type stats = {
   max_decision_level : int;
 }
 
-(* clause arena entry; [origin] indexes the original formula, -1 for learnt *)
-type cls = {
-  mutable lits : int array;
-  mutable activity : float;
-  learnt : bool;
-  origin : int;
-  mutable deleted : bool;
-}
+(* clauses live in a flat {!Arena}; [no_cref] marks "no clause" in reasons
+   and in the original-clause map *)
+let no_cref = -1
 
-let dummy_cls = { lits = [||]; activity = 0.; learnt = false; origin = -1; deleted = true }
+(* packed watch list of one literal: entry [k] is the pair
+   [(cref, blocker)] at words [2k, 2k+1].  The blocker is some literal of
+   the clause other than the watched one; when it is satisfied the whole
+   clause is, and propagation skips the clause without touching the arena
+   (MiniSAT's blocker-literal optimisation). *)
+type wlist = { mutable wdata : int array; mutable wsz : int }
+
+let wlist_create () = { wdata = [||]; wsz = 0 }
+
+let wlist_push w c b =
+  let cap = Array.length w.wdata in
+  if (2 * w.wsz) + 2 > cap then begin
+    let d = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit w.wdata 0 d 0 (2 * w.wsz);
+    w.wdata <- d
+  end;
+  w.wdata.(2 * w.wsz) <- c;
+  w.wdata.((2 * w.wsz) + 1) <- b;
+  w.wsz <- w.wsz + 1
 
 (* the per-variable arrays are capacity-managed (length >= n) so [new_var]
    can admit variables without reallocating on every call *)
@@ -35,16 +48,17 @@ type t = {
   rng : Stats.Rng.t;
   mutable n : int;
   mutable num_original : int;
+  mutable arena : Arena.t;
   (* assignment state: +1 true, -1 false, 0 undef *)
   mutable assigns : int array;
   mutable level : int array;
-  mutable reason : cls array; (* dummy_cls = no reason *)
+  mutable reason : int array; (* cref, no_cref = no reason *)
   mutable polarity : bool array;
   trail : int Vec.t; (* literals *)
   trail_lim : int Vec.t;
   mutable qhead : int;
-  mutable watches : cls Vec.t array; (* indexed by literal *)
-  mutable learnts : cls Vec.t;
+  mutable watches : wlist array; (* indexed by the watched literal *)
+  learnts : int Vec.t; (* crefs *)
   (* decision heuristics *)
   mutable var_act : float array; (* VSIDS activity or CHB Q score *)
   mutable var_inc : float;
@@ -55,11 +69,11 @@ type t = {
   (* clause learning *)
   mutable cla_inc : float;
   mutable seen : bool array;
-  (* paper instrumentation *)
+  (* paper instrumentation (written only under [track_paper_stats]) *)
   mutable clause_score : float array;
   mutable visits_prop : int array;
   mutable visits_confl : int array;
-  mutable original_cls : cls array; (* original clause index -> arena clause *)
+  mutable original_cls : int array; (* original clause index -> cref *)
   (* priority decisions injected by the hybrid backend *)
   forced_queue : int Queue.t;
   (* incremental-solving assumptions: assumption [i] is decided at decision
@@ -120,15 +134,16 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
       rng = Stats.Rng.create ~seed:config.Config.seed;
       n;
       num_original = m;
+      arena = Arena.create ~capacity:(max 64 (8 * m)) ();
       assigns = Array.make (max n 1) 0;
       level = Array.make (max n 1) 0;
-      reason = Array.make (max n 1) dummy_cls;
+      reason = Array.make (max n 1) no_cref;
       polarity = Array.make (max n 1) false;
       trail = Vec.create ~capacity:(max n 16) ~dummy:0 ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
-      watches = Array.init (max (2 * n) 1) (fun _ -> Vec.create ~dummy:dummy_cls ());
-      learnts = Vec.create ~dummy:dummy_cls ();
+      watches = Array.init (max (2 * n) 1) (fun _ -> wlist_create ());
+      learnts = Vec.create ~dummy:no_cref ();
       var_act;
       var_inc = 1.0;
       heap = Var_heap.create n var_act;
@@ -139,7 +154,7 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
       clause_score = Array.make (max m 1) 1.0;
       visits_prop = Array.make (max m 1) 0;
       visits_confl = Array.make (max m 1) 0;
-      original_cls = Array.make (max m 1) dummy_cls;
+      original_cls = Array.make (max m 1) no_cref;
       forced_queue = Queue.create ();
       assumptions = [||];
       last_core = [||];
@@ -178,10 +193,10 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
             t.status <- Unsat
         | 1 -> pending_units := (i, lits.(0)) :: !pending_units
         | _ ->
-            let cls = { lits; activity = 0.; learnt = false; origin = i; deleted = false } in
-            t.original_cls.(i) <- cls;
-            Vec.push t.watches.(lits.(0)) cls;
-            Vec.push t.watches.(lits.(1)) cls)
+            let cref = Arena.alloc t.arena ~learnt:false ~origin:i lits in
+            t.original_cls.(i) <- cref;
+            wlist_push t.watches.(lits.(0)) cref lits.(1);
+            wlist_push t.watches.(lits.(1)) cref lits.(0))
     f;
   (* enqueue unit clauses at level 0 *)
   List.iter
@@ -202,8 +217,8 @@ let create ?(config = Config.default) (f : Sat.Cnf.t) =
 (* ------------------------------------------------------------------ *)
 (* capacity growth (incremental API)                                    *)
 
-let grow_int a cap =
-  let b = Array.make cap 0 in
+let grow_int a cap fill =
+  let b = Array.make cap fill in
   Array.blit a 0 b 0 (Array.length a);
   b
 
@@ -213,12 +228,10 @@ let ensure_var_capacity t n' =
      [n] slots while arrays use [max n 1]) — grow when either is short *)
   if n' > cap0 || n' > Var_heap.capacity t.heap then begin
     let cap = max n' (max 16 (2 * cap0)) in
-    t.assigns <- grow_int t.assigns cap;
-    t.level <- grow_int t.level cap;
-    t.chb_last_conflict <- grow_int t.chb_last_conflict cap;
-    (let b = Array.make cap dummy_cls in
-     Array.blit t.reason 0 b 0 cap0;
-     t.reason <- b);
+    t.assigns <- grow_int t.assigns cap 0;
+    t.level <- grow_int t.level cap 0;
+    t.chb_last_conflict <- grow_int t.chb_last_conflict cap 0;
+    t.reason <- grow_int t.reason cap no_cref;
     (let b = Array.make cap false in
      Array.blit t.polarity 0 b 0 cap0;
      t.polarity <- b);
@@ -228,7 +241,7 @@ let ensure_var_capacity t n' =
     (let old = t.watches in
      t.watches <-
        Array.init (2 * cap) (fun i ->
-           if i < Array.length old then old.(i) else Vec.create ~dummy:dummy_cls ()));
+           if i < Array.length old then old.(i) else wlist_create ()));
     let act = Array.make cap 0. in
     Array.blit t.var_act 0 act 0 cap0;
     t.var_act <- act;
@@ -242,11 +255,9 @@ let ensure_clause_capacity t m' =
     (let b = Array.make cap 1.0 in
      Array.blit t.clause_score 0 b 0 cap0;
      t.clause_score <- b);
-    t.visits_prop <- grow_int t.visits_prop cap;
-    t.visits_confl <- grow_int t.visits_confl cap;
-    let b = Array.make cap dummy_cls in
-    Array.blit t.original_cls 0 b 0 cap0;
-    t.original_cls <- b
+    t.visits_prop <- grow_int t.visits_prop cap 0;
+    t.visits_confl <- grow_int t.visits_confl cap 0;
+    t.original_cls <- grow_int t.original_cls cap no_cref
   end
 
 let invalidate_sat t =
@@ -258,7 +269,7 @@ let new_var t =
   t.n <- v + 1;
   t.assigns.(v) <- 0;
   t.level.(v) <- 0;
-  t.reason.(v) <- dummy_cls;
+  t.reason.(v) <- no_cref;
   t.polarity.(v) <- false;
   t.var_act.(v) <- 0.;
   t.chb_last_conflict.(v) <- 0;
@@ -299,9 +310,12 @@ let chb_update t v participated =
   Var_heap.notify_increase t.heap v
 
 let bump_cla t c =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) t.learnts;
+  let a = Arena.activity t.arena c +. t.cla_inc in
+  Arena.set_activity t.arena c a;
+  if a > 1e20 then begin
+    Vec.iter
+      (fun cl -> Arena.set_activity t.arena cl (Arena.activity t.arena cl *. 1e-20))
+      t.learnts;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
@@ -309,9 +323,10 @@ let decay_cla_activity t = t.cla_inc <- t.cla_inc /. t.config.Config.clause_deca
 
 (* paper §IV-A: activity score of clauses involved in conflict resolution *)
 let bump_clause_score t c =
-  if c.origin >= 0 then begin
-    t.clause_score.(c.origin) <- t.clause_score.(c.origin) +. 1.0;
-    t.visits_confl.(c.origin) <- t.visits_confl.(c.origin) + 1
+  let o = Arena.origin t.arena c in
+  if o >= 0 then begin
+    t.clause_score.(o) <- t.clause_score.(o) +. 1.0;
+    t.visits_confl.(o) <- t.visits_confl.(o) + 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -323,10 +338,12 @@ let enqueue t l reason =
   t.level.(v) <- decision_level t;
   t.reason.(v) <- reason;
   Vec.push t.trail l;
-  if reason != dummy_cls then begin
+  if reason <> no_cref then begin
     t.s_propagations <- t.s_propagations + 1;
-    if reason.origin >= 0 then
-      t.visits_prop.(reason.origin) <- t.visits_prop.(reason.origin) + 1
+    if t.config.Config.track_paper_stats then begin
+      let o = Arena.origin t.arena reason in
+      if o >= 0 then t.visits_prop.(o) <- t.visits_prop.(o) + 1
+    end
   end
 
 (* level-0 fact installed by the incremental API (add_clause / import);
@@ -335,59 +352,99 @@ let enqueue_root t l =
   let v = Sat.Lit.var l in
   t.assigns.(v) <- lit_sign l;
   t.level.(v) <- 0;
-  t.reason.(v) <- dummy_cls;
+  t.reason.(v) <- no_cref;
   Vec.push t.trail l
 
+(* The propagation hot loop.  Deliberately low-level: literals are raw ints
+   ([Sat.Lit] is concrete: lit = 2·var + sign bit, negate = lxor 1), clause
+   words are read straight out of the arena array, watch entries out of the
+   packed pair array, all via unsafe accessors — the loop allocates nothing
+   and every bound is established by the surrounding invariants.  Watch
+   lists are compacted in place; a watcher whose blocker is satisfied is
+   kept without touching the clause at all.  Returns the conflicting cref
+   or [no_cref]. *)
 let propagate t =
-  let conflict = ref dummy_cls in
-  while !conflict == dummy_cls && t.qhead < Vec.size t.trail do
-    let p = Vec.get t.trail t.qhead in
+  let conflict = ref no_cref in
+  let assigns = t.assigns in
+  (* stable across the loop: propagation never allocates clauses *)
+  let ar = Arena.data t.arena in
+  let off = Arena.lits_offset in
+  let shift = Arena.size_shift in
+  let track = t.config.Config.track_paper_stats in
+  while !conflict = no_cref && t.qhead < Vec.size t.trail do
+    let p = Vec.unsafe_get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
-    let not_p = Sat.Lit.negate p in
-    let ws = t.watches.(not_p) in
-    (* manual in-place compaction over the watch list *)
+    let not_p = p lxor 1 in
+    let ws = Array.unsafe_get t.watches not_p in
+    let wd = ws.wdata in
+    let n_ws = ws.wsz in
     let i = ref 0 and j = ref 0 in
-    let n_ws = Vec.size ws in
     while !i < n_ws do
-      let c = Vec.get ws !i in
+      let c = Array.unsafe_get wd (2 * !i) in
+      let blocker = Array.unsafe_get wd ((2 * !i) + 1) in
       incr i;
-      if c.deleted then () (* drop lazily *)
+      let bval =
+        Array.unsafe_get assigns (blocker lsr 1) * (1 - (2 * (blocker land 1)))
+      in
+      if bval = 1 then begin
+        (* blocker satisfied: the clause is satisfied, keep the watch *)
+        Array.unsafe_set wd (2 * !j) c;
+        Array.unsafe_set wd ((2 * !j) + 1) blocker;
+        incr j
+      end
       else begin
-        if c.origin >= 0 then t.visits_prop.(c.origin) <- t.visits_prop.(c.origin) + 1;
-        (* ensure the false literal is at position 1 *)
-        if c.lits.(0) = not_p then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- not_p
+        if track then begin
+          let o = Array.unsafe_get ar (c + 1) in
+          if o >= 0 then t.visits_prop.(o) <- t.visits_prop.(o) + 1
         end;
-        let first = c.lits.(0) in
-        if value_lit t first = 1 then begin
-          (* clause already satisfied; keep the watch *)
-          Vec.set ws !j c;
+        let base = c + off in
+        (* ensure the false literal is at position 1 *)
+        if Array.unsafe_get ar base = not_p then begin
+          Array.unsafe_set ar base (Array.unsafe_get ar (base + 1));
+          Array.unsafe_set ar (base + 1) not_p
+        end;
+        let first = Array.unsafe_get ar base in
+        let fval =
+          if first = blocker then bval
+          else Array.unsafe_get assigns (first lsr 1) * (1 - (2 * (first land 1)))
+        in
+        if fval = 1 then begin
+          (* clause already satisfied; keep, refreshing the blocker *)
+          Array.unsafe_set wd (2 * !j) c;
+          Array.unsafe_set wd ((2 * !j) + 1) first;
           incr j
         end
         else begin
           (* look for a new literal to watch *)
+          let size = Array.unsafe_get ar c lsr shift in
           let k = ref 2 and found = ref false in
-          let len = Array.length c.lits in
-          while (not !found) && !k < len do
-            if value_lit t c.lits.(!k) <> -1 then found := true else incr k
+          while (not !found) && !k < size do
+            let q = Array.unsafe_get ar (base + !k) in
+            if Array.unsafe_get assigns (q lsr 1) * (1 - (2 * (q land 1))) <> -1
+            then found := true
+            else incr k
           done;
           if !found then begin
-            c.lits.(1) <- c.lits.(!k);
-            c.lits.(!k) <- not_p;
-            Vec.push t.watches.(c.lits.(1)) c
-            (* watch moved: do not keep in ws *)
+            let newl = Array.unsafe_get ar (base + !k) in
+            Array.unsafe_set ar (base + 1) newl;
+            Array.unsafe_set ar (base + !k) not_p;
+            (* [newl] is non-false while [not_p] is false, so this push can
+               never target [ws], the list being compacted *)
+            wlist_push (Array.unsafe_get t.watches newl) c first
           end
           else begin
             (* unit or conflicting *)
-            Vec.set ws !j c;
+            Array.unsafe_set wd (2 * !j) c;
+            Array.unsafe_set wd ((2 * !j) + 1) first;
             incr j;
-            if value_lit t first = -1 then begin
+            if fval = -1 then begin
               conflict := c;
               t.qhead <- Vec.size t.trail;
               (* copy the remaining watches back *)
               while !i < n_ws do
-                Vec.set ws !j (Vec.get ws !i);
+                Array.unsafe_set wd (2 * !j) (Array.unsafe_get wd (2 * !i));
+                Array.unsafe_set wd ((2 * !j) + 1)
+                  (Array.unsafe_get wd ((2 * !i) + 1));
                 incr i;
                 incr j
               done
@@ -397,9 +454,68 @@ let propagate t =
         end
       end
     done;
-    Vec.shrink ws !j
+    ws.wsz <- !j
   done;
-  if !conflict == dummy_cls then None else Some !conflict
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* arena garbage collection                                             *)
+
+(* Deleted clauses are purged from every watch list at the point of
+   deletion (reduce_db / simplify_roots), so at GC time the watch lists,
+   the trail reasons (always locked, hence never deleted), the learnt list
+   and the live original map hold exactly the live crefs: relocate each
+   through the forwarding map and swap arenas. *)
+let garbage_collect t =
+  let from = t.arena in
+  let live = Arena.words from - Arena.wasted from in
+  let into = Arena.create ~capacity:(max 64 live) () in
+  Array.iter
+    (fun w ->
+      for k = 0 to w.wsz - 1 do
+        w.wdata.(2 * k) <- Arena.reloc from ~into w.wdata.(2 * k)
+      done)
+    t.watches;
+  for i = 0 to Vec.size t.trail - 1 do
+    let v = Sat.Lit.var (Vec.get t.trail i) in
+    let r = t.reason.(v) in
+    if r <> no_cref then t.reason.(v) <- Arena.reloc from ~into r
+  done;
+  for i = 0 to Vec.size t.learnts - 1 do
+    Vec.set t.learnts i (Arena.reloc from ~into (Vec.get t.learnts i))
+  done;
+  for i = 0 to t.num_original - 1 do
+    let c = t.original_cls.(i) in
+    if c <> no_cref then t.original_cls.(i) <- Arena.reloc from ~into c
+  done;
+  t.arena <- into
+
+let maybe_gc t =
+  let wasted = Arena.wasted t.arena in
+  if
+    wasted > 0
+    && float_of_int wasted
+       > t.config.Config.garbage_frac *. float_of_int (Arena.words t.arena)
+  then garbage_collect t
+
+(* drop watchers of deleted clauses, preserving the order of the live ones
+   (count-equivalent to dropping them lazily inside [propagate], and it
+   keeps the hot loop free of deleted checks) *)
+let purge_deleted_watches t =
+  let ar = t.arena in
+  Array.iter
+    (fun w ->
+      let j = ref 0 in
+      for i = 0 to w.wsz - 1 do
+        let c = w.wdata.(2 * i) in
+        if not (Arena.deleted ar c) then begin
+          w.wdata.(2 * !j) <- c;
+          w.wdata.((2 * !j) + 1) <- w.wdata.((2 * i) + 1);
+          incr j
+        end
+      done;
+      w.wsz <- !j)
+    t.watches
 
 (* ------------------------------------------------------------------ *)
 (* backtracking                                                         *)
@@ -407,14 +523,17 @@ let propagate t =
 let cancel_until t lvl =
   if decision_level t > lvl then begin
     let bound = Vec.get t.trail_lim lvl in
+    (* hoisted out of the unassignment loop: both are per-solver constants,
+       and the heuristic test is a variant comparison *)
+    let chb = t.config.Config.heuristic = Config.Chb in
+    let save_phase = t.config.Config.phase_saving in
     for i = Vec.size t.trail - 1 downto bound do
-      let l = Vec.get t.trail i in
+      let l = Vec.unsafe_get t.trail i in
       let v = Sat.Lit.var l in
-      if t.config.Config.heuristic = Config.Chb then
-        chb_update t v (t.chb_last_conflict.(v) = t.s_conflicts);
+      if chb then chb_update t v (t.chb_last_conflict.(v) = t.s_conflicts);
       t.assigns.(v) <- 0;
-      t.reason.(v) <- dummy_cls;
-      if t.config.Config.phase_saving then t.polarity.(v) <- Sat.Lit.is_pos l;
+      t.reason.(v) <- no_cref;
+      if save_phase then t.polarity.(v) <- Sat.Lit.is_pos l;
       Var_heap.insert t.heap v
     done;
     Vec.shrink t.trail bound;
@@ -468,10 +587,10 @@ let add_clause t lits =
         | [ l ] -> enqueue_root t l
         | ls ->
             let arr = Array.of_list ls in
-            let c = { lits = arr; activity = 0.; learnt = false; origin = i; deleted = false } in
-            t.original_cls.(i) <- c;
-            Vec.push t.watches.(arr.(0)) c;
-            Vec.push t.watches.(arr.(1)) c
+            let cref = Arena.alloc t.arena ~learnt:false ~origin:i arr in
+            t.original_cls.(i) <- cref;
+            wlist_push t.watches.(arr.(0)) cref arr.(1);
+            wlist_push t.watches.(arr.(1)) cref arr.(0)
       end
 
 (* ------------------------------------------------------------------ *)
@@ -483,14 +602,21 @@ let lit_redundant t l =
      seen or assigned at level 0 *)
   let v = Sat.Lit.var l in
   let r = t.reason.(v) in
-  r != dummy_cls
-  && Array.for_all
-       (fun q ->
-         let w = Sat.Lit.var q in
-         w = v || t.seen.(w) || t.level.(w) = 0)
-       r.lits
+  r <> no_cref
+  &&
+  let ar = t.arena in
+  let sz = Arena.size ar r in
+  let rec ok i =
+    i >= sz
+    ||
+    let w = Sat.Lit.var (Arena.lit ar r i) in
+    (w = v || t.seen.(w) || t.level.(w) = 0) && ok (i + 1)
+  in
+  ok 0
 
 let analyze t conflict =
+  let ar = t.arena in
+  let track = t.config.Config.track_paper_stats in
   let learnt = ref [] in
   let path_c = ref 0 in
   let p = ref (-1) in
@@ -499,19 +625,20 @@ let analyze t conflict =
   let dl = decision_level t in
   let continue = ref true in
   while !continue do
-    if !c.learnt then bump_cla t !c;
-    bump_clause_score t !c;
-    Array.iter
-      (fun q ->
-        let v = Sat.Lit.var q in
-        if (!p = -1 || v <> Sat.Lit.var !p) && (not t.seen.(v)) && t.level.(v) > 0 then begin
-          t.seen.(v) <- true;
-          (match t.config.Config.heuristic with
-          | Config.Vsids -> bump_var_internal t v t.var_inc
-          | Config.Chb -> t.chb_last_conflict.(v) <- t.s_conflicts);
-          if t.level.(v) >= dl then incr path_c else learnt := q :: !learnt
-        end)
-      !c.lits;
+    if Arena.learnt ar !c then bump_cla t !c;
+    if track then bump_clause_score t !c;
+    let sz = Arena.size ar !c in
+    for idx = 0 to sz - 1 do
+      let q = Arena.lit ar !c idx in
+      let v = Sat.Lit.var q in
+      if (!p = -1 || v <> Sat.Lit.var !p) && (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        (match t.config.Config.heuristic with
+        | Config.Vsids -> bump_var_internal t v t.var_inc
+        | Config.Chb -> t.chb_last_conflict.(v) <- t.s_conflicts);
+        if t.level.(v) >= dl then incr path_c else learnt := q :: !learnt
+      end
+    done;
     (* walk the trail back to the next marked literal *)
     while not t.seen.(Sat.Lit.var (Vec.get t.trail !index)) do
       decr index
@@ -539,6 +666,7 @@ let analyze t conflict =
 let analyze_final t p =
   let core = ref [ p ] in
   if decision_level t > 0 then begin
+    let ar = t.arena in
     t.seen.(Sat.Lit.var p) <- true;
     let bottom = Vec.get t.trail_lim 0 in
     for i = Vec.size t.trail - 1 downto bottom do
@@ -549,13 +677,13 @@ let analyze_final t p =
            its negation) — even when [v = var p] the decision found here is
            the {e earlier} assumption contradicting [p], and belongs in the
            core *)
-        (if t.reason.(v) == dummy_cls then core := q :: !core
+        (let r = t.reason.(v) in
+         if r = no_cref then core := q :: !core
          else
-           Array.iter
-             (fun r ->
-               let w = Sat.Lit.var r in
-               if t.level.(w) > 0 then t.seen.(w) <- true)
-             t.reason.(v).lits);
+           for idx = 0 to Arena.size ar r - 1 do
+             let w = Sat.Lit.var (Arena.lit ar r idx) in
+             if t.level.(w) > 0 then t.seen.(w) <- true
+           done);
         t.seen.(v) <- false
       end
     done;
@@ -576,41 +704,43 @@ let record_learnt t lits =
   log_proof t (Sat.Drat.Add (Array.to_list lits));
   t.s_learnt_clauses <- t.s_learnt_clauses + 1;
   t.s_learnt_literals <- t.s_learnt_literals + Array.length lits;
-  if Array.length lits = 1 then enqueue t lits.(0) dummy_cls
+  if Array.length lits = 1 then enqueue t lits.(0) no_cref
   else begin
-    let c = { lits; activity = 0.; learnt = true; origin = -1; deleted = false } in
+    let c = Arena.alloc t.arena ~learnt:true ~origin:(-1) lits in
     bump_cla t c;
     Vec.push t.learnts c;
-    Vec.push t.watches.(lits.(0)) c;
-    Vec.push t.watches.(lits.(1)) c;
+    wlist_push t.watches.(lits.(0)) c lits.(1);
+    wlist_push t.watches.(lits.(1)) c lits.(0);
     enqueue t lits.(0) c
   end
 
 let locked t c =
-  Array.length c.lits > 0
-  &&
-  let v = Sat.Lit.var c.lits.(0) in
-  t.reason.(v) == c && value_lit t c.lits.(0) = 1
+  let l0 = Arena.lit t.arena c 0 in
+  let v = Sat.Lit.var l0 in
+  t.reason.(v) = c && value_lit t l0 = 1
 
 let reduce_db t =
   (* keep binary, locked and the more active half *)
+  let ar = t.arena in
   let arr = Array.init (Vec.size t.learnts) (fun i -> Vec.get t.learnts i) in
-  Array.sort (fun a b -> Float.compare a.activity b.activity) arr;
+  Array.sort (fun a b -> Float.compare (Arena.activity ar a) (Arena.activity ar b)) arr;
   let limit = t.cla_inc /. float_of_int (max 1 (Array.length arr)) in
   let n_half = Array.length arr / 2 in
   Array.iteri
     (fun i c ->
       if
-        Array.length c.lits > 2
+        Arena.size ar c > 2
         && (not (locked t c))
-        && (i < n_half || c.activity < limit)
+        && (i < n_half || Arena.activity ar c < limit)
       then begin
-        c.deleted <- true;
-        log_proof t (Sat.Drat.Delete (Array.to_list c.lits));
+        log_proof t (Sat.Drat.Delete (Arena.lit_list ar c));
+        Arena.delete ar c;
         t.s_deleted <- t.s_deleted + 1
       end)
     arr;
-  Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+  Vec.filter_in_place (fun c -> not (Arena.deleted ar c)) t.learnts;
+  purge_deleted_watches t;
+  maybe_gc t
 
 (* ------------------------------------------------------------------ *)
 (* root-level simplification (between incremental solves)               *)
@@ -620,37 +750,46 @@ let simplify_roots t =
   | Sat _ | Unsat -> ()
   | Unknown _ ->
       if decision_level t = 0 then begin
-        match propagate t with
-        | Some _ ->
-            log_proof t (Sat.Drat.Add []);
-            t.status <- Unsat
-        | None ->
-            if Vec.size t.trail > t.simp_trail then begin
-              (* the root trail grew since the last pass: remove clauses now
-                 satisfied at level 0 (learnt deletions logged for DRAT;
-                 original deletions are just deactivation — the proof checker
-                 keeps the formula) *)
-              let satisfied c = Array.exists (fun l -> value_lit t l = 1) c.lits in
-              Vec.iter
-                (fun c ->
-                  if (not c.deleted) && satisfied c then begin
-                    c.deleted <- true;
-                    log_proof t (Sat.Drat.Delete (Array.to_list c.lits));
-                    t.s_deleted <- t.s_deleted + 1
-                  end)
-                t.learnts;
-              Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
-              for i = 0 to t.num_original - 1 do
-                let c = t.original_cls.(i) in
-                if c != dummy_cls && (not c.deleted) && satisfied c then c.deleted <- true
-              done;
-              (* root assignments are facts: drop their reasons, which may
-                 point at clauses deleted above *)
-              for i = 0 to Vec.size t.trail - 1 do
-                t.reason.(Sat.Lit.var (Vec.get t.trail i)) <- dummy_cls
-              done;
-              t.simp_trail <- Vec.size t.trail
+        if propagate t <> no_cref then begin
+          log_proof t (Sat.Drat.Add []);
+          t.status <- Unsat
+        end
+        else if Vec.size t.trail > t.simp_trail then begin
+          (* the root trail grew since the last pass: remove clauses now
+             satisfied at level 0 (learnt deletions logged for DRAT;
+             original deletions are just deactivation — the proof checker
+             keeps the formula) *)
+          let ar = t.arena in
+          let satisfied c =
+            let sz = Arena.size ar c in
+            let rec go i = i < sz && (value_lit t (Arena.lit ar c i) = 1 || go (i + 1)) in
+            go 0
+          in
+          Vec.iter
+            (fun c ->
+              if (not (Arena.deleted ar c)) && satisfied c then begin
+                log_proof t (Sat.Drat.Delete (Arena.lit_list ar c));
+                Arena.delete ar c;
+                t.s_deleted <- t.s_deleted + 1
+              end)
+            t.learnts;
+          Vec.filter_in_place (fun c -> not (Arena.deleted ar c)) t.learnts;
+          for i = 0 to t.num_original - 1 do
+            let c = t.original_cls.(i) in
+            if c <> no_cref && (not (Arena.deleted ar c)) && satisfied c then begin
+              Arena.delete ar c;
+              t.original_cls.(i) <- no_cref
             end
+          done;
+          (* root assignments are facts: drop their reasons, which may
+             point at clauses deleted above *)
+          for i = 0 to Vec.size t.trail - 1 do
+            t.reason.(Sat.Lit.var (Vec.get t.trail i)) <- no_cref
+          done;
+          purge_deleted_watches t;
+          t.simp_trail <- Vec.size t.trail;
+          maybe_gc t
+        end
       end
 
 (* ------------------------------------------------------------------ *)
@@ -713,7 +852,7 @@ let decide t v =
     else t.polarity.(v)
   in
   Vec.push t.trail_lim (Vec.size t.trail);
-  enqueue t (Sat.Lit.make v sign) dummy_cls;
+  enqueue t (Sat.Lit.make v sign) no_cref;
   if decision_level t > t.s_max_level then t.s_max_level <- decision_level t
 
 let extract_model t = Array.init t.n (fun v -> t.assigns.(v) = 1)
@@ -735,76 +874,76 @@ let step t =
   | Unsat -> `Unsat
   | Unknown _ -> (
       t.s_iterations <- t.s_iterations + 1;
-      match propagate t with
-      | Some conflict ->
-          t.s_conflicts <- t.s_conflicts + 1;
-          if t.config.Config.heuristic = Config.Chb then
-            t.chb_alpha <- Float.max 0.06 (t.chb_alpha -. 1e-6);
-          if decision_level t = 0 then begin
-            log_proof t (Sat.Drat.Add []);
-            t.status <- Unsat;
-            `Unsat
-          end
-          else begin
-            let lits, back_level = analyze t conflict in
-            note_conflict_for_restarts t (lbd t lits);
-            cancel_until t back_level;
-            record_learnt t lits;
-            decay_var_activity t;
-            decay_cla_activity t;
-            if
-              t.config.Config.reduce_db
-              && float_of_int (Vec.size t.learnts) > t.max_learnts
-            then begin
-              reduce_db t;
-              t.max_learnts <- t.max_learnts *. 1.3
-            end;
-            `Continue
-          end
-      | None -> (
-          if Vec.size t.trail = t.n then
-            match falsified_assumption t with
-            | Some l ->
-                analyze_final t l;
-                `Unsat_assumptions
-            | None ->
-                let m = extract_model t in
-                t.status <- Sat m;
-                `Sat m
-          else begin
-            if t.restart_pending then apply_restart t;
-            let dl = decision_level t in
-            if dl < Array.length t.assumptions then begin
-              (* assumptions occupy the first decision levels, one each, in
-                 order (the level-prefix invariant behind [analyze_final]) *)
-              let l = t.assumptions.(dl) in
-              match value_lit t l with
-              | 1 ->
-                  (* already true: open an empty level so assumption index
-                     keeps mapping onto decision level *)
-                  Vec.push t.trail_lim (Vec.size t.trail);
-                  `Continue
-              | -1 ->
-                  analyze_final t l;
-                  `Unsat_assumptions
-              | _ ->
-                  t.s_decisions <- t.s_decisions + 1;
-                  Vec.push t.trail_lim (Vec.size t.trail);
-                  enqueue t l dummy_cls;
-                  if decision_level t > t.s_max_level then
-                    t.s_max_level <- decision_level t;
-                  `Continue
-            end
-            else begin
-              (match pick_branch_var t with
-              | Some v -> decide t v
-              | None ->
-                  (* all remaining vars assigned at level 0 but trail < n can
-                     not happen: heap holds every unassigned var *)
-                  assert false);
+      let confl = propagate t in
+      if confl <> no_cref then begin
+        t.s_conflicts <- t.s_conflicts + 1;
+        if t.config.Config.heuristic = Config.Chb then
+          t.chb_alpha <- Float.max 0.06 (t.chb_alpha -. 1e-6);
+        if decision_level t = 0 then begin
+          log_proof t (Sat.Drat.Add []);
+          t.status <- Unsat;
+          `Unsat
+        end
+        else begin
+          let lits, back_level = analyze t confl in
+          note_conflict_for_restarts t (lbd t lits);
+          cancel_until t back_level;
+          record_learnt t lits;
+          decay_var_activity t;
+          decay_cla_activity t;
+          if
+            t.config.Config.reduce_db
+            && float_of_int (Vec.size t.learnts) > t.max_learnts
+          then begin
+            reduce_db t;
+            t.max_learnts <- t.max_learnts *. 1.3
+          end;
+          `Continue
+        end
+      end
+      else if Vec.size t.trail = t.n then
+        match falsified_assumption t with
+        | Some l ->
+            analyze_final t l;
+            `Unsat_assumptions
+        | None ->
+            let m = extract_model t in
+            t.status <- Sat m;
+            `Sat m
+      else begin
+        if t.restart_pending then apply_restart t;
+        let dl = decision_level t in
+        if dl < Array.length t.assumptions then begin
+          (* assumptions occupy the first decision levels, one each, in
+             order (the level-prefix invariant behind [analyze_final]) *)
+          let l = t.assumptions.(dl) in
+          match value_lit t l with
+          | 1 ->
+              (* already true: open an empty level so assumption index
+                 keeps mapping onto decision level *)
+              Vec.push t.trail_lim (Vec.size t.trail);
               `Continue
-            end
-          end))
+          | -1 ->
+              analyze_final t l;
+              `Unsat_assumptions
+          | _ ->
+              t.s_decisions <- t.s_decisions + 1;
+              Vec.push t.trail_lim (Vec.size t.trail);
+              enqueue t l no_cref;
+              if decision_level t > t.s_max_level then
+                t.s_max_level <- decision_level t;
+              `Continue
+        end
+        else begin
+          (match pick_branch_var t with
+          | Some v -> decide t v
+          | None ->
+              (* all remaining vars assigned at level 0 but trail < n can
+                 not happen: heap holds every unassigned var *)
+              assert false);
+          `Continue
+        end
+      end)
 
 let run_search ?(max_conflicts = max_int) ?(max_iterations = max_int) t =
   simplify_roots t;
@@ -876,6 +1015,7 @@ let unsat_core t = Array.to_list t.last_core
 let export_learnts ?(max_len = 4) ?(max_clauses = 512) t =
   (* root facts first: the strongest, cheapest clauses to hand a sibling
      solver working on the same formula *)
+  let ar = t.arena in
   let root_end =
     if decision_level t = 0 then Vec.size t.trail else Vec.get t.trail_lim 0
   in
@@ -889,12 +1029,16 @@ let export_learnts ?(max_len = 4) ?(max_clauses = 512) t =
   done;
   (* then the most active short learnt clauses *)
   let arr = Array.init (Vec.size t.learnts) (Vec.get t.learnts) in
-  Array.sort (fun a b -> Float.compare b.activity a.activity) arr;
+  Array.sort (fun a b -> Float.compare (Arena.activity ar b) (Arena.activity ar a)) arr;
   let cls = ref [] in
   Array.iter
     (fun c ->
-      if (not c.deleted) && Array.length c.lits <= max_len && !count < max_clauses then begin
-        cls := Array.copy c.lits :: !cls;
+      if
+        (not (Arena.deleted ar c))
+        && Arena.size ar c <= max_len
+        && !count < max_clauses
+      then begin
+        cls := Arena.lits ar c :: !cls;
         incr count
       end)
     arr;
@@ -941,13 +1085,11 @@ let import_clauses t clauses =
                     incr imported
                 | ls ->
                     let arr = Array.of_list ls in
-                    let c =
-                      { lits = arr; activity = 0.; learnt = true; origin = -1; deleted = false }
-                    in
+                    let c = Arena.alloc t.arena ~learnt:true ~origin:(-1) arr in
                     bump_cla t c;
                     Vec.push t.learnts c;
-                    Vec.push t.watches.(arr.(0)) c;
-                    Vec.push t.watches.(arr.(1)) c;
+                    wlist_push t.watches.(arr.(0)) c arr.(1);
+                    wlist_push t.watches.(arr.(1)) c arr.(0);
                     incr imported
             end)
           clauses;
@@ -971,11 +1113,7 @@ let stats t =
 
 let clause_activity t i = t.clause_score.(i)
 let clause_visits t i = (t.visits_prop.(i), t.visits_confl.(i))
-
-let clause_is_active t i =
-  let c = t.original_cls.(i) in
-  c != dummy_cls && not c.deleted
-
+let clause_is_active t i = t.original_cls.(i) <> no_cref
 let set_polarity t v b = t.polarity.(v) <- b
 let prioritize_vars t vars = List.iter (fun v -> Queue.push v t.forced_queue) vars
 
@@ -999,6 +1137,9 @@ let is_decided t = match t.status with Unknown _ -> false | _ -> true
 let force_restart t = t.restart_pending <- true
 let set_terminate t f = t.terminate <- f
 let set_obs t obs = t.obs <- obs
+
+let arena_words t = Arena.words t.arena
+let arena_wasted t = Arena.wasted t.arena
 
 let flush_obs t =
   let obs = t.obs in

@@ -90,7 +90,13 @@ val stats : t -> stats
 val num_vars : t -> int
 val num_original_clauses : t -> int
 
-(** {2 Paper instrumentation} *)
+(** {2 Paper instrumentation}
+
+    The per-clause counters below are maintained only when the
+    configuration has {!Config.t.track_paper_stats} (see
+    {!Config.with_paper_stats}); with tracking off — the default — the
+    propagation and conflict-analysis hot paths skip the counter writes and
+    the accessors report the initial values. *)
 
 val clause_activity : t -> int -> float
 (** Activity score of the [i]-th original clause (≥ 1.0). *)
@@ -185,6 +191,25 @@ val proof : t -> Sat.Drat.t option
 (** The DRAT derivation recorded so far, oldest step first; [None] unless
     the configuration enabled [log_proof].  After an [Unsat] answer the
     proof ends with the empty clause and passes {!Sat.Drat.check}. *)
+
+(** {2 Clause arena}
+
+    Clauses are stored in a flat int arena ({!Arena}); deleting learnt or
+    root-satisfied clauses leaves dead words behind, which are reclaimed by
+    compaction once their fraction exceeds [Config.garbage_frac].
+    Compaction relocates clause references (watch lists, reasons, learnt
+    list) and never changes answers or search behaviour. *)
+
+val garbage_collect : t -> unit
+(** Compact the clause arena now, regardless of the [garbage_frac]
+    threshold.  Safe at any decision level. *)
+
+val arena_words : t -> int
+(** Current size of the clause arena in words. *)
+
+val arena_wasted : t -> int
+(** Words currently occupied by deleted clauses (reclaimed by the next
+    compaction). *)
 
 val force_restart : t -> unit
 (** Request a restart before the next decision (used by the hybrid backend

@@ -14,6 +14,16 @@ let set t i x =
   if i < 0 || i >= t.size then invalid_arg "Vec.set";
   t.data.(i) <- x
 
+(* hot-loop accessors: bounds are the caller's contract, checked only in
+   debug builds (asserts compile away under -noassert) *)
+let unsafe_get t i =
+  assert (i >= 0 && i < t.size);
+  Array.unsafe_get t.data i
+
+let unsafe_set t i x =
+  assert (i >= 0 && i < t.size);
+  Array.unsafe_set t.data i x
+
 let grow t =
   let cap = Array.length t.data in
   let data = Array.make (2 * cap) t.dummy in

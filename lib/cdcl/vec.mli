@@ -9,6 +9,16 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** {!get} without the bounds check.  The index must satisfy
+    [0 <= i < size t]; violated bounds are caught by an [assert] in debug
+    builds and are undefined behaviour under [-noassert].  For hot loops
+    (trail walks, watch-list scans) only. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** {!set} without the bounds check; same contract as {!unsafe_get}. *)
+
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  @raise Invalid_argument if empty. *)

@@ -157,7 +157,10 @@ let solve_hybrid ~config ?supervisor ~max_iterations ~should_stop ~obs ~parent
   let solver =
     match solver0 with
     | Some s -> s
-    | None -> Cdcl.Solver.create ~config:config.cdcl f
+    | None ->
+        (* the frontend ranks clauses by the paper activity/visit counters,
+           so hybrid-owned solvers must keep them *)
+        Cdcl.Solver.create ~config:(Cdcl.Config.with_paper_stats config.cdcl) f
   in
   Cdcl.Solver.set_obs solver obs;
   let reused_clauses =

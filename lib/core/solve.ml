@@ -34,7 +34,11 @@ module Session = struct
 
   let create ?(mode = Classic Cdcl.Config.minisat_like) ?(obs = Obs.Ctx.null) () =
     let cdcl_config =
-      match mode with Hybrid c -> c.Hybrid_solver.cdcl | Classic c -> c
+      (* hybrid sessions feed the solver's paper counters to the frontend's
+         clause ranking, so tracking must stay on for them *)
+      match mode with
+      | Hybrid c -> Cdcl.Config.with_paper_stats c.Hybrid_solver.cdcl
+      | Classic c -> c
     in
     let supervisor, embed_cache =
       match mode with

@@ -207,7 +207,8 @@ let prioritize_vars_first () =
 
 let clause_activity_grows () =
   let f = pigeonhole ~holes:4 in
-  let s = Solver.create f in
+  (* the per-clause counters are gated: consumers must opt in *)
+  let s = Solver.create ~config:(Config.with_paper_stats Config.default) f in
   ignore (Solver.solve s);
   let any_bumped = ref false in
   for i = 0 to Sat.Cnf.num_clauses f - 1 do
