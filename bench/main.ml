@@ -23,6 +23,7 @@ let experiments =
     ("anneal", Exp_anneal.run);
     ("serve", Exp_serve.run);
     ("incremental", Exp_incremental.run);
+    ("maxsat", Exp_maxsat.run);
     ("cdcl", Exp_cdcl.run);
   ]
 

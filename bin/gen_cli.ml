@@ -1,32 +1,61 @@
 (* hyqsat-gen: emit benchmark instances from the paper's Table I suite as
-   DIMACS files. *)
+   DIMACS (or, with --weighted, WDIMACS) files. *)
 
-let generate bench scale seed output =
+let scale_str = function `Small -> "small" | `Paper -> "paper"
+
+let generate bench scale seed weighted output =
+  let want = String.lowercase_ascii bench in
   match
-    List.find_opt (fun s -> String.lowercase_ascii s.Workload.Spec.id = String.lowercase_ascii bench)
+    List.find_opt
+      (fun s -> String.lowercase_ascii s.Workload.Spec.id = want)
       Workload.Spec.table1
   with
   | None ->
       Printf.eprintf "unknown benchmark %S; available: %s\n" bench
         (String.concat ", " (List.map (fun s -> s.Workload.Spec.id) Workload.Spec.table1));
-      1
-  | Some spec ->
+      2
+  | Some spec -> (
       let rng = Stats.Rng.create ~seed in
-      let f = spec.Workload.Spec.generate rng scale in
       let comments =
         [
           Printf.sprintf "benchmark %s (%s) from domain %s" spec.Workload.Spec.id
             spec.Workload.Spec.name spec.Workload.Spec.domain;
-          Printf.sprintf "scale=%s seed=%d" (match scale with `Small -> "small" | `Paper -> "paper") seed;
+          Printf.sprintf "scale=%s seed=%d" (scale_str scale) seed;
         ]
       in
-      (match output with
-      | Some path ->
-          Sat.Dimacs.write_file ~comments path f;
-          Printf.printf "wrote %s: %d vars, %d clauses\n" path (Sat.Cnf.num_vars f)
-            (Sat.Cnf.num_clauses f)
-      | None -> print_string (Sat.Dimacs.to_string ~comments f));
-      0
+      if weighted then
+        match spec.Workload.Spec.generate_weighted with
+        | None ->
+            Printf.eprintf
+              "benchmark %s has no weighted variant; weighted-capable: %s\n"
+              spec.Workload.Spec.id
+              (String.concat ", "
+                 (List.filter_map
+                    (fun s ->
+                      if s.Workload.Spec.generate_weighted <> None then
+                        Some s.Workload.Spec.id
+                      else None)
+                    Workload.Spec.table1));
+            2
+        | Some gen ->
+            let w = gen rng scale in
+            (match output with
+            | Some path ->
+                Sat.Wcnf.write_file ~comments path w;
+                Printf.printf "wrote %s: %d vars, %d hard, %d soft\n" path
+                  (Sat.Wcnf.num_vars w) (Sat.Wcnf.num_hard w) (Sat.Wcnf.num_soft w)
+            | None -> print_string (Sat.Wcnf.to_string ~comments w));
+            0
+      else begin
+        let f = spec.Workload.Spec.generate rng scale in
+        (match output with
+        | Some path ->
+            Sat.Dimacs.write_file ~comments path f;
+            Printf.printf "wrote %s: %d vars, %d clauses\n" path (Sat.Cnf.num_vars f)
+              (Sat.Cnf.num_clauses f)
+        | None -> print_string (Sat.Dimacs.to_string ~comments f));
+        0
+      end)
 
 open Cmdliner
 
@@ -41,12 +70,21 @@ let scale_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let weighted_arg =
+  Arg.(
+    value & flag
+    & info [ "weighted" ]
+        ~doc:
+          "Emit the benchmark's weighted-MaxSAT variant as WDIMACS. Only some \
+           benchmarks have one (graph colouring, block planning); others exit \
+           with status 2.")
+
 let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
 
 let cmd =
   let doc = "generate HyQSAT benchmark instances (Table I families)" in
   Cmd.v (Cmd.info "hyqsat-gen" ~doc)
-    Term.(const generate $ bench_arg $ scale_arg $ seed_arg $ output_arg)
+    Term.(const generate $ bench_arg $ scale_arg $ seed_arg $ weighted_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,10 +1,11 @@
 (* hyqsat: solve DIMACS CNF files with the hybrid QA+CDCL solver, the
    classical baselines, or a parallel portfolio race — one file or a batch
-   across a worker pool.
+   across a worker pool.  A `.wcnf` input (or --maxsat) switches that
+   instance to the weighted-MaxSAT objective.
 
-   Exit codes follow the SAT competition: 10 = SAT, 20 = UNSAT, 0 = unknown.
-   For a batch the code is 10 iff every instance is SAT, 20 iff every
-   instance is UNSAT, 0 otherwise. *)
+   Exit codes follow the SAT/MaxSAT competitions: 10 = SAT, 20 = UNSAT,
+   30 = OPTIMUM FOUND, 0 = unknown.  For a batch the code is the one all
+   instances agree on, else 0. *)
 
 (* returns (formula to solve, original formula when a 3-SAT conversion
    happened).  Keeping the original lets the service project models back to
@@ -36,11 +37,23 @@ let print_comment_block text =
   String.split_on_char '\n' text
   |> List.iter (fun line -> if line <> "" then print_endline ("c " ^ line))
 
-let exit_code_of_outcomes outcomes =
-  let all p = List.for_all p outcomes in
-  if outcomes = [] then 0
-  else if all (function Service.Job.Sat _ -> true | _ -> false) then 10
-  else if all (function Service.Job.Unsat -> true | _ -> false) then 20
+(* optimisation records carry cost >= 0 (decision jobs write -1); an
+   optimum is a closed gap *)
+let classify_record (r : Service.Telemetry.record) =
+  match r.Service.Telemetry.outcome with
+  | "sat" when r.Service.Telemetry.cost >= 0 && r.Service.Telemetry.cost = r.Service.Telemetry.lower_bound ->
+      `Optimum
+  | "sat" -> `Sat
+  | "unsat" -> `Unsat
+  | _ -> `Unknown
+
+let exit_code_of_records records =
+  let xs = List.map classify_record records in
+  let all p = List.for_all p xs in
+  if xs = [] then 0
+  else if all (fun c -> c = `Optimum) then 30
+  else if all (fun c -> c = `Sat || c = `Optimum) then 10
+  else if all (fun c -> c = `Unsat) then 20
   else 0
 
 let print_certification (record : Service.Telemetry.record) =
@@ -48,7 +61,23 @@ let print_certification (record : Service.Telemetry.record) =
   | "" -> ()
   | "model" -> print_endline "c certified: model checked against the original formula"
   | "proof" -> print_endline "c certified: unsat DRAT proof checked (RUP, empty clause derived)"
+  | "optimal" -> print_endline "c certified: optimality proven by an independent re-solve"
+  | "cost" -> print_endline "c certified: model cost re-checked (optimality gap still open)"
+  | "infeasible" -> print_endline "c certified: hard clauses re-proven unsatisfiable"
   | failed -> print_endline ("c CERTIFICATION FAILED — answer withheld: " ^ failed)
+
+(* MaxSAT-evaluation style result lines from a telemetry record *)
+let print_opt_status (record : Service.Telemetry.record) =
+  Printf.printf "o %d\n" record.Service.Telemetry.cost;
+  if record.Service.Telemetry.cost = record.Service.Telemetry.lower_bound then
+    print_endline "s OPTIMUM FOUND"
+  else begin
+    Printf.printf "c optimality gap open: best %d, proven lower bound %d\n"
+      record.Service.Telemetry.cost record.Service.Telemetry.lower_bound;
+    print_endline "s SATISFIABLE"
+  end
+
+let is_wcnf path = Filename.check_suffix path ".wcnf"
 
 let write_proof path (r : Service.Batch.job_result) =
   match r.Service.Batch.race.Service.Portfolio.winner with
@@ -64,8 +93,9 @@ let write_proof path (r : Service.Batch.job_result) =
   | None -> ()
 
 let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retries
-    max_iterations json_out certify proof_file trace_file metrics warm_start qa_reads
-    qa_domains qa_backend qa_fault_rate qa_timeout_us qa_retries =
+    max_iterations json_out certify proof_file trace_file metrics warm_start maxsat
+    gap_limit opt_timeout qa_reads qa_domains qa_backend qa_fault_rate qa_timeout_us
+    qa_retries =
   if paths = [] then begin
     Printf.eprintf "hyqsat: no input files\n";
     exit 2
@@ -76,6 +106,10 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
   end;
   if qa_fault_rate < 0. || qa_fault_rate > 1. then begin
     Printf.eprintf "hyqsat: --qa-fault-rate must be in [0,1]\n";
+    exit 2
+  end;
+  if gap_limit < 0 then begin
+    Printf.eprintf "hyqsat: --gap-limit must be >= 0\n";
     exit 2
   end;
   let log_proof = certify || proof_file <> None in
@@ -100,9 +134,20 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
   let specs =
     List.mapi
       (fun i path ->
-        let formula, original = load_formula path in
-        Service.Job.make ~name:path ?original ~certify ?timeout_s:timeout ~max_iterations
-          ~retries:(max 0 retries) ~qa ~seed:(seed + (101 * i)) ~id:i formula)
+        if maxsat || is_wcnf path then
+          (* a .wcnf is WDIMACS; --maxsat on a plain CNF maximises the
+             number of satisfied clauses (every clause soft at weight 1) *)
+          let w =
+            if is_wcnf path then Sat.Wcnf.parse_file path
+            else Sat.Wcnf.of_cnf (Sat.Dimacs.parse_file path)
+          in
+          Service.Job.optimize ~name:path ~gap_limit ~certify
+            ?timeout_s:(match opt_timeout with Some _ -> opt_timeout | None -> timeout)
+            ~max_iterations ~retries:(max 0 retries) ~qa ~seed:(seed + (101 * i)) ~id:i w
+        else
+          let formula, original = load_formula path in
+          Service.Job.make ~name:path ?original ~certify ?timeout_s:timeout ~max_iterations
+            ~retries:(max 0 retries) ~qa ~seed:(seed + (101 * i)) ~id:i formula)
       paths
   in
   let members ~spec ~seed =
@@ -159,7 +204,9 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
         print_certification r.Service.Batch.record;
         (match r.Service.Batch.outcome with
         | Service.Job.Sat model ->
-            print_endline "s SATISFIABLE";
+            if r.Service.Batch.record.Service.Telemetry.cost >= 0 then
+              print_opt_status r.Service.Batch.record
+            else print_endline "s SATISFIABLE";
             if single then print_model model
         | Service.Job.Unsat -> print_endline "s UNSATISFIABLE"
         | Service.Job.Unknown _ -> print_endline "s UNKNOWN");
@@ -173,12 +220,17 @@ let main paths solver_kind portfolio noisy grid seed verbose jobs timeout retrie
     end
   end;
   if metrics then print_string (Obs.Export.prometheus_string metric_snapshot);
-  exit_code_of_outcomes (List.map (fun r -> r.Service.Batch.outcome) results)
+  exit_code_of_records records
 
 open Cmdliner
 
 let paths_arg =
-  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"DIMACS CNF input files (one or more).")
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Input files (one or more): DIMACS CNF decision instances, or WDIMACS $(b,.wcnf) \
+           weighted-MaxSAT instances.")
 
 let solver_arg =
   let kinds = [ ("hybrid", `Hybrid); ("minisat", `Minisat); ("kissat", `Kissat) ] in
@@ -282,6 +334,33 @@ let metrics_arg =
         ~doc:
           "Dump run metrics (counters, gauges, histograms) in Prometheus text format on stdout \
            after the results.")
+
+let maxsat_arg =
+  Arg.(
+    value & flag
+    & info [ "maxsat" ]
+        ~doc:
+          "Treat every input as a weighted MaxSAT instance and find a provably optimal model.  \
+           Implied for $(b,.wcnf) files (WDIMACS, classic and 2022 dialects); on a plain CNF \
+           every clause becomes soft at weight 1 (maximise satisfied clauses).  Prints \
+           $(b,o <cost>) and $(b,s OPTIMUM FOUND); exit code 30 when the optimum is proven.")
+
+let gap_limit_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "gap-limit" ] ~docv:"G"
+        ~doc:
+          "Optimisation jobs: accept any model whose cost is within $(docv) of the proven \
+           lower bound instead of closing the gap entirely (0 = demand the exact optimum).")
+
+let opt_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "opt-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline for optimisation jobs only (overrides $(b,--timeout) for \
+           them); on expiry the best incumbent and its lower bound are reported.")
 
 let qa_reads_arg =
   Arg.(
@@ -396,7 +475,7 @@ let serve_main socket port metrics_port workers queue_capacity per_client grace 
 (* submit: the thin client *)
 
 let submit_main paths socket port certify timeout retries max_iterations seed priority
-    session events json_out verbose =
+    session events json_out verbose wcnf gap_limit =
   if paths = [] then begin
     Printf.eprintf "hyqsat submit: no input files\n";
     exit 2
@@ -422,9 +501,11 @@ let submit_main paths socket port certify timeout retries max_iterations seed pr
       let dimacs = In_channel.with_open_bin path In_channel.input_all in
       (* same per-file seed derivation as the one-shot solver, so a daemon
          answer is reproducible against `hyqsat FILE --seed S` *)
+      let format = if wcnf || is_wcnf path then Some "wcnf" else None in
       let spec =
-        Server.Protocol.make_job_spec ~name:path ~certify ?timeout_s:timeout ~max_iterations
-          ~retries ~seed:(seed + (101 * i)) ~priority ?session ~id:i dimacs
+        Server.Protocol.make_job_spec ~name:path ?format ~gap_limit ~certify
+          ?timeout_s:timeout ~max_iterations ~retries ~seed:(seed + (101 * i)) ~priority
+          ?session ~id:i dimacs
       in
       Server.Client.send t (Server.Protocol.Submit spec))
     paths;
@@ -480,7 +561,8 @@ let submit_main paths socket port certify timeout retries max_iterations seed pr
             print_certification record;
             let label = record.Service.Telemetry.outcome in
             if label = "sat" then begin
-              print_endline "s SATISFIABLE";
+              if record.Service.Telemetry.cost >= 0 then print_opt_status record
+              else print_endline "s SATISFIABLE";
               match model with Some m when single -> print_model m | _ -> ()
             end
             else if label = "unsat" then print_endline "s UNSATISFIABLE"
@@ -489,14 +571,8 @@ let submit_main paths socket port certify timeout retries max_iterations seed pr
     if verbose then
       print_comment_block (Format.asprintf "%a" Service.Telemetry.pp_table records)
   end;
-  let outcome_of (record : Service.Telemetry.record) =
-    match record.Service.Telemetry.outcome with
-    | "sat" -> Service.Job.Sat [||]
-    | "unsat" -> Service.Job.Unsat
-    | _ -> Service.Job.Unknown Service.Job.Budget
-  in
   if List.length collected < n then 0 (* a rejected/unanswered job is an unknown *)
-  else exit_code_of_outcomes (List.map outcome_of records)
+  else exit_code_of_records records
 
 (* ------------------------------------------------------------------ *)
 (* command plumbing *)
@@ -574,6 +650,15 @@ let events_arg =
     value & flag
     & info [ "events" ] ~doc:"Subscribe to progress events and print them as comment lines.")
 
+let submit_wcnf_arg =
+  Arg.(
+    value & flag
+    & info [ "wcnf" ]
+        ~doc:
+          "Submit the inputs as WDIMACS weighted-MaxSAT instances (implied for $(b,.wcnf) \
+           files).  The daemon answers with the certified cost and lower bound in the \
+           result record.")
+
 let serve_cmd =
   let doc = "run the persistent solver daemon" in
   Cmd.v
@@ -590,15 +675,15 @@ let submit_cmd =
     Term.(
       const submit_main $ paths_arg $ socket_arg $ port_arg $ certify_arg $ timeout_arg
       $ retries_arg $ max_iterations_arg $ seed_arg $ priority_arg $ session_arg $ events_arg
-      $ json_arg $ verbose_arg)
+      $ json_arg $ verbose_arg $ submit_wcnf_arg $ gap_limit_arg)
 
 let solve_term =
   Term.(
     const main $ paths_arg $ solver_arg $ portfolio_arg $ noisy_arg $ grid_arg $ seed_arg
     $ verbose_arg $ jobs_arg $ timeout_arg $ retries_arg $ max_iterations_arg $ json_arg
-    $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ warm_start_arg $ qa_reads_arg
-    $ qa_domains_arg $ qa_backend_arg $ qa_fault_rate_arg $ qa_timeout_us_arg
-    $ qa_retries_arg)
+    $ certify_arg $ proof_arg $ trace_arg $ metrics_arg $ warm_start_arg $ maxsat_arg
+    $ gap_limit_arg $ opt_timeout_arg $ qa_reads_arg $ qa_domains_arg $ qa_backend_arg
+    $ qa_fault_rate_arg $ qa_timeout_us_arg $ qa_retries_arg)
 
 let solve_cmd =
   let doc = "solve DIMACS instances in-process (the default command)" in

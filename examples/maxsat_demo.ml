@@ -1,6 +1,6 @@
-(* MAX-SAT through the annealing stack: compare the annealer's approximate
-   optimum against local search and the exact cardinality-based solver on an
-   over-constrained formula.
+(* MaxSAT through the unified optimisation surface: compare the annealer's
+   incumbent and classical local search against the exact core-guided /
+   linear-search solver on an over-constrained formula.
 
    Run with: dune exec examples/maxsat_demo.exe *)
 
@@ -9,20 +9,38 @@ let () =
   (* ratio ~8 random 3-SAT: far past the phase transition, so a few clauses
      must stay violated *)
   let f = Workload.Uniform.generate ~planted:false rng ~num_vars:14 ~num_clauses:110 in
+  let w = Sat.Wcnf.of_cnf f in
   Format.printf "over-constrained 3-SAT: %d vars, %d clauses (ratio %.1f)@."
     (Sat.Cnf.num_vars f) (Sat.Cnf.num_clauses f) (Sat.Cnf.clause_to_var_ratio f);
 
-  (match Hyqsat.Maxsat.exact f with
-  | Some r -> Format.printf "exact optimum:        %d violated clauses@." r.Hyqsat.Maxsat.violated
-  | None -> Format.printf "exact solver hit its budget@.");
-
   let graph = Chimera.Graph.standard_2000q () in
-  (match Hyqsat.Maxsat.approximate ~samples:10 rng graph f with
-  | Some r ->
+  let r = Hyqsat.Optimize.solve ~rng ~graph w in
+  (match r.Hyqsat.Optimize.status with
+  | Hyqsat.Optimize.Optimal ->
+      Format.printf "exact optimum:        %d violated clauses (proven, %d CDCL calls)@."
+        r.Hyqsat.Optimize.best_cost r.Hyqsat.Optimize.cdcl_calls
+  | _ ->
+      Format.printf "exact solver stopped: cost %d, lower bound %d@."
+        r.Hyqsat.Optimize.best_cost r.Hyqsat.Optimize.lower_bound);
+
+  (match Hyqsat.Optimize.anneal_incumbent ~samples:10 rng graph w with
+  | Some (cost, _) ->
       Format.printf "quantum annealer:     %d violated (best of 10 cycles, ~%.1f ms of QA time)@."
-        r.Hyqsat.Maxsat.violated
+        cost
         (10. *. Anneal.Timing.single_sample_us Anneal.Timing.d_wave_2000q /. 1000.)
   | None -> Format.printf "annealer: nothing embedded@.");
 
-  let ls = Hyqsat.Maxsat.local_search rng f in
-  Format.printf "classical local search: %d violated@." ls.Hyqsat.Maxsat.violated
+  let ls_cost, _ = Hyqsat.Optimize.incumbent rng w in
+  Format.printf "classical local search: %d violated@." ls_cost;
+
+  (* the same surface handles weighted instances: make ten clauses precious *)
+  let weighted =
+    Sat.Wcnf.make ~num_vars:(Sat.Cnf.num_vars f) ~hard:[]
+      ~soft:(List.mapi (fun i c -> ((if i < 10 then 5 else 1), c)) (Sat.Cnf.clauses f))
+  in
+  let rw = Hyqsat.Optimize.solve ~rng weighted in
+  Format.printf "weighted (10 clauses at weight 5): cost %d, lower bound %d (%s)@."
+    rw.Hyqsat.Optimize.best_cost rw.Hyqsat.Optimize.lower_bound
+    (match rw.Hyqsat.Optimize.algorithm_used with
+    | Hyqsat.Optimize.Core_guided -> "core-guided"
+    | _ -> "linear")

@@ -41,6 +41,35 @@ val certify :
     (equal to [original] when no conversion happened); [proof] is required
     for an [Unsat] answer to certify. *)
 
+(** {2 Optimisation certificates} *)
+
+type opt_verdict =
+  | Cost_verified of int
+      (** the model satisfies every hard clause and recomputes to the
+          claimed cost; the optimality gap was still open *)
+  | Optimality_verified of int
+      (** additionally, an independent re-solve with the cost forced below
+          the claim came back UNSAT — the model is proven optimal *)
+  | Infeasibility_verified
+      (** the hard clauses were independently re-proven unsatisfiable *)
+
+val opt_verdict_label : (opt_verdict, string) result -> string
+(** Stable telemetry strings: ["cost"], ["optimal"], ["infeasible"],
+    ["failed: <reason>"]. *)
+
+val certify_opt :
+  ?max_conflicts:int ->
+  original:Sat.Wcnf.t ->
+  Hyqsat.Optimize.result ->
+  (opt_verdict, string) result
+(** Certify an optimisation answer against the original WCNF.  The model's
+    hard-satisfaction and cost are re-checked directly; an [Optimal] claim
+    (gap = 0) is certified by re-encoding "cost ≤ best − 1" from scratch —
+    hard clauses, selector-relaxed softs, unary weighted counter — and
+    requiring a fresh CDCL solver to answer UNSAT.  [max_conflicts] bounds
+    the re-solves; exhausting it yields an [Error], never a silently
+    weaker verdict. *)
+
 (** {2 Certified solving} *)
 
 type t = {

@@ -55,7 +55,7 @@ let embed_via_cache obs cache graph f clauses enc =
           res)
 
 let prepare ?(obs = Obs.Ctx.null) ?cache ?(queue_mode = Activity_bfs)
-    ?(adjust = true) rng graph f ~activity =
+    ?(adjust = true) ?weights rng graph f ~activity =
   let t0 = Sys.time () in
   let limit = Embed.Hyqsat_scheme.capacity_estimate graph in
   let var_budget = Chimera.Graph.num_vertical_lines graph in
@@ -79,6 +79,19 @@ let prepare ?(obs = Obs.Ctx.null) ?cache ?(queue_mode = Activity_bfs)
       let prefix_clauses = List.filteri (fun i _ -> i < embedded) clauses in
       let enc' = Qubo.Encode.encode ~num_vars:(Sat.Cnf.num_vars f) prefix_clauses in
       if adjust then Qubo.Adjust.adjust enc';
+      (* weighted (MaxSAT) mode: scale the adjusted α's by per-clause
+         weights so the sampled energy tracks weighted violation cost; the
+         unembedded suffix simply keeps its weights out of this job, same
+         as unweighted clauses outside the queue prefix *)
+      (match weights with
+      | None -> ()
+      | Some w ->
+          let prefix_w =
+            Array.of_list
+              (List.filteri (fun i _ -> i < embedded) queue
+              |> List.map (fun k -> float_of_int w.(k)))
+          in
+          Qubo.Encode.set_clause_weights enc' prefix_w);
       let job =
         {
           Anneal.Machine.embedding = res.Embed.Hyqsat_scheme.embedding;

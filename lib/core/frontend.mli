@@ -41,6 +41,7 @@ val prepare :
   ?cache:cache ->
   ?queue_mode:queue_mode ->
   ?adjust:bool ->
+  ?weights:int array ->
   Stats.Rng.t ->
   Chimera.Graph.t ->
   Sat.Cnf.t ->
@@ -48,6 +49,12 @@ val prepare :
   prepared option
 (** [None] when nothing could be embedded (e.g. empty formula).  [adjust]
     (default [true]) applies the noise-optimising coefficient adjustment.
+    [weights] (one per clause of [f], each [>= 1]) switches the job to
+    weighted mode: after adjustment, each embedded clause's sub-penalties
+    are scaled by its weight (normalised to the heaviest), so annealer
+    samples minimise weighted violation cost — clauses outside the
+    embedded prefix keep their weights out of the job, exactly as the
+    unweighted prefix logic drops them.
     With a [cache], a structurally repeated queue reuses its embedding
     (the cached {!Embed.Embedding.t} is shared, not copied — treat
     embeddings as immutable); with a live [obs] the lookup bumps

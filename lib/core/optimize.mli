@@ -1,0 +1,95 @@
+(** Weighted MaxSAT optimisation — the unified surface replacing the old
+    [Maxsat] module (the extension direction of the paper's foundation
+    reference [8], Bian et al., "Solving SAT and MaxSAT with a quantum
+    annealer").
+
+    Two exact algorithms run on one incremental {!Cdcl.Solver} session, so
+    clauses learnt in one iteration carry to the next:
+
+    {ul
+    {- {e Linear} — descending linear search.  Every soft clause gets a
+       relaxation selector; the weighted selector count is bounded with a
+       unary {!Sat.Cardinality} counter (each selector repeated weight
+       times, heaviest first) and the bound descends from the incumbent's
+       cost until UNSAT proves the optimum.  Bounds only tighten, so the
+       counter clauses are added permanently — no activation literals.}
+    {- {e Core_guided} — Fu–Malik/WPM1 relaxation on
+       [solve_with_assumptions]/[unsat_core]: assume every selector false,
+       extract a core, pay its minimum weight into the lower bound, split
+       the core's clauses (weight remainder kept, a relaxed clone added)
+       under a hard exactly-one over the fresh relaxation variables, and
+       repeat until SAT — at which point cost equals the lower bound.}}
+
+    Both are seeded by heuristic incumbents (weighted WalkSAT, optionally
+    annealer sampling), and every answer carries [(best_cost, lower_bound)]
+    so the optimality gap is always reported. *)
+
+type algorithm = Linear | Core_guided | Auto
+(** [Auto] picks [Linear] when the summed soft weight is small enough for
+    the unary counter and [Core_guided] otherwise. *)
+
+val algorithm_label : algorithm -> string
+(** ["linear"], ["core-guided"], ["auto"] — stable, used in telemetry and
+    CLI flags. *)
+
+val algorithm_of_label : string -> algorithm option
+(** Inverse of {!algorithm_label} (also accepts ["core_guided"] and
+    ["fu-malik"] for the core-guided algorithm). *)
+
+type status =
+  | Optimal  (** [best_cost = lower_bound]: the model is proven optimal *)
+  | Feasible  (** a hard-satisfying model is known, the gap may be open *)
+  | Infeasible  (** the hard clauses are unsatisfiable *)
+  | Unknown  (** budget/timeout before any hard-satisfying model was found *)
+
+type result = {
+  best : bool array option;
+      (** hard-satisfying model over the original variables *)
+  best_cost : int;  (** [Wcnf.cost] of [best]; [Wcnf.top] when [best = None] *)
+  lower_bound : int;  (** proven lower bound on the optimum cost *)
+  status : status;
+  algorithm_used : algorithm;  (** [Linear] or [Core_guided], never [Auto] *)
+  cdcl_calls : int;
+  cores : int;  (** unsat cores extracted (core-guided only) *)
+  cpu_time_s : float;
+}
+
+val incumbent : ?max_flips:int -> Stats.Rng.t -> Sat.Wcnf.t -> int * bool array
+(** Weighted WalkSAT minimiser (the old [Maxsat.local_search] semantics:
+    walk on a random falsified clause, flip a random variable of it, keep
+    the best-ever configuration).  Hard clauses participate with weight
+    {!Sat.Wcnf.top}, so the returned cost is the {e penalised} cost
+    [soft cost + top * violated hard clauses] — below [top] iff the model
+    satisfies every hard clause. *)
+
+val anneal_incumbent :
+  ?samples:int ->
+  ?noise:Anneal.Noise.t ->
+  Stats.Rng.t ->
+  Chimera.Graph.t ->
+  Sat.Wcnf.t ->
+  (int * bool array) option
+(** Best of [samples] (default 8) annealing cycles over the weighted QUBO
+    (hard clauses at weight [top], softs at their weight, queue ordered by
+    weight).  Returns the penalised cost as in {!incumbent}; [None] when
+    nothing embeds. *)
+
+val solve :
+  ?algorithm:algorithm ->
+  ?max_conflicts:int ->
+  ?timeout_s:float ->
+  ?should_stop:(unit -> bool) ->
+  ?gap_limit:int ->
+  ?max_flips:int ->
+  ?samples:int ->
+  ?rng:Stats.Rng.t ->
+  ?graph:Chimera.Graph.t ->
+  Sat.Wcnf.t ->
+  result
+(** Exact weighted MaxSAT.  [max_conflicts] bounds each CDCL call
+    (exhaustion returns the incumbent as [Feasible]/[Unknown]);
+    [timeout_s] is a wall deadline and [should_stop] an external cancel
+    switch, both enforced through the solver's terminate hook; [gap_limit]
+    (default 0) stops as soon as [best_cost - lower_bound <= gap_limit];
+    [rng] seeds the WalkSAT incumbent (a fixed default seed is used when
+    absent) and [graph] additionally enables the annealer incumbent. *)

@@ -11,6 +11,22 @@ let run ?supervisor ?max_iterations ?should_stop ?obs ?parent ?solver
   Hybrid_solver.run ?supervisor ?max_iterations ?should_stop ?obs ?parent
     ?solver ?embed_cache ?assumptions ?import mode f
 
+type objective = Decision | Maximize
+
+let objective_label = function Decision -> "decision" | Maximize -> "maxsat"
+
+let optimize ?(mode = Hybrid Hybrid_solver.default_config) ?algorithm ?max_conflicts
+    ?timeout_s ?should_stop ?gap_limit ?seed w =
+  (* hybrid mode contributes its hardware graph, so the annealer seeds the
+     incumbent exactly as the decision pipeline would sample it *)
+  let graph =
+    match mode with
+    | Hybrid c -> Some c.Hybrid_solver.graph
+    | Classic _ -> None
+  in
+  let rng = Option.map (fun seed -> Stats.Rng.create ~seed) seed in
+  Optimize.solve ?algorithm ?max_conflicts ?timeout_s ?should_stop ?gap_limit ?rng ?graph w
+
 module Session = struct
   type answer =
     [ `Sat of bool array

@@ -43,6 +43,36 @@ val run :
     {!Hybrid_solver.report} type, so callers never branch on the mode to
     read results. *)
 
+(** {2 Optimisation objective}
+
+    The decision pipeline above answers "is there a model"; the paired
+    {!optimize} entry point answers "what is the cheapest model" over a
+    weighted {!Sat.Wcnf.t}.  Service jobs, the daemon and the CLI select
+    between the two with an {!objective} value. *)
+
+type objective =
+  | Decision  (** plain SAT/UNSAT through {!run} *)
+  | Maximize  (** weighted MaxSAT through {!optimize} *)
+
+val objective_label : objective -> string
+(** ["decision"] or ["maxsat"] — stable, used in telemetry and specs. *)
+
+val optimize :
+  ?mode:mode ->
+  ?algorithm:Optimize.algorithm ->
+  ?max_conflicts:int ->
+  ?timeout_s:float ->
+  ?should_stop:(unit -> bool) ->
+  ?gap_limit:int ->
+  ?seed:int ->
+  Sat.Wcnf.t ->
+  Optimize.result
+(** Exact weighted MaxSAT (see {!Optimize.solve}).  [mode] (default hybrid)
+    only shapes the heuristic incumbents: hybrid contributes its hardware
+    graph so annealer samples seed the search, classic uses WalkSAT alone.
+    Either way the exact phase is the same CDCL-based search, and the
+    result always carries [(best_cost, lower_bound)]. *)
+
 (** Incremental solving session: a long-lived solver plus (in hybrid mode)
     a shared supervisor and embedding cache.  Variables and clauses are
     added between solves; learnt clauses, VSIDS/CHB activities, saved

@@ -189,6 +189,20 @@ let encode_ksat ~num_vars clause_list =
     subs = Array.of_list (List.rev !subs);
   }
 
+let set_clause_weights t weights =
+  if Array.length weights <> Array.length t.clauses then
+    invalid_arg
+      (Printf.sprintf "Encode.set_clause_weights: %d weights for %d clauses"
+         (Array.length weights) (Array.length t.clauses));
+  let wmax = Array.fold_left Float.max 0. weights in
+  Array.iter
+    (fun w ->
+      if not (w > 0.) then invalid_arg "Encode.set_clause_weights: weight must be > 0")
+    weights;
+  Array.iter
+    (fun s -> s.alpha <- s.alpha *. weights.(s.clause_index) /. wmax)
+    t.subs
+
 let objective t =
   let h = Pbq.create () in
   Array.iter (fun s -> Pbq.add_scaled h s.penalty s.alpha) t.subs;

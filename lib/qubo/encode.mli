@@ -41,6 +41,15 @@ val encode_ksat : num_vars:int -> Sat.Clause.t list -> t
     (aux-to-aux couplings) and is not accepted by the line embedder; it
     exists for the K-SAT feasibility study. *)
 
+val set_clause_weights : t -> float array -> unit
+(** Weighted (MaxSAT) mode: scale every sub-clause's {e current} α by its
+    clause's weight, normalised so the heaviest clause keeps its α — the
+    annealer then minimises weighted violation cost instead of violation
+    count (Bian et al.).  Composes with {!Adjust.adjust}: call it {e after}
+    adjustment, since [adjust] resets all α to its own values.  One weight
+    per encoded clause, each [> 0].
+    @raise Invalid_argument on a length mismatch or non-positive weight. *)
+
 val objective : t -> Pbq.t
 (** The α-weighted total objective H_C(X, A). *)
 

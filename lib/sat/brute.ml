@@ -30,6 +30,22 @@ let solve ?limit_vars f =
 let count_models ?limit_vars f =
   fold ?limit_vars f 0 (fun acc _ sat -> `Continue (if sat then acc + 1 else acc))
 
+let min_cost ?(limit_vars = 24) w =
+  let n = Wcnf.num_vars w in
+  if n > limit_vars then
+    invalid_arg (Printf.sprintf "Brute: %d vars exceeds limit %d" n limit_vars);
+  let best = ref None in
+  for bits = 0 to (1 lsl n) - 1 do
+    let model = assignment_of_bits n bits in
+    if Wcnf.hard_satisfied w model then begin
+      let c = Wcnf.cost w model in
+      match !best with
+      | Some (c', _) when c' <= c -> ()
+      | _ -> best := Some (c, model)
+    end
+  done;
+  !best
+
 let min_unsatisfied ?(limit_vars = 24) f =
   check_limit limit_vars f;
   let n = Cnf.num_vars f in

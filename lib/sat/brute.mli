@@ -14,3 +14,8 @@ val count_models : ?limit_vars:int -> Cnf.t -> int
 val min_unsatisfied : ?limit_vars:int -> Cnf.t -> int
 (** Minimum number of falsified clauses over all total assignments
     (the MAX-SAT optimum complement); [0] iff satisfiable. *)
+
+val min_cost : ?limit_vars:int -> Wcnf.t -> (int * bool array) option
+(** Weighted MaxSAT ground truth: the minimum soft-clause cost over all
+    assignments satisfying every hard clause, with the lexicographically
+    first witnessing model; [None] when the hard clauses are unsatisfiable. *)

@@ -1,0 +1,250 @@
+type soft = { weight : int; clause : Clause.t }
+type t = { num_vars : int; hard : Clause.t array; soft : soft array }
+
+let check_clause num_vars c =
+  Array.iter
+    (fun l ->
+      if Lit.var l >= num_vars || Lit.var l < 0 then
+        invalid_arg
+          (Printf.sprintf "Wcnf.make: literal %s out of range (num_vars=%d)"
+             (Lit.to_string l) num_vars))
+    (Clause.to_array c)
+
+let make ~num_vars ~hard ~soft =
+  List.iter (check_clause num_vars) hard;
+  List.iter
+    (fun (w, c) ->
+      if w < 1 then invalid_arg (Printf.sprintf "Wcnf.make: soft weight %d < 1" w);
+      check_clause num_vars c)
+    soft;
+  {
+    num_vars;
+    hard = Array.of_list hard;
+    soft = Array.of_list (List.map (fun (weight, clause) -> { weight; clause }) soft);
+  }
+
+let of_cnf ?(weight = 1) f =
+  make ~num_vars:(Cnf.num_vars f) ~hard:[]
+    ~soft:(List.map (fun c -> (weight, c)) (Cnf.clauses f))
+
+let hardened f = make ~num_vars:(Cnf.num_vars f) ~hard:(Cnf.clauses f) ~soft:[]
+let num_vars f = f.num_vars
+let num_hard f = Array.length f.hard
+let num_soft f = Array.length f.soft
+let sum_weights f = Array.fold_left (fun acc s -> acc + s.weight) 0 f.soft
+let top f = sum_weights f + 1
+let hard_cnf f = Cnf.of_arrays ~num_vars:f.num_vars (Array.copy f.hard)
+let soft_clauses f = Array.to_list f.soft |> List.map (fun s -> (s.weight, s.clause))
+
+let cost f model =
+  let a = Assignment.of_bools model in
+  Array.fold_left
+    (fun acc s -> if Assignment.satisfies_clause a s.clause then acc else acc + s.weight)
+    0 f.soft
+
+let hard_satisfied f model =
+  let a = Assignment.of_bools model in
+  Array.for_all (fun c -> Assignment.satisfies_clause a c) f.hard
+
+(* ---- WDIMACS parsing (mirrors the Dimacs tokenizer conventions) ---- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let is_space = function ' ' | '\t' | '\r' | '\012' -> true | _ -> false
+
+let split_on_whitespace line =
+  let out = ref [] and start = ref (-1) in
+  let n = String.length line in
+  for i = 0 to n - 1 do
+    if is_space line.[i] then begin
+      if !start >= 0 then out := String.sub line !start (i - !start) :: !out;
+      start := -1
+    end
+    else if !start < 0 then start := i
+  done;
+  if !start >= 0 then out := String.sub line !start (n - !start) :: !out;
+  List.rev !out
+
+let tokenize s =
+  let out = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if String.length line = 0 then ()
+         else if line.[0] = 'c' then ()
+         else List.iter (fun tok -> out := tok :: !out) (split_on_whitespace line));
+  List.rev !out
+
+let drop_satlib_footer toks =
+  let rec take acc = function
+    | [] | "%" :: _ -> List.rev acc
+    | t :: rest -> take (t :: acc) rest
+  in
+  take [] toks
+
+let int_tok tok = try int_of_string tok with Failure _ -> fail "bad token %S" tok
+
+(* Reads [(head, lits)] groups where [head] is the leading weight token
+   ([None] for an [h]-prefixed hard clause) and each group runs to a [0]. *)
+let read_clauses toks =
+  let groups = ref [] in
+  let head = ref `Expect_head in
+  let current = ref [] in
+  List.iter
+    (fun tok ->
+      match !head with
+      | `Expect_head ->
+          if tok = "h" || tok = "H" then head := `In_clause None
+          else begin
+            let w = int_tok tok in
+            if w < 0 then fail "negative clause weight %d" w;
+            head := `In_clause (Some w)
+          end
+      | `In_clause h ->
+          let i = int_tok tok in
+          if i = 0 then begin
+            groups := (h, List.rev !current) :: !groups;
+            current := [];
+            head := `Expect_head
+          end
+          else current := i :: !current)
+    toks;
+  (match !head with
+  | `Expect_head -> ()
+  | `In_clause _ -> fail "trailing clause not terminated by 0");
+  List.rev !groups
+
+let max_var_of_groups groups =
+  List.fold_left
+    (fun acc (_, lits) -> List.fold_left (fun acc l -> max acc (abs l)) acc lits)
+    0 groups
+
+let build ~num_vars groups ~is_hard =
+  let hard = ref [] and soft = ref [] in
+  List.iter
+    (fun (h, lits) ->
+      List.iter
+        (fun l ->
+          if abs l > num_vars then fail "literal %d exceeds %d vars" l num_vars)
+        lits;
+      let c = Clause.of_dimacs lits in
+      match h with
+      | None -> hard := c :: !hard
+      | Some w ->
+          if is_hard w then hard := c :: !hard
+          else if w = 0 then fail "soft clause with weight 0"
+          else soft := (w, c) :: !soft)
+    groups;
+  make ~num_vars ~hard:(List.rev !hard) ~soft:(List.rev !soft)
+
+(* The flat token stream cannot tell a 3-field [p wcnf nv nc] header from a
+   4-field one followed by a clause weight, so the header is read off its own
+   line before the clause section is flattened — which is how the dialect is
+   actually defined. *)
+let split_header s =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | line :: rest ->
+        let t = String.trim line in
+        if String.length t = 0 || t.[0] = 'c' then go (line :: acc) rest
+        else if t.[0] = 'p' then (Some (split_on_whitespace t), List.rev_append acc rest)
+        else (None, List.rev_append acc (line :: rest))
+  in
+  (* clause lines before the header would be malformed anyway; [acc] only
+     ever holds comments/blanks here *)
+  go [] (String.split_on_char '\n' s)
+
+let parse_string s =
+  let header, body_lines = split_header s in
+  let toks = drop_satlib_footer (tokenize (String.concat "\n" body_lines)) in
+  match header with
+  | Some ("p" :: "wcnf" :: nv :: nc :: top_field) ->
+      let num_vars = int_tok nv and num_clauses = int_tok nc in
+      if num_vars < 0 || num_clauses < 0 then fail "negative counts in header";
+      let top =
+        match top_field with
+        | [] -> None
+        | [ t ] -> Some (int_tok t)
+        | _ -> fail "malformed wcnf header"
+      in
+      let groups = read_clauses toks in
+      if List.length groups <> num_clauses then
+        fail "header declares %d clauses, found %d" num_clauses (List.length groups);
+      let is_hard w = match top with Some t -> w >= t | None -> false in
+      build ~num_vars groups ~is_hard
+  | Some ("p" :: fmt :: _) -> fail "unsupported format %S (expected wcnf)" fmt
+  | Some _ -> fail "malformed header line"
+  | None ->
+      (* 2022 headerless dialect: [h]-prefixed hard clauses, weight-prefixed
+         soft clauses, variable count recovered from the largest literal *)
+      if toks = [] then fail "empty WDIMACS document";
+      let groups = read_clauses toks in
+      let num_vars = max_var_of_groups groups in
+      build ~num_vars groups ~is_hard:(fun _ -> false)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let clause_body buf c =
+  List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l)); Buffer.add_char buf ' ') (Clause.lits c);
+  Buffer.add_string buf "0\n"
+
+let to_string ?(format = `Classic) ?(comments = []) f =
+  let buf = Buffer.create 1024 in
+  List.iter (fun c -> Buffer.add_string buf ("c " ^ c ^ "\n")) comments;
+  (match format with
+  | `Classic ->
+      let t = top f in
+      Buffer.add_string buf
+        (Printf.sprintf "p wcnf %d %d %d\n" f.num_vars (num_hard f + num_soft f) t);
+      Array.iter
+        (fun c ->
+          Buffer.add_string buf (string_of_int t);
+          Buffer.add_char buf ' ';
+          clause_body buf c)
+        f.hard;
+      Array.iter
+        (fun s ->
+          Buffer.add_string buf (string_of_int s.weight);
+          Buffer.add_char buf ' ';
+          clause_body buf s.clause)
+        f.soft
+  | `Std2022 ->
+      Array.iter
+        (fun c ->
+          Buffer.add_string buf "h ";
+          clause_body buf c)
+        f.hard;
+      Array.iter
+        (fun s ->
+          Buffer.add_string buf (string_of_int s.weight);
+          Buffer.add_char buf ' ';
+          clause_body buf s.clause)
+        f.soft);
+  Buffer.contents buf
+
+let write_file ?format ?comments path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?format ?comments f))
+
+let equal f1 f2 =
+  f1.num_vars = f2.num_vars
+  && Array.length f1.hard = Array.length f2.hard
+  && Array.length f1.soft = Array.length f2.soft
+  && Array.for_all2 Clause.equal f1.hard f2.hard
+  && Array.for_all2
+       (fun s1 s2 -> s1.weight = s2.weight && Clause.equal s1.clause s2.clause)
+       f1.soft f2.soft
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>wcnf %d vars, %d hard, %d soft (top %d)@," f.num_vars
+    (num_hard f) (num_soft f) (top f);
+  Array.iter (fun c -> Format.fprintf fmt "h %a@," Clause.pp c) f.hard;
+  Array.iter (fun s -> Format.fprintf fmt "%d %a@," s.weight Clause.pp s.clause) f.soft;
+  Format.fprintf fmt "@]"

@@ -103,6 +103,8 @@ let synthesized_result (spec : Job.spec) outcome ~queue_wait_s =
       strategy_uses = Array.make 4 0;
       warm_start = false;
       reused_clauses = 0;
+      cost = -1;
+      lower_bound = -1;
     }
   in
   {
@@ -271,31 +273,57 @@ let submit t ~client ~conn (js : Protocol.job_spec) =
   if t.draining then
     Rejected { code = "draining"; reason = "server is shutting down"; retry_after_s = None }
   else
-    match Sat.Dimacs.parse_string js.Protocol.dimacs with
-    | exception e ->
-        Rejected
-          {
-            code = "parse";
-            reason = Printf.sprintf "DIMACS: %s" (Printexc.to_string e);
-            retry_after_s = None;
-          }
-    | formula ->
-        let formula, original =
-          if Sat.Cnf.is_3sat formula then (formula, None)
-          else
-            let g, _map = Sat.Three_sat.convert formula in
-            (g, Some formula)
-        in
-        let seed =
-          match js.Protocol.seed with
-          | Some s -> s
-          | None -> t.config.seed + (101 * js.Protocol.id)
-        in
-        let spec =
-          Job.make ~name:js.Protocol.name ?original ~certify:js.Protocol.certify
-            ?timeout_s:js.Protocol.timeout_s ~max_iterations:js.Protocol.max_iterations
-            ~retries:(max 0 js.Protocol.retries) ~seed ~id:js.Protocol.id formula
-        in
+    let parse_reject what e =
+      Rejected
+        {
+          code = "parse";
+          reason = Printf.sprintf "%s: %s" what (Printexc.to_string e);
+          retry_after_s = None;
+        }
+    in
+    let seed =
+      match js.Protocol.seed with
+      | Some s -> s
+      | None -> t.config.seed + (101 * js.Protocol.id)
+    in
+    let spec_result =
+      match js.Protocol.format with
+      | Some "wcnf" -> (
+          match Sat.Wcnf.parse_string js.Protocol.dimacs with
+          | exception e -> Error (parse_reject "WDIMACS" e)
+          | w ->
+              Ok
+                (Job.optimize ~name:js.Protocol.name ~gap_limit:(max 0 js.Protocol.gap_limit)
+                   ~certify:js.Protocol.certify ?timeout_s:js.Protocol.timeout_s
+                   ~max_iterations:js.Protocol.max_iterations
+                   ~retries:(max 0 js.Protocol.retries) ~seed ~id:js.Protocol.id w))
+      | Some other ->
+          Error
+            (Rejected
+               {
+                 code = "parse";
+                 reason = Printf.sprintf "unknown format %S (supported: \"wcnf\")" other;
+                 retry_after_s = None;
+               })
+      | None -> (
+          match Sat.Dimacs.parse_string js.Protocol.dimacs with
+          | exception e -> Error (parse_reject "DIMACS" e)
+          | formula ->
+              let formula, original =
+                if Sat.Cnf.is_3sat formula then (formula, None)
+                else
+                  let g, _map = Sat.Three_sat.convert formula in
+                  (g, Some formula)
+              in
+              Ok
+                (Job.make ~name:js.Protocol.name ?original ~certify:js.Protocol.certify
+                   ?timeout_s:js.Protocol.timeout_s
+                   ~max_iterations:js.Protocol.max_iterations
+                   ~retries:(max 0 js.Protocol.retries) ~seed ~id:js.Protocol.id formula))
+    in
+    match spec_result with
+    | Error rejection -> rejection
+    | Ok spec ->
         if not (Quota.admit t.quota client) then
           Rejected
             {

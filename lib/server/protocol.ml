@@ -7,6 +7,8 @@ type job_spec = {
   id : int;
   name : string;
   dimacs : string;
+  format : string option;
+  gap_limit : int;
   certify : bool;
   timeout_s : float option;
   max_iterations : int;
@@ -16,12 +18,14 @@ type job_spec = {
   session : string option;
 }
 
-let make_job_spec ?name ?(certify = false) ?timeout_s ?(max_iterations = max_int) ?(retries = 0)
-    ?seed ?(priority = 0) ?session ~id dimacs =
+let make_job_spec ?name ?format ?(gap_limit = 0) ?(certify = false) ?timeout_s
+    ?(max_iterations = max_int) ?(retries = 0) ?seed ?(priority = 0) ?session ~id dimacs =
   {
     id;
     name = (match name with Some n -> n | None -> Printf.sprintf "job-%d" id);
     dimacs;
+    format;
+    gap_limit;
     certify;
     timeout_s;
     max_iterations;
@@ -82,7 +86,11 @@ let encode_client msg =
           @ [ ("max_iterations", T.Int s.max_iterations); ("retries", T.Int s.retries) ]
           @ opt_int "seed" s.seed
           @ [ ("priority", T.Int s.priority) ]
-          @ opt_str "session" s.session)
+          @ opt_str "session" s.session
+          @ opt_str "format" s.format
+          (* only optimisation submits carry a gap: absence = 0 on read
+             keeps decision submits byte-identical to older clients' *)
+          @ (if s.gap_limit = 0 then [] else [ ("gap_limit", T.Int s.gap_limit) ]))
     | Subscribe { events } -> obj "subscribe" [ ("events", T.Bool events) ]
     | Ping n -> obj "ping" [ ("n", T.Int n) ]
     | Bye -> obj "bye" [])
@@ -179,6 +187,10 @@ let decode_client s =
               priority = (match opt_field kvs "priority" T.as_int with Some p -> p | None -> 0);
               (* added with telemetry schema v4: absent = one-shot submit *)
               session = opt_field kvs "session" T.as_str;
+              (* added with telemetry schema v5: absent = DIMACS decision job *)
+              format = opt_field kvs "format" T.as_str;
+              gap_limit =
+                (match opt_field kvs "gap_limit" T.as_int with Some g -> g | None -> 0);
             }
       | "subscribe" -> Subscribe { events = bool_field kvs "events" }
       | "ping" -> Ping (T.as_int (T.field kvs "n"))

@@ -18,7 +18,17 @@ val server_name : string
 type job_spec = {
   id : int;  (** client-chosen, echoed back in {!Accepted}/{!Result} *)
   name : string;
-  dimacs : string;  (** the CNF as DIMACS text *)
+  dimacs : string;  (** the instance text: DIMACS, or WDIMACS when [format] says so *)
+  format : string option;
+      (** [Some "wcnf"] marks [dimacs] as WDIMACS and makes this an
+          optimisation (weighted MaxSAT) job; [None] (the wire default)
+          is a plain DIMACS decision job.  Unknown formats are rejected
+          with code ["parse"]. *)
+  gap_limit : int;
+      (** optimisation jobs: accept any answer whose optimality gap is at
+          most this (0 = demand a proven optimum); ignored for decision
+          jobs.  Encoded only when non-zero, so decision submits are
+          byte-identical to older clients'. *)
   certify : bool;
   timeout_s : float option;
   max_iterations : int;
@@ -37,6 +47,8 @@ type job_spec = {
 
 val make_job_spec :
   ?name:string ->
+  ?format:string ->
+  ?gap_limit:int ->
   ?certify:bool ->
   ?timeout_s:float ->
   ?max_iterations:int ->
@@ -48,7 +60,8 @@ val make_job_spec :
   string ->
   job_spec
 (** Spec for a DIMACS text with the same defaults a local {!Service.Job.make}
-    would use ([name] defaults to ["job-<id>"]). *)
+    would use ([name] defaults to ["job-<id>"]; no [format] = decision
+    job, [gap_limit] = 0). *)
 
 type client_msg =
   | Hello of { client : string; proto : int }

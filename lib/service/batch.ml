@@ -83,8 +83,78 @@ let max_member_iterations (race : Portfolio.race_report) =
     (fun acc (m : Portfolio.member_report) -> max acc m.Portfolio.stats.Portfolio.iterations)
     0 race.Portfolio.members
 
-let process ?(cancel = fun () -> false) ?warm ~members ~obs ~parent (spec : Job.spec)
-    ~enqueued_at () =
+(* optimisation jobs bypass the portfolio race entirely: the exact
+   weighted-MaxSAT pipeline is deterministic given its seed, so there is
+   nothing to race and nothing to retry.  The result flows through the
+   same [job_result]/[Telemetry.record] shapes (with an empty race report)
+   so batch aggregation, tables and the wire protocol need no second
+   path. *)
+let process_opt ?(cancel = fun () -> false) ~obs ~parent (spec : Job.spec) w ~enqueued_at
+    () =
+  let traced = not (Obs.Ctx.is_null obs) in
+  let started = Unix.gettimeofday () in
+  let queue_wait_s = started -. enqueued_at in
+  let span =
+    if traced then
+      Obs.Span.start obs ~parent
+        ~attrs:[ ("gap_limit", string_of_int spec.Job.gap_limit) ]
+        "optimize"
+    else Obs.Span.none
+  in
+  let deadline = Job.deadline spec in
+  let r =
+    Hyqsat.Solve.optimize
+      ?max_conflicts:
+        (if spec.Job.max_iterations = max_int then None else Some spec.Job.max_iterations)
+      ?timeout_s:spec.Job.timeout_s ~should_stop:cancel ~gap_limit:spec.Job.gap_limit
+      ~seed:(Job.attempt_seed spec 0) w
+  in
+  Obs.Span.stop span;
+  let solve_time_s = Unix.gettimeofday () -. started in
+  let outcome =
+    match (r.Hyqsat.Optimize.status, r.Hyqsat.Optimize.best) with
+    | (Hyqsat.Optimize.Optimal | Hyqsat.Optimize.Feasible), Some m -> Job.Sat m
+    | Hyqsat.Optimize.Infeasible, _ -> Job.Unsat
+    | _ ->
+        Job.Unknown
+          (if cancel () then Job.Cancelled
+           else if Deadline.expired deadline then Job.Timeout
+           else Job.Budget)
+  in
+  let outcome, verified =
+    if not spec.Job.certify then (outcome, "")
+    else
+      let verdict = Check.Certify.certify_opt ~original:w r in
+      match verdict with
+      | Ok _ -> (outcome, Check.Certify.opt_verdict_label verdict)
+      | Error _ -> (Job.Unknown Job.Cert_failed, Check.Certify.opt_verdict_label verdict)
+  in
+  let record =
+    {
+      Telemetry.job_id = spec.Job.id;
+      job_name = spec.Job.name;
+      outcome = Job.outcome_label outcome;
+      verified;
+      winner = "maxsat-" ^ Hyqsat.Optimize.algorithm_label r.Hyqsat.Optimize.algorithm_used;
+      attempts = 1;
+      queue_wait_s;
+      solve_time_s;
+      iterations = r.Hyqsat.Optimize.cdcl_calls;
+      qa_calls = 0;
+      qa_failures = 0;
+      degraded = 0;
+      strategy_uses = Array.make 4 0;
+      warm_start = false;
+      reused_clauses = 0;
+      cost = r.Hyqsat.Optimize.best_cost;
+      lower_bound = r.Hyqsat.Optimize.lower_bound;
+    }
+  in
+  let race = { Portfolio.winner = None; members = []; wall_time_s = solve_time_s } in
+  { spec; outcome; record; race }
+
+let process_decision ~cancel ?warm ~members ~obs ~parent (spec : Job.spec) ~enqueued_at
+    () =
   let traced = not (Obs.Ctx.is_null obs) in
   let started = Unix.gettimeofday () in
   let queue_wait_s = started -. enqueued_at in
@@ -170,9 +240,17 @@ let process ?(cancel = fun () -> false) ?warm ~members ~obs ~parent (spec : Job.
       strategy_uses;
       warm_start = warm_import <> [];
       reused_clauses = reused;
+      cost = -1;
+      lower_bound = -1;
     }
   in
   { spec; outcome; record; race }
+
+let process ?(cancel = fun () -> false) ?warm ~members ~obs ~parent (spec : Job.spec)
+    ~enqueued_at () =
+  match spec.Job.wcnf with
+  | Some w -> process_opt ~cancel ~obs ~parent spec w ~enqueued_at ()
+  | None -> process_decision ~cancel ?warm ~members ~obs ~parent spec ~enqueued_at ()
 
 let run ?(workers = 1) ?(obs = Obs.Ctx.null) ?cancel ?(warm_start = false) ~members jobs =
   let workers = max 1 (min 64 workers) in (* same clamp as Pool.create *)

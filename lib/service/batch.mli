@@ -72,7 +72,16 @@ val run :
     original formula, the Unsat DRAT proof against the solved formula (the
     members must run with [log_proof] for a proof to exist) — and a claim
     the checker rejects comes back as [Unknown Cert_failed] with the
-    reason in the record's [verified] field. *)
+    reason in the record's [verified] field.
+
+    A spec carrying a [wcnf] is an {e optimisation job}: instead of racing
+    [members], the worker runs the exact weighted-MaxSAT pipeline
+    ({!Hyqsat.Solve.optimize}, seeded with the spec's attempt-0 seed,
+    bounded by its timeout/budget and [gap_limit]) and reports
+    [Sat model] / [Unsat] / [Unknown] through the same shapes, with the
+    record's [cost]/[lower_bound] fields filled (decision jobs write -1).
+    [certify] then means {!Check.Certify.certify_opt}: cost re-check plus
+    an independent optimality re-solve. *)
 
 val solo :
   ?grid:int ->

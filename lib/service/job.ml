@@ -18,6 +18,8 @@ type spec = {
   name : string;
   formula : Sat.Cnf.t;
   original : Sat.Cnf.t option;
+  wcnf : Sat.Wcnf.t option;
+  gap_limit : int;
   certify : bool;
   timeout_s : float option;
   max_iterations : int;
@@ -34,16 +36,37 @@ let default_seed ~id =
      by a multiple of 7919 — beyond any realistic retry count. *)
   20230225 + (1_000_003 * id)
 
-let make ?name ?original ?(certify = false) ?timeout_s ?(max_iterations = max_int)
-    ?(retries = 0) ?(qa = default_qa) ?seed ~id formula =
+let make ?name ?original ?wcnf ?(gap_limit = 0) ?(certify = false) ?timeout_s
+    ?(max_iterations = max_int) ?(retries = 0) ?(qa = default_qa) ?seed ~id formula =
   let seed = match seed with Some s -> s | None -> default_seed ~id in
   let name = match name with Some n -> n | None -> Printf.sprintf "job-%d" id in
   if retries < 0 then invalid_arg "Job.make: retries < 0";
+  if gap_limit < 0 then invalid_arg "Job.make: gap_limit < 0";
   (match original with
   | Some g when Sat.Cnf.num_vars g > Sat.Cnf.num_vars formula ->
       invalid_arg "Job.make: original has more variables than the formula solved"
   | _ -> ());
-  { id; name; formula; original; certify; timeout_s; max_iterations; retries; qa; seed }
+  {
+    id;
+    name;
+    formula;
+    original;
+    wcnf;
+    gap_limit;
+    certify;
+    timeout_s;
+    max_iterations;
+    retries;
+    qa;
+    seed;
+  }
+
+let optimize ?name ?gap_limit ?certify ?timeout_s ?max_iterations ?retries ?qa ?seed ~id w =
+  make ?name ~wcnf:w ?gap_limit ?certify ?timeout_s ?max_iterations ?retries ?qa ?seed ~id
+    (Sat.Wcnf.hard_cnf w)
+
+let objective spec =
+  match spec.wcnf with None -> Hyqsat.Solve.Decision | Some _ -> Hyqsat.Solve.Maximize
 
 let original_formula spec = match spec.original with Some g -> g | None -> spec.formula
 

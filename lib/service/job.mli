@@ -33,7 +33,18 @@ type spec = {
       (** pre-conversion formula, when different from [formula]; its
           variables must be a prefix of [formula]'s
           (the {!Sat.Three_sat.convert} layout) *)
-  certify : bool;  (** model-check Sat / proof-check Unsat before reporting *)
+  wcnf : Sat.Wcnf.t option;
+      (** [Some w] makes this an optimisation job: the worker runs the
+          exact weighted-MaxSAT pipeline ({!Hyqsat.Solve.optimize}) on [w]
+          instead of racing a decision portfolio on [formula].  [formula]
+          still carries [w]'s hard clauses so warm-start keying and
+          admission sizing keep working unchanged *)
+  gap_limit : int;
+      (** optimisation jobs: stop once [best_cost - lower_bound <= gap];
+          0 (the default) demands a proven optimum *)
+  certify : bool;  (** model-check Sat / proof-check Unsat before reporting;
+          optimisation jobs certify cost and optimality
+          ({!Check.Certify.certify_opt}) instead *)
   timeout_s : float option;  (** per-job wall-clock deadline; [None] = none *)
   max_iterations : int;  (** CDCL step budget per attempt *)
   retries : int;  (** extra attempts after an [Unknown] (0 = single shot) *)
@@ -44,6 +55,8 @@ type spec = {
 val make :
   ?name:string ->
   ?original:Sat.Cnf.t ->
+  ?wcnf:Sat.Wcnf.t ->
+  ?gap_limit:int ->
   ?certify:bool ->
   ?timeout_s:float ->
   ?max_iterations:int ->
@@ -54,11 +67,31 @@ val make :
   Sat.Cnf.t ->
   spec
 (** Defaults: [name] = ["job-<id>"], no original (the formula is solved
-    as-is), [certify] = [false], no timeout, [max_iterations] = [max_int],
+    as-is), no [wcnf] (a decision job), [gap_limit] = 0, [certify] =
+    [false], no timeout, [max_iterations] = [max_int],
     [retries] = 0, [qa] = {!default_qa}.  The default [seed] is derived from [id] so that two
     jobs in the same batch never share an attempt-seed sequence (a shared
     constant default made job [i] attempt [k+1] collide with job [i+1]
     attempt [k]). *)
+
+val optimize :
+  ?name:string ->
+  ?gap_limit:int ->
+  ?certify:bool ->
+  ?timeout_s:float ->
+  ?max_iterations:int ->
+  ?retries:int ->
+  ?qa:qa_policy ->
+  ?seed:int ->
+  id:int ->
+  Sat.Wcnf.t ->
+  spec
+(** An optimisation job over a weighted formula: {!make} with [wcnf] set
+    and [formula] = the hard clauses of [w] (so size-based admission and
+    warm-start keying see the decision core of the instance). *)
+
+val objective : spec -> Hyqsat.Solve.objective
+(** [Maximize] iff the spec carries a [wcnf]. *)
 
 val original_formula : spec -> Sat.Cnf.t
 (** The formula answers are reported against: [original] if present,

@@ -14,6 +14,8 @@ type record = {
   strategy_uses : int array;
   warm_start : bool;
   reused_clauses : int;
+  cost : int;
+  lower_bound : int;
 }
 
 type summary = {
@@ -286,6 +288,8 @@ let json_of_record r =
       ("strategy_uses", Arr (Array.to_list (Array.map (fun k -> Int k) r.strategy_uses)));
       ("warm_start", Bool r.warm_start);
       ("reused_clauses", Int r.reused_clauses);
+      ("cost", Int r.cost);
+      ("lower_bound", Int r.lower_bound);
     ]
 
 let json_of_summary s =
@@ -308,8 +312,10 @@ let json_of_summary s =
    added the [qa_failures]/[degraded] record fields (absent = 0 on read,
    so v2 documents still parse); version 4 added [warm_start]/
    [reused_clauses] (absent = false/0 on read, so v3 documents still
-   parse) *)
-let schema_version = 4
+   parse); version 5 added the optimisation fields [cost]/[lower_bound]
+   (absent = -1 on read — the decision-job sentinel — so v4 documents
+   still parse) *)
+let schema_version = 5
 
 let to_json_string summary records =
   json_to_string
@@ -361,6 +367,9 @@ let record_of_json j =
       | None -> false);
     reused_clauses =
       (match List.assoc_opt "reused_clauses" kvs with Some v -> as_int v | None -> 0);
+    cost = (match List.assoc_opt "cost" kvs with Some v -> as_int v | None -> -1);
+    lower_bound =
+      (match List.assoc_opt "lower_bound" kvs with Some v -> as_int v | None -> -1);
   }
 
 let summary_of_json j =
@@ -402,12 +411,13 @@ let of_json_string s =
 (* tables *)
 
 let pp_table fmt records =
-  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s %5s %5s %5s@."
+  Format.fprintf fmt "%-4s %-28s %-16s %-8s %-12s %3s %9s %9s %10s %5s %5s %5s %5s %6s %6s@."
     "id" "job" "outcome" "verified" "winner" "try" "wait(ms)" "time(ms)" "iters" "qa"
-    "qafail" "degr" "warm";
+    "qafail" "degr" "warm" "cost" "lb";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d %5d %5d %5s@."
+      Format.fprintf fmt
+        "%-4d %-28s %-16s %-8s %-12s %3d %9.2f %9.2f %10d %5d %5d %5d %5s %6s %6s@."
         r.job_id
         (if String.length r.job_name > 28 then String.sub r.job_name 0 28 else r.job_name)
         r.outcome
@@ -416,7 +426,9 @@ let pp_table fmt records =
         (r.queue_wait_s *. 1000.)
         (r.solve_time_s *. 1000.)
         r.iterations r.qa_calls r.qa_failures r.degraded
-        (if r.warm_start then string_of_int r.reused_clauses else "-"))
+        (if r.warm_start then string_of_int r.reused_clauses else "-")
+        (if r.cost >= 0 then string_of_int r.cost else "-")
+        (if r.cost >= 0 then string_of_int r.lower_bound else "-"))
     records
 
 let pp_summary fmt s =

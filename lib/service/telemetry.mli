@@ -31,6 +31,13 @@ type record = {
           daemon session mode) *)
   reused_clauses : int;
       (** winner's count of imported clauses actually installed *)
+  cost : int;
+      (** optimisation jobs: best model cost found ({!Hyqsat.Optimize});
+          [-1] for decision jobs (and for v4-and-older documents) *)
+  lower_bound : int;
+      (** optimisation jobs: proven lower bound on the optimum — equal to
+          [cost] iff the answer is certified optimal; [-1] for decision
+          jobs *)
 }
 
 type summary = {
@@ -88,16 +95,17 @@ val json_of_record : record -> json
     embedded in {!to_json_string}'s [jobs] array. *)
 
 val record_of_json : json -> record
-(** Inverse of {!json_of_record}; tolerates v1/v2 objects (absent
-    [verified] = [""], absent [qa_failures]/[degraded] = 0).
+(** Inverse of {!json_of_record}; tolerates objects from every older
+    version (absent [verified] = [""], absent [qa_failures]/[degraded] =
+    0, absent [cost]/[lower_bound] = -1).
     @raise Parse_error on malformed input. *)
 
 (** {2 JSON documents} *)
 
 val schema_version : int
-(** Version of the emitted document shape (currently 3: added
-    [qa_failures]/[degraded], absent = 0 on read).  Version 1 documents
-    predate the [schema_version] field. *)
+(** Version of the emitted document shape (currently 5: added the
+    optimisation fields [cost]/[lower_bound], absent = -1 on read).
+    Version 1 documents predate the [schema_version] field. *)
 
 val to_json_string : summary -> record list -> string
 (** One JSON object

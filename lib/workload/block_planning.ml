@@ -95,3 +95,24 @@ let generate rng ~blocks ~steps =
   let cnf = Sat.Cnf.make ~num_vars !clauses in
   let three, _ = Sat.Three_sat.convert cnf in
   three
+
+(* weighted variant: the plan constraints stay hard, and each possible
+   move gets a soft "don't" unit whose weight grows for earlier steps —
+   the optimum plan defers (and minimises) its moves.  The 3-SAT
+   conversion keeps original variables first, so the [mv] indices of
+   [generate]'s encoding are valid in the converted formula. *)
+let generate_weighted rng ~blocks ~steps =
+  let three = generate rng ~blocks ~steps in
+  let places = blocks + 1 in
+  let n_on = (steps + 1) * blocks * places in
+  let mv b p t = n_on + (((t * blocks) + b) * places) + p in
+  let soft = ref [] in
+  for t = steps - 1 downto 0 do
+    for b = blocks - 1 downto 0 do
+      for p = places - 1 downto 0 do
+        soft := (steps - t, Sat.Clause.make [ Sat.Lit.neg_of (mv b p t) ]) :: !soft
+      done
+    done
+  done;
+  Sat.Wcnf.make ~num_vars:(Sat.Cnf.num_vars three) ~hard:(Sat.Cnf.clauses three)
+    ~soft:!soft

@@ -10,3 +10,9 @@
 val generate : Stats.Rng.t -> blocks:int -> steps:int -> Sat.Cnf.t
 (** A solvable instance: restack [blocks] blocks from one random tower order
     to another reachable within [steps] single-block moves. *)
+
+val generate_weighted : Stats.Rng.t -> blocks:int -> steps:int -> Sat.Wcnf.t
+(** Weighted variant: the same (hard) plan constraints plus one soft
+    "don't move" unit per possible action, weighted [steps - t] so earlier
+    moves cost more — the optimum is a plan with the fewest, latest
+    moves. *)

@@ -44,3 +44,35 @@ let generate rng ~nodes ~edges =
   Sat.Cnf.make ~num_vars:(nodes * 3) !clauses
 
 let flat rng n = generate rng ~nodes:n ~edges:(int_of_float (2.394 *. float_of_int n))
+
+(* weighted variant: the 3-colourable core stays hard, then extra random
+   edges — sampled with no regard for the hidden colouring, so some are
+   monochromatic under every proper colouring — become soft "endpoints
+   differ" constraints with random weights.  The optimum is the cheapest
+   set of soft edges any proper colouring must violate. *)
+let weighted rng ~nodes ~edges ~soft_edges =
+  let hard = generate rng ~nodes ~edges in
+  let var node colour = (node * 3) + colour in
+  let soft = ref [] in
+  let added = ref 0 in
+  let guard = ref 0 in
+  while !added < soft_edges && !guard < soft_edges * 1000 do
+    incr guard;
+    let u = Stats.Rng.int rng nodes and v = Stats.Rng.int rng nodes in
+    if u <> v then begin
+      incr added;
+      let w = 1 + Stats.Rng.int rng 4 in
+      for c = 0 to 2 do
+        soft :=
+          (w, Sat.Clause.make [ Sat.Lit.neg_of (var u c); Sat.Lit.neg_of (var v c) ])
+          :: !soft
+      done
+    end
+  done;
+  Sat.Wcnf.make ~num_vars:(Sat.Cnf.num_vars hard) ~hard:(Sat.Cnf.clauses hard)
+    ~soft:(List.rev !soft)
+
+let flat_weighted rng n =
+  weighted rng ~nodes:n
+    ~edges:(int_of_float (2.394 *. float_of_int n))
+    ~soft_edges:(max 3 (n / 3))

@@ -11,3 +11,14 @@ val generate : Stats.Rng.t -> nodes:int -> edges:int -> Sat.Cnf.t
 val flat : Stats.Rng.t -> int -> Sat.Cnf.t
 (** [flat rng n] uses the SATLIB edge count [⌊2.394·n⌋] (e.g. 150 → 359 ≈
     Flat150-360). *)
+
+val weighted :
+  Stats.Rng.t -> nodes:int -> edges:int -> soft_edges:int -> Sat.Wcnf.t
+(** Weighted variant: the 3-colourable core stays hard; [soft_edges] extra
+    random edges (sampled blind to the hidden colouring, so some are
+    unsatisfiable under every proper colouring) become soft
+    "endpoints differ" constraints at random weights 1–4.  The optimum is
+    the cheapest soft-edge set any proper colouring must violate. *)
+
+val flat_weighted : Stats.Rng.t -> int -> Sat.Wcnf.t
+(** [weighted] with the SATLIB edge count and [max 3 (n/3)] soft edges. *)

@@ -6,17 +6,18 @@ type t = {
   name : string;
   problems : int;
   generate : Stats.Rng.t -> scale -> Sat.Cnf.t;
+  generate_weighted : (Stats.Rng.t -> scale -> Sat.Wcnf.t) option;
 }
 
 let gc id name problems ~paper ~small =
+  let size scale = match scale with `Paper -> paper | `Small -> small in
   {
     id;
     domain = "Graph Coloring";
     name;
     problems;
-    generate =
-      (fun rng scale ->
-        Graph_coloring.flat rng (match scale with `Paper -> paper | `Small -> small));
+    generate = (fun rng scale -> Graph_coloring.flat rng (size scale));
+    generate_weighted = Some (fun rng scale -> Graph_coloring.flat_weighted rng (size scale));
   }
 
 let ai id name problems ~paper ~small =
@@ -26,6 +27,7 @@ let ai id name problems ~paper ~small =
     name;
     problems;
     generate = (fun rng scale -> Uniform.uf rng (match scale with `Paper -> paper | `Small -> small));
+    generate_weighted = None;
   }
 
 let table1 =
@@ -43,6 +45,7 @@ let table1 =
           match scale with
           | `Paper -> Circuit_fault.generate rng ~inputs:30 ~gates:300
           | `Small -> Circuit_fault.generate rng ~inputs:12 ~gates:160);
+      generate_weighted = None;
     };
     {
       id = "BP";
@@ -54,6 +57,12 @@ let table1 =
           match scale with
           | `Paper -> Block_planning.generate rng ~blocks:7 ~steps:6
           | `Small -> Block_planning.generate rng ~blocks:4 ~steps:4);
+      generate_weighted =
+        Some
+          (fun rng scale ->
+            match scale with
+            | `Paper -> Block_planning.generate_weighted rng ~blocks:7 ~steps:6
+            | `Small -> Block_planning.generate_weighted rng ~blocks:4 ~steps:4);
     };
     {
       id = "II";
@@ -65,6 +74,7 @@ let table1 =
           match scale with
           | `Paper -> Inductive_inference.generate rng ~attributes:24 ~terms:6 ~examples:100
           | `Small -> Inductive_inference.generate rng ~attributes:16 ~terms:4 ~examples:50);
+      generate_weighted = None;
     };
     {
       id = "IF1";
@@ -76,6 +86,7 @@ let table1 =
           match scale with
           | `Paper -> Factoring.generate rng ~bits:8
           | `Small -> Factoring.generate rng ~bits:6);
+      generate_weighted = None;
     };
     {
       id = "IF2";
@@ -87,6 +98,7 @@ let table1 =
           match scale with
           | `Paper -> Factoring.generate rng ~bits:10
           | `Small -> Factoring.generate rng ~bits:7);
+      generate_weighted = None;
     };
     {
       id = "CRY";
@@ -98,6 +110,7 @@ let table1 =
           match scale with
           | `Paper -> Crypto.generate rng ~bits:16
           | `Small -> Crypto.generate rng ~bits:10);
+      generate_weighted = None;
     };
     ai "AI1" "UF150-645" 100 ~paper:150 ~small:100;
     ai "AI2" "UF175-753" 100 ~paper:175 ~small:125;

@@ -14,6 +14,10 @@ type t = {
   name : string;  (** e.g. "UF200-860" *)
   problems : int;  (** instances per benchmark in Table I *)
   generate : Stats.Rng.t -> scale -> Sat.Cnf.t;
+  generate_weighted : (Stats.Rng.t -> scale -> Sat.Wcnf.t) option;
+      (** Weighted-MaxSAT variant, for the benchmarks whose domain has a
+          natural objective: graph colouring (soft extra edges) and block
+          planning (soft move penalties).  [None] elsewhere. *)
 }
 
 val table1 : t list

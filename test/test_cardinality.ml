@@ -70,20 +70,20 @@ let exact_maxsat_matches_brute =
          int_bound 100000 >>= fun seed ->
          return (Testutil.random_cnf (Testutil.rng (seed + n + (m * 31))) ~n ~m ~k:3)))
     (fun f ->
-      match Hyqsat.Maxsat.exact f with
+      let open Hyqsat.Optimize in
+      let r = solve ~algorithm:Linear (Sat.Wcnf.of_cnf f) in
+      match r.best with
       | None -> false
-      | Some r ->
-          r.Hyqsat.Maxsat.violated = Sat.Brute.min_unsatisfied f
-          && Sat.Assignment.num_unsatisfied
-               (Sat.Assignment.of_bools r.Hyqsat.Maxsat.assignment)
-               f
-             = r.Hyqsat.Maxsat.violated)
+      | Some x ->
+          r.status = Optimal
+          && r.best_cost = r.lower_bound
+          && r.best_cost = Sat.Brute.min_unsatisfied f
+          && Sat.Assignment.num_unsatisfied (Sat.Assignment.of_bools x) f = r.best_cost)
 
 let exact_maxsat_on_unsat_pair () =
   let f = Sat.Dimacs.parse_string "p cnf 1 2\n1 0\n-1 0\n" in
-  match Hyqsat.Maxsat.exact f with
-  | Some r -> Alcotest.(check int) "one violated" 1 r.Hyqsat.Maxsat.violated
-  | None -> Alcotest.fail "exact failed"
+  let r = Hyqsat.Optimize.solve ~algorithm:Hyqsat.Optimize.Linear (Sat.Wcnf.of_cnf f) in
+  Alcotest.(check int) "one violated" 1 r.Hyqsat.Optimize.best_cost
 
 let suite =
   [

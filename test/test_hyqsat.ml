@@ -315,10 +315,10 @@ let maxsat_reaches_optimum_on_satisfiable () =
   let rng = Testutil.rng 401 in
   let g = Chimera.Graph.standard_2000q () in
   let f = Workload.Uniform.generate rng ~num_vars:15 ~num_clauses:30 in
-  match Hyqsat.Maxsat.approximate rng g f with
+  match Hyqsat.Optimize.anneal_incumbent rng g (Sat.Wcnf.of_cnf f) with
   | None -> Alcotest.fail "nothing embedded"
-  | Some r ->
-      Alcotest.(check int) "zero violations on planted instance" 0 r.Hyqsat.Maxsat.violated
+  | Some (cost, _) ->
+      Alcotest.(check int) "zero violations on planted instance" 0 cost
 
 let maxsat_matches_brute_optimum () =
   let rng = Testutil.rng 402 in
@@ -326,24 +326,24 @@ let maxsat_matches_brute_optimum () =
   for _ = 1 to 4 do
     (* deeply over-constrained: optimum > 0 *)
     let f = Workload.Uniform.generate ~planted:false rng ~num_vars:10 ~num_clauses:80 in
+    let w = Sat.Wcnf.of_cnf f in
     let optimum = Sat.Brute.min_unsatisfied f in
-    (match Hyqsat.Maxsat.approximate ~samples:10 rng g f with
+    (match Hyqsat.Optimize.anneal_incumbent ~samples:10 rng g w with
     | None -> Alcotest.fail "nothing embedded"
-    | Some r ->
-        Alcotest.(check bool) "annealer >= optimum" true (r.Hyqsat.Maxsat.violated >= optimum);
-        Alcotest.(check bool) "annealer close to optimum" true
-          (r.Hyqsat.Maxsat.violated <= optimum + 3));
-    let ls = Hyqsat.Maxsat.local_search rng f in
-    Alcotest.(check bool) "local search >= optimum" true (ls.Hyqsat.Maxsat.violated >= optimum)
+    | Some (cost, _) ->
+        Alcotest.(check bool) "annealer >= optimum" true (cost >= optimum);
+        Alcotest.(check bool) "annealer close to optimum" true (cost <= optimum + 3));
+    let ls_cost, _ = Hyqsat.Optimize.incumbent rng w in
+    Alcotest.(check bool) "local search >= optimum" true (ls_cost >= optimum)
   done
 
 let maxsat_counts_consistent =
-  QCheck.Test.make ~name:"maxsat result counts its own violations" ~count:30
+  QCheck.Test.make ~name:"maxsat incumbent counts its own violations" ~count:30
     Testutil.small_cnf_arb (fun f ->
       let rng = Testutil.rng 403 in
-      let ls = Hyqsat.Maxsat.local_search ~max_flips:500 rng f in
-      let a = Sat.Assignment.of_bools ls.Hyqsat.Maxsat.assignment in
-      Sat.Assignment.num_unsatisfied a f = ls.Hyqsat.Maxsat.violated)
+      let cost, x = Hyqsat.Optimize.incumbent ~max_flips:500 rng (Sat.Wcnf.of_cnf f) in
+      let a = Sat.Assignment.of_bools x in
+      Sat.Assignment.num_unsatisfied a f = cost)
 
 let suite =
   [

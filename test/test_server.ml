@@ -144,6 +144,8 @@ let sample_record =
     strategy_uses = [| 1; 2; 3; 4 |];
     warm_start = true;
     reused_clauses = 17;
+    cost = -1;
+    lower_bound = -1;
   }
 
 let client_roundtrip msg =
@@ -405,6 +407,56 @@ let wire_matches_oneshot () =
         (record_bytes oneshot) (record_bytes c.Dispatch.result.Batch.record)
   | _ -> Alcotest.fail "expected exactly one wire result"
 
+let demo_wcnf = "p wcnf 3 4 10\n10 1 2 0\n3 -1 0\n2 -2 3 0\n4 -3 0\n"
+
+let wire_wcnf_matches_oneshot () =
+  let seed = 4242 in
+  (* one-shot path: exactly what `hyqsat FILE.wcnf --certify --seed S` runs *)
+  let w = Sat.Wcnf.parse_string demo_wcnf in
+  let spec = Job.optimize ~name:"o.wcnf" ~certify:true ~seed ~id:0 w in
+  let _, results = Batch.run ~members:(Batch.solo "minisat") [ spec ] in
+  let oneshot = (List.hd results).Batch.record in
+  Alcotest.(check int) "one-shot finds the optimum" 2 oneshot.Telemetry.cost;
+  Alcotest.(check int) "one-shot proves the bound" 2 oneshot.Telemetry.lower_bound;
+  Alcotest.(check string) "one-shot certifies optimality" "optimal"
+    oneshot.Telemetry.verified;
+  (* wire path: same WDIMACS bytes and seed through the dispatcher *)
+  let d = Dispatch.create dispatch_config in
+  let wire =
+    Protocol.make_job_spec ~name:"o.wcnf" ~format:"wcnf" ~certify:true ~seed ~id:0
+      demo_wcnf
+  in
+  (match Dispatch.submit d ~client:"t" ~conn:1 wire with
+  | Dispatch.Accepted _ -> ()
+  | Dispatch.Rejected { reason; _ } -> Alcotest.fail ("wcnf submit rejected: " ^ reason));
+  let retired = retire_all d in
+  Dispatch.shutdown d;
+  match retired with
+  | [ c ] ->
+      Alcotest.(check string) "telemetry bytes identical (timing zeroed)"
+        (record_bytes oneshot) (record_bytes c.Dispatch.result.Batch.record)
+  | _ -> Alcotest.fail "expected exactly one wire result"
+
+let wire_wcnf_rejects () =
+  let d = Dispatch.create dispatch_config in
+  (* malformed WDIMACS and unknown formats bounce at admission with code
+     "parse" — they never reach the queue *)
+  (match
+     Dispatch.submit d ~client:"a" ~conn:1
+       (Protocol.make_job_spec ~format:"wcnf" ~id:0 "w nonsense\n")
+   with
+  | Dispatch.Rejected { code = "parse"; _ } -> ()
+  | _ -> Alcotest.fail "bad WDIMACS should be rejected with code parse");
+  (match
+     Dispatch.submit d ~client:"a" ~conn:1
+       (Protocol.make_job_spec ~format:"opb" ~id:1 demo_wcnf)
+   with
+  | Dispatch.Rejected { code = "parse"; reason; _ } ->
+      Alcotest.(check bool) "reason names the format" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "unknown format should be rejected with code parse");
+  Dispatch.shutdown d
+
 (* ------------------------------------------------------------------ *)
 (* deterministic prometheus rendering *)
 
@@ -654,6 +706,9 @@ let suite =
     ( "server.telemetry",
       [
         Alcotest.test_case "wire record = one-shot record" `Slow wire_matches_oneshot;
+        Alcotest.test_case "wire wcnf record = one-shot record" `Slow
+          wire_wcnf_matches_oneshot;
+        Alcotest.test_case "wcnf wire rejects" `Quick wire_wcnf_rejects;
         Alcotest.test_case "prometheus export is deterministic" `Quick prometheus_deterministic;
       ] );
     ( "server.daemon",

@@ -290,6 +290,8 @@ let telemetry_json_roundtrip () =
         strategy_uses = [| 1; 0; 3; 2 |];
         warm_start = true;
         reused_clauses = 5;
+        cost = -1;
+        lower_bound = -1;
       };
       {
         Telemetry.job_id = 1;
@@ -307,6 +309,8 @@ let telemetry_json_roundtrip () =
         strategy_uses = [| 0; 0; 0; 0 |];
         warm_start = false;
         reused_clauses = 0;
+        cost = -1;
+        lower_bound = -1;
       };
     ]
   in
@@ -321,11 +325,99 @@ let telemetry_json_roundtrip () =
         (fun a b -> Alcotest.(check bool) "record round-trips" true (a = b))
         records records'
 
+let telemetry_v5_optimisation_fields () =
+  let r =
+    {
+      Telemetry.job_id = 7;
+      job_name = "w.wcnf";
+      outcome = "sat";
+      verified = "optimal";
+      winner = "maxsat-linear";
+      attempts = 1;
+      queue_wait_s = 0.;
+      solve_time_s = 0.01;
+      iterations = 3;
+      qa_calls = 0;
+      qa_failures = 0;
+      degraded = 0;
+      strategy_uses = [| 0; 0; 0; 0 |];
+      warm_start = false;
+      reused_clauses = 0;
+      cost = 4;
+      lower_bound = 4;
+    }
+  in
+  let summary = Telemetry.summarize ~workers:1 ~wall_time_s:0.1 [ r ] in
+  let doc = Telemetry.to_json_string summary [ r ] in
+  (match Telemetry.of_json_string doc with
+  | Ok (_, [ r' ]) ->
+      Alcotest.(check int) "cost round-trips" 4 r'.Telemetry.cost;
+      Alcotest.(check int) "lower_bound round-trips" 4 r'.Telemetry.lower_bound
+  | Ok _ -> Alcotest.fail "expected one record"
+  | Error e -> Alcotest.fail ("v5 document rejected: " ^ e));
+  (* a v4 writer never emitted the fields: stripping them must read back as
+     the decision-job sentinel, not a parse error *)
+  let tail = {|,"cost":4,"lower_bound":4|} in
+  let idx =
+    let rec find i =
+      if i + String.length tail > String.length doc then
+        Alcotest.fail "optimisation fields not found in document"
+      else if String.sub doc i (String.length tail) = tail then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let v4 =
+    String.sub doc 0 idx
+    ^ String.sub doc
+        (idx + String.length tail)
+        (String.length doc - idx - String.length tail)
+  in
+  match Telemetry.of_json_string v4 with
+  | Ok (_, [ r' ]) ->
+      Alcotest.(check int) "absent cost defaults to -1" (-1) r'.Telemetry.cost;
+      Alcotest.(check int) "absent lower_bound defaults to -1" (-1)
+        r'.Telemetry.lower_bound
+  | Ok _ -> Alcotest.fail "expected one record"
+  | Error e -> Alcotest.fail ("v4-style document rejected: " ^ e)
+
+let batch_optimisation_job () =
+  (* hard: x0 ∨ x1; softs make the optimum cost 2 (x1 true, x2 false) *)
+  let cl lits = Sat.Clause.make (List.map (fun (v, s) -> Sat.Lit.make v s) lits) in
+  let w =
+    Sat.Wcnf.make ~num_vars:3
+      ~hard:[ cl [ (0, true); (1, true) ] ]
+      ~soft:
+        [
+          (3, cl [ (0, false) ]);
+          (2, cl [ (1, false); (2, true) ]);
+          (4, cl [ (2, false) ]);
+        ]
+  in
+  let jobs = [ Job.optimize ~certify:true ~seed:42 ~id:0 w ] in
+  let _, results = Batch.run ~members:(Batch.solo "minisat") jobs in
+  match results with
+  | [ r ] ->
+      (match r.Batch.outcome with
+      | Job.Sat m ->
+          Alcotest.(check bool) "model satisfies hard clauses" true
+            (Sat.Wcnf.hard_satisfied w m);
+          Alcotest.(check int) "model cost matches record" 2 (Sat.Wcnf.cost w m)
+      | o -> Alcotest.fail ("expected Sat, got " ^ Job.outcome_label o));
+      Alcotest.(check int) "optimum cost" 2 r.Batch.record.Telemetry.cost;
+      Alcotest.(check int) "proved lower bound" 2 r.Batch.record.Telemetry.lower_bound;
+      Alcotest.(check string) "certified optimal" "optimal"
+        r.Batch.record.Telemetry.verified;
+      Alcotest.(check bool) "winner labelled maxsat-*" true
+        (String.length r.Batch.record.Telemetry.winner > 7
+        && String.sub r.Batch.record.Telemetry.winner 0 7 = "maxsat-")
+  | _ -> Alcotest.fail "expected one result"
+
 let telemetry_schema_versioning () =
   let summary = Telemetry.summarize ~workers:1 ~wall_time_s:0.5 [] in
   let doc = Telemetry.to_json_string summary [] in
   (* new documents lead with the version field *)
-  let header = "{\"schema_version\":4," in
+  let header = "{\"schema_version\":5," in
   let hlen = String.length header in
   Alcotest.(check string) "version field first" header (String.sub doc 0 hlen);
   (match Telemetry.of_json_string doc with
@@ -382,6 +474,9 @@ let suite =
         Alcotest.test_case "walksat stops on cancel" `Quick walksat_stops_on_cancel;
         Alcotest.test_case "portfolio race finds answer" `Quick portfolio_race_finds_answer;
         Alcotest.test_case "telemetry JSON round-trip" `Quick telemetry_json_roundtrip;
+        Alcotest.test_case "telemetry v5 optimisation fields" `Quick
+          telemetry_v5_optimisation_fields;
+        Alcotest.test_case "batch optimisation job" `Quick batch_optimisation_job;
         Alcotest.test_case "telemetry schema versioning" `Quick telemetry_schema_versioning;
         Alcotest.test_case "telemetry JSON rejects garbage" `Quick
           telemetry_json_rejects_garbage;
