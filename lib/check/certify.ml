@@ -44,9 +44,12 @@ let opt_verdict_label = function
   | Error reason -> "failed: " ^ reason
 
 (* Independent re-encoding of "some model costs at most [bound]": hard
-   clauses, selector-relaxed softs, and a unary weighted counter.  Built
-   from scratch here — deliberately not shared with [Hyqsat.Optimize] — so
-   the certificate does not trust the solver's own encoding. *)
+   clauses, selector-relaxed softs, and a binary-adder weighted counter
+   ({!Sat.Cardinality.at_most_weight}, O(softs · log sum_weights) — a unary
+   expansion would allocate O(sum_weights) and real WDIMACS weights run to
+   the millions).  Built from scratch here — deliberately not shared with
+   [Hyqsat.Optimize] — so the certificate does not trust the solver's own
+   encoding. *)
 let bounded_cost_formula w ~bound =
   let n = Sat.Wcnf.num_vars w in
   let softs = Sat.Wcnf.soft_clauses w in
@@ -56,16 +59,20 @@ let bounded_cost_formula w ~bound =
       (fun k (_, c) -> Sat.Clause.make (Sat.Lit.pos (n + k) :: Sat.Clause.lits c))
       softs
   in
-  let unary =
-    List.concat (List.mapi (fun k (wt, _) -> List.init wt (fun _ -> Sat.Lit.pos (n + k))) softs)
-  in
-  let card = Sat.Cardinality.at_most_k ~num_vars:(n + m) unary ~k:bound in
+  let weighted = List.mapi (fun k (wt, _) -> (wt, Sat.Lit.pos (n + k))) softs in
+  let card = Sat.Cardinality.at_most_weight ~num_vars:(n + m) weighted ~k:bound in
   Sat.Cnf.make ~num_vars:card.Sat.Cardinality.num_vars
     (Array.to_list w.Sat.Wcnf.hard @ relaxed @ card.Sat.Cardinality.clauses)
 
-let certify_opt ?max_conflicts ~original (r : Hyqsat.Optimize.result) =
+let certify_opt ?max_conflicts ?should_stop ~original (r : Hyqsat.Optimize.result) =
   let w = original in
-  let resolve f = Cdcl.Solver.solve ?max_conflicts (Cdcl.Solver.create f) in
+  let resolve f =
+    let solver = Cdcl.Solver.create f in
+    (match should_stop with
+    | Some stop -> Cdcl.Solver.set_terminate solver stop
+    | None -> ());
+    Cdcl.Solver.solve ?max_conflicts solver
+  in
   match (r.Hyqsat.Optimize.status, r.Hyqsat.Optimize.best) with
   | Hyqsat.Optimize.Infeasible, _ -> (
       match resolve (Sat.Wcnf.hard_cnf w) with

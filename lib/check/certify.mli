@@ -59,16 +59,20 @@ val opt_verdict_label : (opt_verdict, string) result -> string
 
 val certify_opt :
   ?max_conflicts:int ->
+  ?should_stop:(unit -> bool) ->
   original:Sat.Wcnf.t ->
   Hyqsat.Optimize.result ->
   (opt_verdict, string) result
 (** Certify an optimisation answer against the original WCNF.  The model's
     hard-satisfaction and cost are re-checked directly; an [Optimal] claim
     (gap = 0) is certified by re-encoding "cost ≤ best − 1" from scratch —
-    hard clauses, selector-relaxed softs, unary weighted counter — and
-    requiring a fresh CDCL solver to answer UNSAT.  [max_conflicts] bounds
-    the re-solves; exhausting it yields an [Error], never a silently
-    weaker verdict. *)
+    hard clauses, selector-relaxed softs, binary-adder weighted counter
+    ({!Sat.Cardinality.at_most_weight}) — and requiring a fresh CDCL solver
+    to answer UNSAT.  [max_conflicts] bounds the re-solves and
+    [should_stop] is installed as their terminate hook (so a daemon's
+    cancel/drain switch reaches the certification re-solves too);
+    exhausting either yields an [Error], never a silently weaker
+    verdict. *)
 
 (** {2 Certified solving} *)
 

@@ -37,14 +37,17 @@ let penalised_cost all x =
     (fun acc (wt, c) -> if Sat.Assignment.satisfies_clause a c then acc else acc + wt)
     0 all
 
-let incumbent ?(max_flips = 20_000) rng w =
+let incumbent ?(max_flips = 20_000) ?(should_stop = fun () -> false) rng w =
   let n = max (Sat.Wcnf.num_vars w) 1 in
   let all = weighted_clauses w in
   let x = Array.init n (fun _ -> Stats.Rng.bool rng) in
   let best = ref (Array.copy x) in
   let best_cost = ref (penalised_cost all x) in
   let flips = ref 0 in
-  while !flips < max_flips && !best_cost > 0 do
+  (* each flip already scans every clause, so a stop check per flip is
+     noise — and it keeps a cancelled/timed-out job from burning the whole
+     flip budget before the exact search even gets to refuse to start *)
+  while !flips < max_flips && !best_cost > 0 && not (should_stop ()) do
     let a = Sat.Assignment.of_bools x in
     let falsified =
       Array.fold_left
@@ -69,7 +72,8 @@ let incumbent ?(max_flips = 20_000) rng w =
   done;
   (!best_cost, !best)
 
-let anneal_incumbent ?(samples = 8) ?(noise = Anneal.Noise.noise_free) rng graph w =
+let anneal_incumbent ?(samples = 8) ?(noise = Anneal.Noise.noise_free)
+    ?(should_stop = fun () -> false) rng graph w =
   let n = Sat.Wcnf.num_vars w in
   let all = weighted_clauses w in
   let f = Sat.Cnf.make ~num_vars:n (Array.to_list (Array.map snd all)) in
@@ -81,16 +85,18 @@ let anneal_incumbent ?(samples = 8) ?(noise = Anneal.Noise.noise_free) rng graph
   | None -> None
   | Some prepared ->
       let best = ref None in
-      for _ = 1 to samples do
+      let k = ref 0 in
+      while !k < samples && not (should_stop ()) do
         let outcome = Anneal.Machine.run ~noise rng prepared.Frontend.job in
         let x = Array.make (max n 1) false in
         List.iter
           (fun (node, v) -> if node < n then x.(node) <- v)
           outcome.Anneal.Machine.assignment;
         let cost = penalised_cost all x in
-        match !best with
+        (match !best with
         | Some (c0, _) when c0 <= cost -> ()
-        | _ -> best := Some (cost, x)
+        | _ -> best := Some (cost, x));
+        incr k
       done;
       !best
 
@@ -98,43 +104,49 @@ let anneal_incumbent ?(samples = 8) ?(noise = Anneal.Noise.noise_free) rng graph
 
 let model_prefix n model = Array.sub model 0 (min n (Array.length model))
 
-let install_stop solver ~deadline ~should_stop =
+(* the deadline is wall-clock ([Unix.gettimeofday], matching what the
+   CLI/daemon document and what [Service.Deadline] classifies against) even
+   though the reported [cpu_time_s] stat stays CPU time *)
+let stop_signal ~deadline ~should_stop =
   match (deadline, should_stop) with
-  | None, None -> ()
+  | None, None -> None
   | _ ->
-      Cdcl.Solver.set_terminate solver (fun () ->
-          (match deadline with Some d -> Sys.time () > d | None -> false)
+      Some
+        (fun () ->
+          (match deadline with Some d -> Unix.gettimeofday () > d | None -> false)
           || match should_stop with Some f -> f () | None -> false)
+
+let install_stop solver ~stop = Option.iter (Cdcl.Solver.set_terminate solver) stop
 
 let add_cardinality solver (card : Sat.Cardinality.t) =
   List.iter (fun c -> Cdcl.Solver.add_clause solver (Sat.Clause.lits c)) card.clauses
 
 (* Descending linear search.  The bound strictly tightens, so each round's
-   counter clauses remain sound for every later round and are added
-   permanently — and the one solver session keeps its learnt clauses. *)
-let linear ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
+   comparator clauses remain sound for every later round and are added
+   permanently — and the one solver session keeps its learnt clauses.  The
+   weighted count itself is a binary adder built once up front
+   ({!Sat.Cardinality.weighted_sum}, O(softs · log sum_weights)); only the
+   variable-free bound comparison is re-emitted per round, so arbitrary
+   WDIMACS weight magnitudes cost log, not unary, space. *)
+let linear ~stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
   let n = Sat.Wcnf.num_vars w in
   let m = Sat.Wcnf.num_soft w in
-  let softs = Array.of_list (Sat.Wcnf.soft_clauses w) in
+  let softs = Sat.Wcnf.soft_clauses w in
   let relaxed =
     List.mapi
       (fun k (_, c) -> Sat.Clause.make (Sat.Lit.pos (n + k) :: Sat.Clause.lits c))
-      (Array.to_list softs)
+      softs
+  in
+  let counter =
+    Sat.Cardinality.weighted_sum ~num_vars:(n + m)
+      (List.mapi (fun k (wt, _) -> (wt, Sat.Lit.pos (n + k))) softs)
   in
   let base =
-    Sat.Cnf.make ~num_vars:(n + m) (Array.to_list w.Sat.Wcnf.hard @ relaxed)
+    Sat.Cnf.make ~num_vars:counter.Sat.Cardinality.adder_num_vars
+      (Array.to_list w.Sat.Wcnf.hard @ relaxed @ counter.Sat.Cardinality.adder_clauses)
   in
   let solver = Cdcl.Solver.create base in
-  install_stop solver ~deadline ~should_stop;
-  (* heaviest clauses first, each selector repeated [weight] times: the
-     sequential counter then propagates the big weights earliest *)
-  let unary_selectors =
-    let order = Array.mapi (fun k (wt, _) -> (k, wt)) softs in
-    Array.sort (fun (_, w1) (_, w2) -> compare w2 w1) order;
-    List.concat_map
-      (fun (k, wt) -> List.init wt (fun _ -> Sat.Lit.pos (n + k)))
-      (Array.to_list order)
-  in
+  install_stop solver ~stop;
   let calls = ref 0 in
   let finish ?best ~best_cost ~lower_bound status =
     {
@@ -157,10 +169,9 @@ let linear ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
       finish ~best ~best_cost:ub ~lower_bound:0
         (if ub = 0 then Optimal else Feasible)
     else begin
-      add_cardinality solver
-        (Sat.Cardinality.at_most_k
-           ~num_vars:(Cdcl.Solver.num_vars solver)
-           unary_selectors ~k:(ub - 1));
+      List.iter
+        (fun c -> Cdcl.Solver.add_clause solver (Sat.Clause.lits c))
+        (Sat.Cardinality.bound_clauses counter ~k:(ub - 1));
       match solve_once () with
       | Cdcl.Solver.Sat model ->
           let x = model_prefix n model in
@@ -187,13 +198,13 @@ let linear ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
    bound; the core's soft clauses are split (remainder weight stays on the
    original, a clone relaxed by a fresh variable carries the paid weight)
    under a hard exactly-one over the relaxation variables. *)
-let core_guided ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
+let core_guided ~stop ~max_conflicts ~gap_limit ~seed_best ~t0 w =
   let n = Sat.Wcnf.num_vars w in
   let solver =
     Cdcl.Solver.create
       (Sat.Cnf.make ~num_vars:n (Array.to_list w.Sat.Wcnf.hard))
   in
-  install_stop solver ~deadline ~should_stop;
+  install_stop solver ~stop;
   (* selector var → (remaining weight, clause body the selector relaxes) *)
   let softs : (int, int ref * Sat.Lit.t list) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -301,17 +312,21 @@ let default_seed = 20230225
 let solve ?(algorithm = Auto) ?max_conflicts ?timeout_s ?should_stop ?(gap_limit = 0)
     ?max_flips ?samples ?rng ?graph w =
   let t0 = Sys.time () in
-  let deadline = Option.map (fun s -> t0 +. s) timeout_s in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let stop = stop_signal ~deadline ~should_stop in
+  let stop_now = match stop with Some f -> f | None -> fun () -> false in
   let rng =
     match rng with Some r -> r | None -> Stats.Rng.create ~seed:default_seed
   in
   (* heuristic incumbents: WalkSAT always, annealer when a graph is given;
-     only hard-feasible ones may seed the exact search *)
+     only hard-feasible ones may seed the exact search.  Both honour the
+     deadline/cancel switch — the seeding phase must not outlive the budget
+     the exact search is held to. *)
   let candidates =
-    incumbent ?max_flips rng w
+    incumbent ?max_flips ~should_stop:stop_now rng w
     ::
     (match graph with
-    | Some g -> Option.to_list (anneal_incumbent ?samples rng g w)
+    | Some g -> Option.to_list (anneal_incumbent ?samples ~should_stop:stop_now rng g w)
     | None -> [])
   in
   let seed_best =
@@ -330,6 +345,5 @@ let solve ?(algorithm = Auto) ?max_conflicts ?timeout_s ?should_stop ?(gap_limit
     | a -> a
   in
   match algorithm with
-  | Linear | Auto -> linear ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w
-  | Core_guided ->
-      core_guided ~deadline ~should_stop ~max_conflicts ~gap_limit ~seed_best ~t0 w
+  | Linear | Auto -> linear ~stop ~max_conflicts ~gap_limit ~seed_best ~t0 w
+  | Core_guided -> core_guided ~stop ~max_conflicts ~gap_limit ~seed_best ~t0 w

@@ -8,11 +8,12 @@
 
     {ul
     {- {e Linear} — descending linear search.  Every soft clause gets a
-       relaxation selector; the weighted selector count is bounded with a
-       unary {!Sat.Cardinality} counter (each selector repeated weight
-       times, heaviest first) and the bound descends from the incumbent's
-       cost until UNSAT proves the optimum.  Bounds only tighten, so the
-       counter clauses are added permanently — no activation literals.}
+       relaxation selector; the weighted selector count is summed once with
+       a binary adder ({!Sat.Cardinality.weighted_sum},
+       O(softs · log sum_weights)) and the bound descends from the
+       incumbent's cost — one variable-free comparator clause set per round
+       — until UNSAT proves the optimum.  Bounds only tighten, so the
+       comparator clauses are added permanently — no activation literals.}
     {- {e Core_guided} — Fu–Malik/WPM1 relaxation on
        [solve_with_assumptions]/[unsat_core]: assume every selector false,
        extract a core, pay its minimum weight into the lower bound, split
@@ -25,8 +26,8 @@
     so the optimality gap is always reported. *)
 
 type algorithm = Linear | Core_guided | Auto
-(** [Auto] picks [Linear] when the summed soft weight is small enough for
-    the unary counter and [Core_guided] otherwise. *)
+(** [Auto] picks [Linear] for small summed soft weight (few descent rounds
+    reach the optimum) and [Core_guided] otherwise. *)
 
 val algorithm_label : algorithm -> string
 (** ["linear"], ["core-guided"], ["auto"] — stable, used in telemetry and
@@ -54,17 +55,24 @@ type result = {
   cpu_time_s : float;
 }
 
-val incumbent : ?max_flips:int -> Stats.Rng.t -> Sat.Wcnf.t -> int * bool array
+val incumbent :
+  ?max_flips:int ->
+  ?should_stop:(unit -> bool) ->
+  Stats.Rng.t ->
+  Sat.Wcnf.t ->
+  int * bool array
 (** Weighted WalkSAT minimiser (the old [Maxsat.local_search] semantics:
     walk on a random falsified clause, flip a random variable of it, keep
     the best-ever configuration).  Hard clauses participate with weight
     {!Sat.Wcnf.top}, so the returned cost is the {e penalised} cost
     [soft cost + top * violated hard clauses] — below [top] iff the model
-    satisfies every hard clause. *)
+    satisfies every hard clause.  [should_stop] is polled every flip; the
+    best configuration so far is still returned after an early stop. *)
 
 val anneal_incumbent :
   ?samples:int ->
   ?noise:Anneal.Noise.t ->
+  ?should_stop:(unit -> bool) ->
   Stats.Rng.t ->
   Chimera.Graph.t ->
   Sat.Wcnf.t ->
@@ -72,7 +80,7 @@ val anneal_incumbent :
 (** Best of [samples] (default 8) annealing cycles over the weighted QUBO
     (hard clauses at weight [top], softs at their weight, queue ordered by
     weight).  Returns the penalised cost as in {!incumbent}; [None] when
-    nothing embeds. *)
+    nothing embeds.  [should_stop] is polled between cycles. *)
 
 val solve :
   ?algorithm:algorithm ->
@@ -88,8 +96,10 @@ val solve :
   result
 (** Exact weighted MaxSAT.  [max_conflicts] bounds each CDCL call
     (exhaustion returns the incumbent as [Feasible]/[Unknown]);
-    [timeout_s] is a wall deadline and [should_stop] an external cancel
-    switch, both enforced through the solver's terminate hook; [gap_limit]
+    [timeout_s] is a wall-clock deadline ([Unix.gettimeofday], the clock
+    the service layer classifies timeouts against) and [should_stop] an
+    external cancel switch, both enforced through the solver's terminate
+    hook {e and} polled by the heuristic seeding phase; [gap_limit]
     (default 0) stops as soon as [best_cost - lower_bound <= gap_limit];
     [rng] seeds the WalkSAT incumbent (a fixed default seed is used when
     absent) and [graph] additionally enables the annealer incumbent. *)

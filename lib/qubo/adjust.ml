@@ -51,5 +51,9 @@ let adjust (t : Encode.t) =
      cannot exhibit this).  Cap to a fixpoint: every α has the baseline
      (α = 1) as a floor and baseline coefficients are ≤ d* by definition,
      so the iteration terminates. *)
+  (* convergence is geometric but the per-pass factor can sit very close
+     to 1 when a stacked term is dominated by floored (α = 1) baseline
+     contributions, so give the fixpoint enough passes to shrink the
+     residual overshoot well below the eps tolerance *)
   let rec cap budget = if budget > 0 && cap_pass t d_star then cap (budget - 1) in
-  cap 16
+  cap 256

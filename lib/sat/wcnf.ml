@@ -17,6 +17,16 @@ let make ~num_vars ~hard ~soft =
       if w < 1 then invalid_arg (Printf.sprintf "Wcnf.make: soft weight %d < 1" w);
       check_clause num_vars c)
     soft;
+  (* [top] is [sum + 1] and classification/penalised costs compare against
+     it, so the summed weight must stay a valid native int: overflow here
+     would silently flip hard/soft classification on classic round-trips *)
+  ignore
+    (List.fold_left
+       (fun acc (w, _) ->
+         if w > max_int - 1 - acc then
+           invalid_arg "Wcnf.make: summed soft weight overflows max_int"
+         else acc + w)
+       0 soft);
   {
     num_vars;
     hard = Array.of_list hard;
@@ -136,7 +146,11 @@ let build ~num_vars groups ~is_hard =
           else if w = 0 then fail "soft clause with weight 0"
           else soft := (w, c) :: !soft)
     groups;
-  make ~num_vars ~hard:(List.rev !hard) ~soft:(List.rev !soft)
+  (* weight-overflow (and any other) constructor rejection surfaces as a
+     parse error, keeping the parser's error contract uniform *)
+  match make ~num_vars ~hard:(List.rev !hard) ~soft:(List.rev !soft) with
+  | w -> w
+  | exception Invalid_argument msg -> fail "%s" msg
 
 (* The flat token stream cannot tell a 3-field [p wcnf nv nc] header from a
    4-field one followed by a clause weight, so the header is read off its own

@@ -14,7 +14,10 @@ type soft = { weight : int; clause : Clause.t }
 type t = private { num_vars : int; hard : Clause.t array; soft : soft array }
 
 val make : num_vars:int -> hard:Clause.t list -> soft:(int * Clause.t) list -> t
-(** @raise Invalid_argument on an out-of-range literal or a weight [< 1]. *)
+(** @raise Invalid_argument on an out-of-range literal, a weight [< 1], or
+    a summed soft weight that would overflow [max_int] (so {!top} and
+    penalised costs stay valid native ints; the parser reports the same
+    condition as {!Parse_error}). *)
 
 val of_cnf : ?weight:int -> Cnf.t -> t
 (** Every clause of [f] becomes soft with the given weight (default [1]) —

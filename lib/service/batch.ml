@@ -124,7 +124,19 @@ let process_opt ?(cancel = fun () -> false) ~obs ~parent (spec : Job.spec) w ~en
   let outcome, verified =
     if not spec.Job.certify then (outcome, "")
     else
-      let verdict = Check.Certify.certify_opt ~original:w r in
+      (* certification re-solves stay inside the job's budget: the conflict
+         cap, the cancel/drain switch and the job deadline all reach the
+         fresh solvers through certify_opt — the expensive re-solves only
+         happen for Optimal/Infeasible claims, which the search proved
+         before the deadline, so there is budget left to check them *)
+      let verdict =
+        Check.Certify.certify_opt
+          ?max_conflicts:
+            (if spec.Job.max_iterations = max_int then None
+             else Some spec.Job.max_iterations)
+          ~should_stop:(fun () -> cancel () || Deadline.expired deadline)
+          ~original:w r
+      in
       match verdict with
       | Ok _ -> (outcome, Check.Certify.opt_verdict_label verdict)
       | Error _ -> (Job.Unknown Job.Cert_failed, Check.Certify.opt_verdict_label verdict)

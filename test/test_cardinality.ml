@@ -61,6 +61,72 @@ let at_least_exactly () =
   | Some m -> Alcotest.(check bool) "all false" false (m.(0) || m.(1))
   | None -> Alcotest.fail "k=0 satisfiable by all-false")
 
+(* semantic check for the weighted adder encoding: fix the base literals
+   with unit clauses and ask a CDCL solver (the adder's auxiliaries are
+   functionally determined by propagation, so brute enumeration over them
+   is unnecessary) whether the bound admits the assignment *)
+let at_most_weight_semantics =
+  QCheck.Test.make ~name:"at_most_weight accepts exactly weighted sums <= k" ~count:60
+    QCheck.(triple (int_range 1 5) (int_bound 60) (int_bound 1000))
+    (fun (n, k, seed) ->
+      let r = Testutil.rng (seed + (n * 23) + k) in
+      let wlits =
+        List.init n (fun v -> (Stats.Rng.int r 20, Sat.Lit.make v (Stats.Rng.bool r)))
+      in
+      let enc = Card.at_most_weight ~num_vars:n wlits ~k in
+      let ok = ref true in
+      for bits = 0 to (1 lsl n) - 1 do
+        let units =
+          List.init n (fun v ->
+              Sat.Clause.make
+                [ (if bits land (1 lsl v) <> 0 then Sat.Lit.pos v else Sat.Lit.neg_of v) ])
+        in
+        let f = Sat.Cnf.make ~num_vars:enc.Card.num_vars (units @ enc.Card.clauses) in
+        let total =
+          List.fold_left
+            (fun acc (wt, l) ->
+              let v = bits land (1 lsl Sat.Lit.var l) <> 0 in
+              if (if Sat.Lit.is_pos l then v else not v) then acc + wt else acc)
+            0 wlits
+        in
+        let sat =
+          match Cdcl.Solver.solve (Cdcl.Solver.create f) with
+          | Cdcl.Solver.Sat _ -> true
+          | _ -> false
+        in
+        if sat <> (total <= k) then ok := false
+      done;
+      !ok)
+
+(* weights in the millions stay O(log) in encoding size — the regression
+   that motivated the adder: a unary expansion would allocate O(sum) *)
+let at_most_weight_large_weights () =
+  let wlits =
+    [ (1_000_000, Sat.Lit.pos 0); (2_000_000, Sat.Lit.pos 1); (4_000_000, Sat.Lit.pos 2) ]
+  in
+  let enc = Card.at_most_weight ~num_vars:3 wlits ~k:5_000_000 in
+  Alcotest.(check bool) "compact" true (enc.Card.num_vars < 200);
+  for bits = 0 to 7 do
+    let units =
+      List.init 3 (fun v ->
+          Sat.Clause.make
+            [ (if bits land (1 lsl v) <> 0 then Sat.Lit.pos v else Sat.Lit.neg_of v) ])
+    in
+    let f = Sat.Cnf.make ~num_vars:enc.Card.num_vars (units @ enc.Card.clauses) in
+    let total =
+      List.fold_left
+        (fun acc (wt, l) ->
+          if bits land (1 lsl Sat.Lit.var l) <> 0 then acc + wt else acc)
+        0 wlits
+    in
+    let sat =
+      match Cdcl.Solver.solve (Cdcl.Solver.create f) with
+      | Cdcl.Solver.Sat _ -> true
+      | _ -> false
+    in
+    Alcotest.(check bool) (Printf.sprintf "bits=%d" bits) (total <= 5_000_000) sat
+  done
+
 let exact_maxsat_matches_brute =
   QCheck.Test.make ~name:"exact maxsat equals brute optimum" ~count:40
     (QCheck.make
@@ -91,6 +157,9 @@ let suite =
       [
         QCheck_alcotest.to_alcotest at_most_k_semantics;
         Alcotest.test_case "at_least / exactly" `Quick at_least_exactly;
+        QCheck_alcotest.to_alcotest at_most_weight_semantics;
+        Alcotest.test_case "at_most_weight large weights" `Quick
+          at_most_weight_large_weights;
       ] );
     ( "hyqsat.maxsat_exact",
       [

@@ -68,6 +68,23 @@ let parse_rejects () =
   Alcotest.(check bool) "cnf header" true (bad "p cnf 2 1\n1 2 0\n");
   Alcotest.(check bool) "weight 0" true (bad "p wcnf 2 1 5\n0 1 2 0\n")
 
+(* summed weight near max_int would overflow [top] and silently flip
+   hard/soft classification — construction and parsing both refuse it *)
+let weight_overflow_rejected () =
+  let big = max_int / 2 in
+  let c = Sat.Clause.of_dimacs [ 1 ] in
+  (* two halves sum to max_int - 1: top = max_int, still representable *)
+  let w2 = Sat.Wcnf.make ~num_vars:1 ~hard:[] ~soft:[ (big, c); (big, c) ] in
+  Alcotest.(check int) "top at the limit" max_int (Sat.Wcnf.top w2);
+  (try
+     ignore (Sat.Wcnf.make ~num_vars:1 ~hard:[] ~soft:[ (big, c); (big, c); (big, c) ]);
+     Alcotest.fail "overflowing make accepted"
+   with Invalid_argument _ -> ());
+  let doc = Printf.sprintf "p wcnf 1 3\n%d 1 0\n%d 1 0\n%d 1 0\n" big big big in
+  match Sat.Wcnf.parse_string doc with
+  | _ -> Alcotest.fail "overflowing parse accepted"
+  | exception Sat.Wcnf.Parse_error _ -> ()
+
 (* ---- exact optimisation, differentially vs brute force ---- *)
 
 let brute_agrees algorithm name =
@@ -152,6 +169,50 @@ let certify_opt_passes =
           | Error _ -> false)
         [ Hyqsat.Optimize.Linear; Hyqsat.Optimize.Core_guided ])
 
+(* the REVIEW regression: WDIMACS-realistic weights (millions).  The old
+   unary counters in both the linear search and the certificate would
+   allocate O(sum_weights) literals here; the adder encoding solves and
+   certifies instantly *)
+let large_weights_solve_and_certify () =
+  let w =
+    Sat.Wcnf.make ~num_vars:2
+      ~hard:[ Sat.Clause.of_dimacs [ 1; 2 ] ]
+      ~soft:
+        [
+          (1_000_000, Sat.Clause.of_dimacs [ -1 ]);
+          (2_500_000, Sat.Clause.of_dimacs [ -2 ]);
+          (4_000_000, Sat.Clause.of_dimacs [ 1; -2 ]);
+        ]
+  in
+  List.iter
+    (fun alg ->
+      let r = Hyqsat.Optimize.solve ~algorithm:alg w in
+      Alcotest.(check bool) "optimal" true
+        (r.Hyqsat.Optimize.status = Hyqsat.Optimize.Optimal);
+      Alcotest.(check int) "optimum" 1_000_000 r.Hyqsat.Optimize.best_cost;
+      match Check.Certify.certify_opt ~original:w r with
+      | Ok (Check.Certify.Optimality_verified c) ->
+          Alcotest.(check int) "certified cost" 1_000_000 c
+      | v -> Alcotest.failf "unexpected verdict: %s" (Check.Certify.opt_verdict_label v))
+    [ Hyqsat.Optimize.Linear; Hyqsat.Optimize.Core_guided ]
+
+(* the seeding phase must honour the cancel switch: with an always-open
+   optimum (contradictory unit softs) the walk would otherwise burn the
+   whole flip budget *)
+let incumbent_honours_stop () =
+  let w =
+    Sat.Wcnf.make ~num_vars:1 ~hard:[]
+      ~soft:[ (1, Sat.Clause.make [ Sat.Lit.pos 0 ]); (1, Sat.Clause.make [ Sat.Lit.neg_of 0 ]) ]
+  in
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 5
+  in
+  let cost, _ = Hyqsat.Optimize.incumbent ~max_flips:1_000_000 ~should_stop:stop (Testutil.rng 7) w in
+  Alcotest.(check bool) "stopped after a handful of polls" true (!polls <= 7);
+  Alcotest.(check int) "best-so-far still returned" 1 cost
+
 let certify_opt_rejects_tampering () =
   let w =
     Sat.Wcnf.make ~num_vars:2 ~hard:[ Sat.Clause.make [ Sat.Lit.pos 0 ] ]
@@ -184,6 +245,7 @@ let suite =
         QCheck_alcotest.to_alcotest roundtrip_2022;
         Alcotest.test_case "parse formats" `Quick parse_formats;
         Alcotest.test_case "parse rejects" `Quick parse_rejects;
+        Alcotest.test_case "weight overflow rejected" `Quick weight_overflow_rejected;
       ] );
     ( "hyqsat.optimize",
       [
@@ -194,6 +256,9 @@ let suite =
         Alcotest.test_case "gap limit" `Quick gap_limit_stops;
         Alcotest.test_case "infeasible hard" `Quick infeasible_hard;
         QCheck_alcotest.to_alcotest certify_opt_passes;
+        Alcotest.test_case "large weights solve+certify" `Quick
+          large_weights_solve_and_certify;
+        Alcotest.test_case "incumbent honours should_stop" `Quick incumbent_honours_stop;
         Alcotest.test_case "certify_opt rejects tampering" `Quick certify_opt_rejects_tampering;
       ] );
   ]
